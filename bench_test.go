@@ -1,0 +1,115 @@
+package cordoba_test
+
+// One benchmark per paper table and figure (DESIGN.md §3): each regenerates
+// the corresponding experiment end-to-end, so `go test -bench=.` both times
+// the reproduction pipeline and re-verifies that every experiment still runs.
+
+import (
+	"io"
+	"testing"
+
+	"cordoba"
+	"cordoba/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, key string) {
+	b.Helper()
+	e, err := experiments.ByKey(key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableI(b *testing.B)   { benchExperiment(b, "table1") }
+func BenchmarkTableII(b *testing.B)  { benchExperiment(b, "table2") }
+func BenchmarkFigure3(b *testing.B)  { benchExperiment(b, "fig3") }
+func BenchmarkFigure6(b *testing.B)  { benchExperiment(b, "fig6") }
+func BenchmarkFigure7(b *testing.B)  { benchExperiment(b, "fig7") }
+func BenchmarkFigure8(b *testing.B)  { benchExperiment(b, "fig8") }
+func BenchmarkFigure8F(b *testing.B) { benchExperiment(b, "fig8f") }
+func BenchmarkFigure9(b *testing.B)  { benchExperiment(b, "fig9") }
+func BenchmarkFigure10(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkTableV(b *testing.B)   { benchExperiment(b, "table5") }
+func BenchmarkFigure11(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFigure12(b *testing.B) { benchExperiment(b, "fig12") }
+func BenchmarkTableVI(b *testing.B)  { benchExperiment(b, "table6") }
+
+// BenchmarkFullDSE times the core §VI-B loop: evaluating the complete
+// 121-configuration space on one task (the unit of work behind Figs. 7–9;
+// the paper reports hours end-to-end for its simulator-backed version).
+func BenchmarkFullDSE(b *testing.B) {
+	task, err := cordoba.PaperTask(cordoba.TaskAllKernels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid := cordoba.Grid()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cordoba.Explore(task, grid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelProfile times a single kernel simulation (ResNet-50 on the
+// paper's a48 configuration).
+func BenchmarkKernelProfile(b *testing.B) {
+	cfg, err := cordoba.AcceleratorByID("a48")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Profile(cordoba.KernelRN50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnvelope times the never-optimal elimination over the 121-design
+// space (the §IV-B machinery).
+func BenchmarkEnvelope(b *testing.B) {
+	task, err := cordoba.PaperTask(cordoba.TaskXR10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	space, err := cordoba.Explore(task, cordoba.Grid())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := space.EverOptimal(); len(got) == 0 {
+			b.Fatal("empty envelope")
+		}
+	}
+}
+
+// BenchmarkAblations times the calibration-sensitivity sweep.
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablation") }
+
+// BenchmarkLifetime times the §VII refresh-cadence study.
+func BenchmarkLifetime(b *testing.B) { benchExperiment(b, "lifetime") }
+
+// BenchmarkScheduler times the discrete-event scheduler substrate on a
+// VR-style workload (the Perfetto substitute).
+func BenchmarkScheduler(b *testing.B) {
+	w := cordoba.SyntheticVRWorkload("vr", 4.0, 60, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cordoba.SimulateScheduler(w, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

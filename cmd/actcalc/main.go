@@ -1,0 +1,132 @@
+// Command actcalc is a stand-alone embodied-carbon calculator in the spirit
+// of ACT [22]: given a technology node, die area, fab and yield model, it
+// prints the eq. IV.5 breakdown, optional wafer die-placement effects, and
+// memory/storage footprints.
+//
+// Example:
+//
+//	actcalc -node 7nm -area-mm2 225 -fab coal -yield murphy -dram-gb 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cordoba/internal/carbon"
+	"cordoba/internal/table"
+	"cordoba/internal/units"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "actcalc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("actcalc", flag.ContinueOnError)
+	fs.SetOutput(w)
+	node := fs.String("node", "7nm", "technology node (28nm..3nm)")
+	areaMM2 := fs.Float64("area-mm2", 100, "die area in mm²")
+	fabName := fs.String("fab", "coal", "fab grid: coal, taiwan, korea, renewable")
+	yieldName := fs.String("yield", "murphy", "yield model: murphy, poisson, seeds, bose-einstein")
+	defect := fs.Float64("defect", 0.1, "defect density (per cm²)")
+	dramGB := fs.Float64("dram-gb", 0, "optional DRAM capacity (GB)")
+	nandGB := fs.Float64("nand-gb", 0, "optional NAND capacity (GB)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dramGB < 0 || *nandGB < 0 {
+		return fmt.Errorf("memory capacities must be non-negative")
+	}
+
+	proc, err := carbon.ProcessByName(*node)
+	if err != nil {
+		return err
+	}
+	fab, err := fabByName(*fabName)
+	if err != nil {
+		return err
+	}
+	fab.DefectDensity = *defect
+	model, err := yieldByName(*yieldName)
+	if err != nil {
+		return err
+	}
+	area := units.MM2(*areaMM2)
+	y := model.Yield(area, fab.DefectDensity)
+	die, err := proc.EmbodiedDie(fab, area, y)
+	if err != nil {
+		return err
+	}
+
+	t := table.New(fmt.Sprintf("Embodied carbon — %s die of %s in a %s fab", *node, area, fab.Name),
+		"component", "value")
+	t.AddRow("EPA (fab energy)", fmt.Sprintf("%.3g kWh/cm²", proc.EPA))
+	t.AddRow("CI_fab", fab.CI.String())
+	t.AddRow("GPA (direct gases)", proc.GPA.String()+"/cm²")
+	t.AddRow("MPA (materials)", proc.MPA.String()+"/cm²")
+	t.AddRow("carbon per area", proc.CarbonPerArea(fab).String()+"/cm²")
+	t.AddRow(fmt.Sprintf("yield (%s, D0=%.2g/cm²)", model.Name(), fab.DefectDensity), table.F(y))
+	t.AddRow("die embodied (eq. IV.5)", die.String())
+
+	if gross, err := carbon.Wafer300mm.GrossDies(area); err == nil && gross >= 1 {
+		perGood, err := carbon.Wafer300mm.EmbodiedPerGoodDie(proc, fab, area, model)
+		if err == nil {
+			t.AddRow("gross dies per 300 mm wafer", table.F(gross))
+			t.AddRow("embodied per good die (wafer-amortized)", perGood.String())
+		}
+	}
+	total := die
+	if *dramGB > 0 {
+		d, err := carbon.EmbodiedMemory(carbon.DRAM, *dramGB)
+		if err != nil {
+			return err
+		}
+		t.AddRow(fmt.Sprintf("DRAM %g GB", *dramGB), d.String())
+		total += d
+	}
+	if *nandGB > 0 {
+		n, err := carbon.EmbodiedMemory(carbon.NANDFlash, *nandGB)
+		if err != nil {
+			return err
+		}
+		t.AddRow(fmt.Sprintf("NAND %g GB", *nandGB), n.String())
+		total += n
+	}
+	t.AddRow("total", total.String())
+	return t.Render(w)
+}
+
+func fabByName(name string) (carbon.Fab, error) {
+	switch name {
+	case "coal":
+		return carbon.FabCoal, nil
+	case "taiwan":
+		return carbon.FabTaiwan, nil
+	case "korea":
+		return carbon.FabKorea, nil
+	case "renewable":
+		return carbon.FabRenewable, nil
+	default:
+		return carbon.Fab{}, fmt.Errorf("unknown fab %q", name)
+	}
+}
+
+func yieldByName(name string) (carbon.YieldModel, error) {
+	switch name {
+	case "murphy":
+		return carbon.MurphyYield{}, nil
+	case "poisson":
+		return carbon.PoissonYield{}, nil
+	case "seeds":
+		return carbon.SeedsYield{}, nil
+	case "bose-einstein":
+		return carbon.BoseEinsteinYield{CriticalLayers: 10}, nil
+	default:
+		return nil, fmt.Errorf("unknown yield model %q", name)
+	}
+}

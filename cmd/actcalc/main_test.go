@@ -1,0 +1,43 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+func TestRunFlags(t *testing.T) {
+	cases := []struct {
+		args    []string
+		wantErr bool
+	}{
+		{nil, false}, // defaults
+		{[]string{"-node", "5nm", "-area-mm2", "120", "-fab", "taiwan", "-yield", "poisson"}, false},
+		{[]string{"-yield", "seeds"}, false},
+		{[]string{"-yield", "bose-einstein"}, false},
+		{[]string{"-dram-gb", "8", "-nand-gb", "128"}, false},
+		{[]string{"-node", "6nm"}, true},
+		{[]string{"-fab", "mars"}, true},
+		{[]string{"-yield", "magic"}, true},
+		{[]string{"-dram-gb", "-1"}, true},
+		{[]string{"-badflag"}, true},
+	}
+	for _, c := range cases {
+		err := run(io.Discard, c.args)
+		if (err != nil) != c.wantErr {
+			t.Errorf("run(%v) error = %v, wantErr %v", c.args, err, c.wantErr)
+		}
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	for _, name := range []string{"coal", "taiwan", "korea", "renewable"} {
+		if _, err := fabByName(name); err != nil {
+			t.Errorf("fabByName(%s): %v", name, err)
+		}
+	}
+	for _, name := range []string{"murphy", "poisson", "seeds", "bose-einstein"} {
+		if _, err := yieldByName(name); err != nil {
+			t.Errorf("yieldByName(%s): %v", name, err)
+		}
+	}
+}

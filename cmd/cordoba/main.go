@@ -1,0 +1,130 @@
+// Command cordoba reproduces the paper's tables and figures.
+//
+// Usage:
+//
+//	cordoba list             list experiment keys
+//	cordoba run <key>...     run specific experiments (e.g. table2 fig8)
+//	cordoba all              run every experiment in paper order
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"cordoba/internal/experiments"
+	"cordoba/internal/nn"
+	"cordoba/internal/table"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cordoba:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing command")
+	}
+	switch args[0] {
+	case "list":
+		for _, e := range experiments.All() {
+			fmt.Fprintf(w, "%-8s %s\n", e.Key, e.Title)
+		}
+		return nil
+	case "run":
+		if len(args) < 2 {
+			return fmt.Errorf("run needs at least one experiment key (see `cordoba list`)")
+		}
+		for _, key := range args[1:] {
+			if err := renderOne(w, key); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "all":
+		for _, e := range experiments.All() {
+			if err := renderOne(w, e.Key); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "kernels":
+		return renderKernels(w)
+	case "kernel":
+		if len(args) < 2 {
+			return fmt.Errorf("kernel needs a kernel ID (e.g. RN-50; see `cordoba kernels`)")
+		}
+		net, err := nn.Kernel(nn.KernelID(args[1]))
+		if err != nil {
+			return err
+		}
+		return net.Describe(w)
+	case "export":
+		if len(args) < 2 {
+			return fmt.Errorf("export needs an experiment key (and optionally a format: json, csv)")
+		}
+		format := "json"
+		if len(args) >= 3 {
+			format = args[2]
+		}
+		switch format {
+		case "json":
+			return experiments.ExportJSON(args[1], w)
+		case "csv":
+			return experiments.ExportCSV(args[1], w)
+		default:
+			return fmt.Errorf("unknown export format %q (json or csv)", format)
+		}
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+// renderKernels prints the §V workload characterization: compute and memory
+// demands of the fifteen AI/XR kernels.
+func renderKernels(w io.Writer) error {
+	t := table.New("The fifteen AI/XR kernels (§V, Table IV)",
+		"kernel", "input", "layers", "GMACs", "params (M)", "peak activation", "weights")
+	for _, id := range nn.AllKernels() {
+		net, err := nn.Kernel(id)
+		if err != nil {
+			return err
+		}
+		s := net.Stats()
+		t.AddRow(string(id),
+			fmt.Sprintf("%dx%dx%d", net.InputC, net.InputH, net.InputW),
+			fmt.Sprint(s.Layers),
+			fmt.Sprintf("%.2f", s.MACs/1e9),
+			fmt.Sprintf("%.2f", s.Params/1e6),
+			s.PeakActivation.String(),
+			s.WeightBytes.String())
+	}
+	return t.Render(w)
+}
+
+func renderOne(w io.Writer, key string) error {
+	e, err := experiments.ByKey(key)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n======== %s — %s ========\n\n", e.Key, e.Title)
+	return e.Render(w)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  cordoba list           list experiment keys
+  cordoba run <key>...   run specific experiments
+  cordoba all            run every experiment
+  cordoba kernels        print the workload characterization table
+  cordoba kernel <id>    per-layer profile of one kernel
+  cordoba export <key> [json|csv]   dump an experiment's data`)
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunCommands(t *testing.T) {
+	cases := []struct {
+		args    []string
+		wantErr bool
+	}{
+		{nil, true},
+		{[]string{"list"}, false},
+		{[]string{"run"}, true},
+		{[]string{"run", "table1"}, false},
+		{[]string{"run", "bogus"}, true},
+		{[]string{"kernels"}, false},
+		{[]string{"help"}, false},
+		{[]string{"unknown-cmd"}, true},
+	}
+	for _, c := range cases {
+		err := run(io.Discard, c.args)
+		if (err != nil) != c.wantErr {
+			t.Errorf("run(%v) error = %v, wantErr %v", c.args, err, c.wantErr)
+		}
+	}
+}
+
+func TestRenderKernelsTable(t *testing.T) {
+	var b strings.Builder
+	if err := renderKernels(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"RN-50", "SR-1024x1024", "GMACs", "peak activation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("kernel table missing %q:\n%s", want, out)
+		}
+	}
+	// 15 kernels + title + header + rule.
+	if lines := strings.Count(out, "\n"); lines != 18 {
+		t.Errorf("expected 18 lines, got %d", lines)
+	}
+}
+
+func TestExportCommand(t *testing.T) {
+	cases := []struct {
+		args    []string
+		wantErr bool
+	}{
+		{[]string{"export"}, true},
+		{[]string{"export", "table2"}, false},
+		{[]string{"export", "fig12", "csv"}, false},
+		{[]string{"export", "table2", "xml"}, true},
+		{[]string{"export", "nope"}, true},
+	}
+	for _, c := range cases {
+		err := run(io.Discard, c.args)
+		if (err != nil) != c.wantErr {
+			t.Errorf("run(%v) error = %v, wantErr %v", c.args, err, c.wantErr)
+		}
+	}
+}
+
+func TestKernelDescribeCommand(t *testing.T) {
+	if err := run(io.Discard, []string{"kernel", "RN-18"}); err != nil {
+		t.Errorf("kernel RN-18: %v", err)
+	}
+	if err := run(io.Discard, []string{"kernel"}); err == nil {
+		t.Error("missing kernel id should error")
+	}
+	if err := run(io.Discard, []string{"kernel", "bogus"}); err == nil {
+		t.Error("unknown kernel should error")
+	}
+}

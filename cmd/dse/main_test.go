@@ -1,0 +1,25 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+func TestRunFlags(t *testing.T) {
+	cases := []struct {
+		args    []string
+		wantErr bool
+	}{
+		{[]string{"-task", "AI (5 kernels)", "-points", "3"}, false},
+		{[]string{"-task", "bogus task"}, true},
+		{[]string{"-task", "All kernels", "-stacked", "-points", "2"}, false},
+		{[]string{"-badflag"}, true},
+		{[]string{"-task", "AI (5 kernels)", "-ci", "40", "-points", "2"}, false},
+	}
+	for _, c := range cases {
+		err := run(io.Discard, c.args)
+		if (err != nil) != c.wantErr {
+			t.Errorf("run(%v) error = %v, wantErr %v", c.args, err, c.wantErr)
+		}
+	}
+}

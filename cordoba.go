@@ -1,0 +1,336 @@
+// Package cordoba is a from-scratch Go implementation of CORDOBA, the
+// carbon-efficient optimization framework for computing systems (Elgamal et
+// al., HPCA 2025).
+//
+// CORDOBA quantifies carbon efficiency with the total Carbon Delay Product
+// (tCDP = total lifetime carbon × task execution time) and optimizes it
+// across large hardware design spaces while handling uncertainty in carbon
+// accounting. This package is the public facade; it re-exports the stable
+// surface of the internal packages:
+//
+//   - Metrics (tC, CCI, EDP, tCDP, ...) and objective selection (§III).
+//   - ACT-style carbon accounting: per-node fab characterization, yield
+//     models, die placement, packaging (§IV-A, eq. IV.5).
+//   - The task/kernel workload formulation (eq. IV.2/IV.4) with the paper's
+//     fifteen AI/XR kernels.
+//   - The analytical ML-accelerator simulator and its 121-configuration
+//     design space plus the 3D-stacked variants (§V, §VI-B, §VI-E).
+//   - Design-space exploration across operational time, elimination of
+//     never-optimal designs, and the Lagrange-multiplier machinery for
+//     unknown CI_use(t) (§IV-B, §VI-B/C).
+//   - The VR-SoC provisioning case study (§VI-D).
+//   - Reproduction harnesses for every table and figure in the paper.
+//
+// # Quick start
+//
+//	task, _ := cordoba.PaperTask(cordoba.TaskAI5)
+//	space, _ := cordoba.Explore(task, cordoba.Grid())
+//	best := space.Points[space.OptimalAt(1e8)]
+//	fmt.Printf("tCDP-optimal after 1e8 inferences: %s\n", best.Config.ID)
+//
+// See the examples/ directory for runnable programs and DESIGN.md for the
+// system inventory and per-experiment index.
+package cordoba
+
+import (
+	"io"
+
+	"cordoba/internal/accel"
+	"cordoba/internal/carbon"
+	"cordoba/internal/dse"
+	"cordoba/internal/experiments"
+	"cordoba/internal/grid"
+	"cordoba/internal/lifecycle"
+	"cordoba/internal/metrics"
+	"cordoba/internal/nn"
+	"cordoba/internal/sched"
+	"cordoba/internal/soc"
+	"cordoba/internal/uncertainty"
+	"cordoba/internal/units"
+	"cordoba/internal/workload"
+)
+
+// ---- units ----
+
+// Physical quantity types (see internal/units for constructors and methods).
+type (
+	// Time is a duration in seconds.
+	Time = units.Time
+	// Energy is an amount of energy in joules.
+	Energy = units.Energy
+	// Power is a power draw in watts.
+	Power = units.Power
+	// Carbon is a mass of CO2-equivalent in grams.
+	Carbon = units.Carbon
+	// CarbonIntensity is gCO2e per kWh.
+	CarbonIntensity = units.CarbonIntensity
+	// Area is a silicon area in cm².
+	Area = units.Area
+	// Frequency is a clock rate in Hz.
+	Frequency = units.Frequency
+	// Bytes is a memory capacity.
+	Bytes = units.Bytes
+	// Bandwidth is bytes per second.
+	Bandwidth = units.Bandwidth
+)
+
+// Hours constructs a Time from hours.
+func Hours(h float64) Time { return units.Hours(h) }
+
+// Years constructs a Time from 365-day years.
+func Years(y float64) Time { return units.Years(y) }
+
+// KWh constructs an Energy from kilowatt-hours.
+func KWh(k float64) Energy { return units.KWh(k) }
+
+// MB constructs a Bytes from mebibytes.
+func MB(m float64) Bytes { return units.MB(m) }
+
+// ---- metrics (§III) ----
+
+// Report is the evaluated (energy, delay, embodied, operational) tuple of a
+// design; all carbon-efficiency metrics derive from it.
+type Report = metrics.Report
+
+// Objective selects the optimization target (§III-C).
+type Objective = metrics.Objective
+
+// Objectives.
+const (
+	MinEnergy = metrics.MinEnergy
+	MinEDP    = metrics.MinEDP
+	MinDelay  = metrics.MinDelay
+	MinTC     = metrics.MinTC
+	MinCCI    = metrics.MinCCI
+	MinTCDP   = metrics.MinTCDP
+)
+
+// ---- carbon accounting (§IV-A) ----
+
+// Process is a technology node's fab characterization (EPA, GPA, MPA).
+type Process = carbon.Process
+
+// Fab is a fabrication facility (grid carbon intensity, defect density).
+type Fab = carbon.Fab
+
+// Process7nm returns the paper's 7 nm anchor node (Table III values).
+func Process7nm() Process { return carbon.Process7nm() }
+
+// Processes returns all supported nodes, 28 nm to 3 nm.
+func Processes() []Process { return carbon.Processes() }
+
+// Reference fabs.
+var (
+	FabCoal      = carbon.FabCoal
+	FabTaiwan    = carbon.FabTaiwan
+	FabRenewable = carbon.FabRenewable
+)
+
+// EmbodiedDie computes eq. IV.5: (CI_fab·EPA + MPA + GPA)·A/Y.
+func EmbodiedDie(p Process, fab Fab, area Area, yield float64) (Carbon, error) {
+	return p.EmbodiedDie(fab, area, yield)
+}
+
+// Operational computes eq. IV.6: use-phase carbon of energy e at intensity ci.
+func Operational(ci CarbonIntensity, e Energy) Carbon {
+	return carbon.Operational(ci, e)
+}
+
+// CITrace is a time-varying use-phase carbon intensity CI_use(t) (§IV-B).
+type CITrace = grid.Trace
+
+// ---- workloads (§V, Table IV) ----
+
+// KernelID names one of the fifteen AI/XR kernels.
+type KernelID = nn.KernelID
+
+// Task is a set of kernels with call counts N_{T,K}.
+type Task = workload.Task
+
+// Paper task names.
+const (
+	TaskAllKernels = workload.TaskAllKernels
+	TaskXR10       = workload.TaskXR10
+	TaskAI10       = workload.TaskAI10
+	TaskXR5        = workload.TaskXR5
+	TaskAI5        = workload.TaskAI5
+)
+
+// PaperTasks returns the five Table IV tasks.
+func PaperTasks() []Task { return workload.PaperTasks() }
+
+// PaperTask returns a Table IV task by name.
+func PaperTask(name string) (Task, error) { return workload.PaperTask(name) }
+
+// Kernels returns all fifteen kernel IDs.
+func Kernels() []KernelID { return nn.AllKernels() }
+
+// The fifteen AI/XR kernels of Table IV.
+const (
+	KernelRN18   = nn.RN18
+	KernelRN50   = nn.RN50
+	KernelRN152  = nn.RN152
+	KernelGN     = nn.GN
+	KernelMN2    = nn.MN2
+	KernelET     = nn.ET
+	Kernel3DAgg  = nn.Agg3D
+	KernelHRN    = nn.HRN
+	KernelEFAN   = nn.EFAN
+	KernelJLP    = nn.JLP
+	KernelUNet   = nn.UNet
+	KernelDN     = nn.DN
+	KernelSR256  = nn.SR256
+	KernelSR512  = nn.SR512
+	KernelSR1024 = nn.SR1024
+)
+
+// ---- accelerators (§V, §VI-B, §VI-E) ----
+
+// AcceleratorConfig is one accelerator design point (MAC arrays + SRAM,
+// optionally 3D-stacked).
+type AcceleratorConfig = accel.Config
+
+// NewAccelerator returns a 2D configuration with calibrated 7 nm parameters.
+func NewAccelerator(id string, macArrays int, sram Bytes) AcceleratorConfig {
+	return accel.New(id, macArrays, sram)
+}
+
+// Grid returns the 121-configuration Fig. 8 design space (a1…a121).
+func Grid() []AcceleratorConfig { return accel.Grid() }
+
+// AcceleratorByID returns a grid configuration such as "a48".
+func AcceleratorByID(id string) (AcceleratorConfig, error) { return accel.ByID(id) }
+
+// Stacked3D returns the seven §VI-E configurations (2D baseline + six
+// 3D-stacked designs).
+func Stacked3D() []AcceleratorConfig { return accel.Stacked3D() }
+
+// ---- design-space exploration (§VI-B/C) ----
+
+// DesignSpace is an evaluated set of accelerator configurations on a task.
+type DesignSpace = dse.Space
+
+// DesignPoint is one evaluated design.
+type DesignPoint = dse.Point
+
+// Explore evaluates configurations on a task at the paper's anchor
+// parameters (7 nm, coal-heavy fab, CI_use = 380 g/kWh).
+func Explore(task Task, configs []AcceleratorConfig) (*DesignSpace, error) {
+	return dse.EvaluateDefault(task, configs)
+}
+
+// ExploreAt evaluates with explicit carbon-accounting parameters.
+func ExploreAt(task Task, configs []AcceleratorConfig, p Process, fab Fab, ci CarbonIntensity) (*DesignSpace, error) {
+	return dse.Evaluate(task, configs, p, fab, ci)
+}
+
+// LogSpace returns k log-spaced operational times over [lo, hi].
+func LogSpace(lo, hi float64, k int) []float64 { return dse.LogSpace(lo, hi, k) }
+
+// ---- uncertainty (§IV-B) ----
+
+// UncertainDesign is a candidate reduced to (E, D, C_emb) for unknown-CI
+// analysis.
+type UncertainDesign = uncertainty.Design
+
+// Survivors returns the designs that can be tCDP-optimal for some CI_use(t)
+// under the fixed-work analysis (same inference count for every design, the
+// Fig. 12 setting); all others are safely eliminated even without carbon
+// transparency.
+func Survivors(designs []UncertainDesign) []int { return uncertainty.Survivors(designs) }
+
+// SurvivorsFixedTime is the fixed-time variant (eq. IV.7: every design runs
+// at its fixed power for the same lifetime); OptimalUnderTrace winners are
+// always members of this set.
+func SurvivorsFixedTime(designs []UncertainDesign) []int {
+	return uncertainty.SurvivorsFixedTime(designs)
+}
+
+// DesignsFromSpace converts an explored space for unknown-CI analysis.
+func DesignsFromSpace(s *DesignSpace) []UncertainDesign { return uncertainty.FromDSE(s) }
+
+// ConstantCI is a flat grid trace.
+func ConstantCI(ci CarbonIntensity) CITrace { return grid.Constant{Intensity: ci} }
+
+// DiurnalCI is a solar-driven daily swing around a mean intensity.
+func DiurnalCI(mean, swing CarbonIntensity) CITrace { return grid.Diurnal{Mean: mean, Swing: swing} }
+
+// DecarbonizationRamp moves linearly from start to end over span.
+func DecarbonizationRamp(start, end CarbonIntensity, span Time) CITrace {
+	return grid.Ramp{Start: start, End: end, Span: span}
+}
+
+// TCDPUnderTrace evaluates a design's tCDP when the grid follows a
+// time-varying CI_use(t) trace over the hardware lifetime (eq. IV.8).
+func TCDPUnderTrace(d UncertainDesign, tr CITrace, life Time) (float64, error) {
+	return uncertainty.TCDPUnderTrace(d, tr, life, 1000)
+}
+
+// OptimalUnderTrace returns the index of the tCDP-optimal design under a CI
+// trace; by the §IV-B theorem it is always a member of Survivors.
+func OptimalUnderTrace(designs []UncertainDesign, tr CITrace, life Time) (int, error) {
+	return uncertainty.OptimalUnderTrace(designs, tr, life, 1000)
+}
+
+// ---- VR SoC case study (§VI-D) ----
+
+// VRPlatform is a Quest 2-class SoC model.
+type VRPlatform = soc.SoC
+
+// VRTask is a profiled VR task with its TLP occupancy histogram.
+type VRTask = soc.VRTask
+
+// Quest2 returns the platform calibrated to Table V.
+func Quest2() VRPlatform { return soc.Quest2() }
+
+// PaperVRTasks returns the §VI-D tasks (G-2, M-1, B-1, SG-1, All Tasks).
+func PaperVRTasks() []VRTask { return soc.PaperVRTasks() }
+
+// ---- hardware lifetime (§VII) ----
+
+// RefreshService models a deployment whose hardware-refresh cadence is
+// being optimized: frequent refresh rides node efficiency gains but pays
+// embodied carbon per chip.
+type RefreshService = lifecycle.Service
+
+// RefreshPolicy pairs a refresh period with its lifetime outcome.
+type RefreshPolicy = lifecycle.PolicyResult
+
+// DefaultRefreshService returns a 10-year datacenter service starting at
+// 14 nm with nodes advancing every 2.5 years.
+func DefaultRefreshService() RefreshService { return lifecycle.DefaultService() }
+
+// RefreshPeriods returns the conventional 1–10-year candidate cadences.
+func RefreshPeriods() []Time { return lifecycle.DefaultPeriods() }
+
+// ---- multicore scheduling substrate (§VI-D) ----
+
+// ThreadWorkload is a set of threads for the discrete-event scheduler that
+// stands in for the paper's Perfetto traces.
+type ThreadWorkload = sched.Workload
+
+// SimulateScheduler runs a workload on n cores and reports makespan, TLP
+// and occupancy histograms.
+func SimulateScheduler(w *ThreadWorkload, cores int) (sched.Result, error) {
+	return sched.Simulate(w, cores)
+}
+
+// SyntheticVRWorkload generates a VR-style thread workload targeting a TLP.
+func SyntheticVRWorkload(name string, targetTLP float64, frames int, seed int64) *ThreadWorkload {
+	return sched.SyntheticVR(name, targetTLP, frames, seed)
+}
+
+// ---- experiment harness ----
+
+// Experiments lists the reproducible paper tables and figures.
+func Experiments() []experiments.Experiment { return experiments.All() }
+
+// RunExperiment renders the experiment with the given key (e.g. "table2",
+// "fig8") to w.
+func RunExperiment(key string, w io.Writer) error {
+	e, err := experiments.ByKey(key)
+	if err != nil {
+		return err
+	}
+	return e.Render(w)
+}

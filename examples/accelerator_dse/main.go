@@ -1,0 +1,46 @@
+// Accelerator design-space exploration (paper §VI-B): sweep the
+// 121-configuration MAC/SRAM grid on an XR workload, find the designs that
+// can ever be tCDP-optimal, and show how the optimum moves with operational
+// time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cordoba"
+)
+
+func main() {
+	task, err := cordoba.PaperTask(cordoba.TaskXR10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	space, err := cordoba.Explore(task, cordoba.Grid())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	env := space.EverOptimal()
+	fmt.Printf("task %q: %d of %d designs can ever be tCDP-optimal (%.1f%% eliminated)\n",
+		task.Name, len(env), len(space.Points), 100*space.EliminatedFraction())
+	fmt.Println("\never-optimal designs (long-operational-time end first):")
+	for _, i := range env {
+		p := space.Points[i]
+		fmt.Printf("  %-5s %3d MAC arrays, %-7s SRAM — delay %v, embodied %s\n",
+			p.Config.ID, p.Config.MACArrays, p.Config.SRAM, p.Delay, p.Embodied)
+	}
+
+	fmt.Println("\noptimal design across operational time:")
+	for _, n := range cordoba.LogSpace(1e4, 1e11, 8) {
+		p := space.Points[space.OptimalAt(n)]
+		fmt.Printf("  %.1e inferences → %-5s (tCDP %.3g gCO2e·s)\n",
+			n, p.Config.ID, p.TCDP(space.CIUse, n))
+	}
+
+	// Robustness (§VI-C): if the usage is uncertain, pick the design with
+	// the best average normalized tCDP instead of a point optimum.
+	sweep := cordoba.LogSpace(1e4, 1e11, 30)
+	robust := space.Points[space.BestAverage(sweep)]
+	fmt.Printf("\nrobust choice across usage uncertainty: %s\n", robust.Config.ID)
+}

@@ -1,0 +1,46 @@
+// Quickstart: account the carbon of a chip, evaluate two accelerator designs
+// on a workload, and pick the carbon-efficient one by tCDP.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cordoba"
+)
+
+func main() {
+	// 1. Carbon accounting (eq. IV.5): a 100 mm² die at 7 nm in a
+	//    coal-powered fab with 95 % yield.
+	die, err := cordoba.EmbodiedDie(cordoba.Process7nm(), cordoba.FabCoal, 1.0, 0.95)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("embodied carbon of a 1 cm² 7 nm die: %s\n", die)
+
+	// 2. Operational carbon (eq. IV.6): 5 W for 2 hours a day over 3 years
+	//    on a 380 g/kWh grid.
+	use := cordoba.Power(5).Over(cordoba.Hours(2 * 365 * 3))
+	op := cordoba.Operational(380, use)
+	fmt.Printf("operational carbon over 3 years of daily use: %s\n", op)
+
+	// 3. Compare a small and a large accelerator on an XR task: at short
+	//    operational times the small design's low embodied carbon wins; at
+	//    long times the big design's speed and avoided DRAM spills win.
+	task, err := cordoba.PaperTask(cordoba.TaskXR5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	small := cordoba.NewAccelerator("small", 2, cordoba.MB(1))
+	large := cordoba.NewAccelerator("large", 16, cordoba.MB(32))
+	space, err := cordoba.Explore(task, []cordoba.AcceleratorConfig{small, large})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range []float64{1e4, 1e10} {
+		best := space.Points[space.OptimalAt(n)]
+		r := best.Report(space.CIUse, n)
+		fmt.Printf("after %.0e inferences: %-5s wins (tCDP %.3g gCO2e·s, tC %s)\n",
+			n, best.Config.ID, r.TCDP(), r.TotalCarbon())
+	}
+}

@@ -1,0 +1,54 @@
+// Hardware lifetime as a carbon design knob (paper §VII): how often should a
+// datacenter service refresh its hardware? Frequent refresh rides technology
+// node efficiency gains but manufactures more chips; tCDP finds the balance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cordoba"
+)
+
+func main() {
+	svc := cordoba.DefaultRefreshService()
+	periods := cordoba.RefreshPeriods()
+	results, err := svc.Sweep(periods)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, err := svc.Optimal(periods)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("10-year service, nodes advancing every %.1f years:\n\n", svc.NodeCadence.InYears())
+	for _, r := range results {
+		mark := " "
+		if r.Period == best.Period {
+			mark = "★"
+		}
+		o := r.Outcome
+		fmt.Printf("%s refresh every %2.0f y: %d chips, energy %v, embodied %v, tCDP %.3g\n",
+			mark, r.Period.InYears(), o.Refreshes, o.Energy, o.Embodied, o.TCDP())
+	}
+
+	// The §VII trade-off in one line: frequent refresh vs keep-forever.
+	eRatio, cRatio, err := svc.EnergyVersusEmbodied(cordoba.Years(2), cordoba.Years(10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrefreshing every 2 years vs never: %.2f× the energy, %.2f× the embodied carbon\n",
+		eRatio, cRatio)
+
+	// On a very clean grid, operational carbon stops mattering and longer
+	// lifetimes win.
+	clean := svc
+	clean.CIUse = 20
+	cleanBest, err := clean.Optimal(periods)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("on a 20 g/kWh grid the optimal cadence moves from %.0f to %.0f years\n",
+		best.Period.InYears(), cleanBest.Period.InYears())
+}

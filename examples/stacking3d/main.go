@@ -1,0 +1,51 @@
+// 3D integration study (paper §VI-E): compare a conventional 2D accelerator
+// against 3D-stacked logic+memory configurations on a super-resolution
+// kernel, in both an embodied-carbon-dominant and an operational-carbon-
+// dominant regime.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cordoba"
+)
+
+func main() {
+	// One SR 512×512 inference per task execution (the §VI-E workload).
+	task := cordoba.Task{Name: "SR 512x512", Calls: map[cordoba.KernelID]float64{cordoba.KernelSR512: 1}}
+	space, err := cordoba.Explore(task, cordoba.Stacked3D())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := space.Points[0] // Baseline_1K_1M is first
+	fmt.Printf("baseline %s: delay %v, energy %v, embodied %s\n\n",
+		base.Config.ID, base.Delay, base.Energy, base.Embodied)
+
+	for _, c := range []struct {
+		label string
+		n     float64
+	}{
+		{"embodied-dominant (short lifetime)", 1e7},
+		{"operational-dominant (long lifetime)", 1e9},
+	} {
+		fmt.Printf("%s — %.0e inferences:\n", c.label, c.n)
+		baseTCDP := base.TCDP(space.CIUse, c.n)
+		for _, p := range space.Points {
+			fmt.Printf("  %-15s tCDP %10.3g gCO2e·s  (%.2f× vs baseline)\n",
+				p.Config.ID, p.TCDP(space.CIUse, c.n), baseTCDP/p.TCDP(space.CIUse, c.n))
+		}
+		best := space.Points[space.OptimalAt(c.n)]
+		fmt.Printf("  → optimal: %s\n\n", best.Config.ID)
+	}
+
+	// §IV-B: even without knowing CI_use(t), most configurations can be
+	// eliminated from consideration.
+	designs := cordoba.DesignsFromSpace(space)
+	fmt.Print("can be tCDP-optimal for some CI_use(t): ")
+	for _, i := range cordoba.Survivors(designs) {
+		fmt.Printf("%s ", designs[i].Name)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,68 @@
+// Optimizing under unknown carbon intensity (paper §IV-B): even when
+// CI_use(t) is unknown or changing over time, designs off the lower convex
+// envelope of (E·D, C_emb·D) can never be tCDP-optimal and are safely
+// eliminated. This example builds a design space, eliminates, and then
+// stress-tests the theorem against several concrete grid futures.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cordoba"
+)
+
+func main() {
+	task, err := cordoba.PaperTask(cordoba.TaskXR5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	space, err := cordoba.Explore(task, cordoba.Grid())
+	if err != nil {
+		log.Fatal(err)
+	}
+	designs := cordoba.DesignsFromSpace(space)
+
+	// Fixed-work analysis (each design executes the same number of
+	// inferences — the Fig. 12 setting).
+	surv := cordoba.Survivors(designs)
+	fmt.Printf("of %d designs, only %d can be tCDP-optimal for *any* CI_use (fixed-work):\n  ", len(designs), len(surv))
+	for _, i := range surv {
+		fmt.Printf("%s ", designs[i].Name)
+	}
+	fmt.Println()
+
+	// Fixed-time analysis (eq. IV.7: each design runs at its fixed power
+	// for the same lifetime) — the setting the trace theorem applies to.
+	survTime := cordoba.SurvivorsFixedTime(designs)
+	survivorSet := map[int]bool{}
+	fmt.Printf("\nsurvivors for a fixed hardware lifetime under any CI_use(t):\n  ")
+	for _, i := range survTime {
+		survivorSet[i] = true
+		fmt.Printf("%s ", designs[i].Name)
+	}
+	fmt.Println("\n\nall other designs are eliminated without knowing the future grid mix.")
+
+	// Stress-test against concrete futures: a dirty constant grid, a clean
+	// constant grid, a solar-heavy diurnal grid, and a decade-long
+	// decarbonization ramp.
+	traces := []cordoba.CITrace{
+		cordoba.ConstantCI(820),
+		cordoba.ConstantCI(40),
+		cordoba.DiurnalCI(400, 250),
+		cordoba.DecarbonizationRamp(475, 50, cordoba.Years(10)),
+	}
+	life := cordoba.Years(5)
+	fmt.Printf("\ntCDP-optimal design over a %v lifetime under concrete grid futures:\n", life)
+	for _, tr := range traces {
+		opt, err := cordoba.OptimalUnderTrace(designs, tr, life)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inSet := "✓ predicted by the envelope"
+		if !survivorSet[opt] {
+			inSet = "✗ THEOREM VIOLATED"
+		}
+		fmt.Printf("  %-35s → %-5s %s\n", tr.Name(), designs[opt].Name, inSet)
+	}
+}

@@ -1,0 +1,47 @@
+// VR hardware provisioning (paper §VI-D): sweep the CPU core count of a
+// Quest 2-class SoC for the profiled production tasks and find the
+// tCDP-optimal provisioning per task.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cordoba"
+)
+
+func main() {
+	platform := cordoba.Quest2()
+	for _, task := range cordoba.PaperVRTasks() {
+		sweep, err := platform.Sweep(task)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt, err := platform.OptimalCores(task)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s (TLP %.2f, %s)\n", task.Name, task.Profile.TLP(), task.Category)
+		for _, r := range sweep {
+			mark := " "
+			if r.Cores == opt {
+				mark = "★"
+			}
+			fmt.Printf("  %s %d cores: tCDP gain %.3f×, relative FPS %.3f, tC %s\n",
+				mark, r.Cores, r.TCDPGain, r.RelativeFPS, r.Report.TotalCarbon())
+		}
+	}
+
+	// The Table V headline: 8 → 4 cores for the media task.
+	m1 := cordoba.PaperVRTasks()[1]
+	before, err := platform.Evaluate(m1, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := platform.Evaluate(m1, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nM-1, 8→4 cores: embodied %s → %s, tCDP improves %.2f×\n",
+		before.EmbodiedCarbon, after.EmbodiedCarbon, before.TCDP()/after.TCDP())
+}

@@ -1,0 +1,3 @@
+module cordoba
+
+go 1.22

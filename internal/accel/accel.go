@@ -1,0 +1,381 @@
+// Package accel is the analytical ML-accelerator simulator of paper Fig. 5:
+// a MAC-array + activation-SRAM + LPDDR DRAM architecture in the style of
+// the CICC'22 AR/VR accelerator [48] and Simba [44]. Given a neural-network
+// kernel (internal/nn) and an accelerator configuration, it reports latency
+// and energy per inference — the inputs to CORDOBA's eq. IV.2–IV.6 — plus
+// die area and embodied carbon.
+//
+// The model is a roofline with an activation-spill term: each layer takes
+// max(compute time, DRAM time), where DRAM traffic is the streamed weights
+// plus the part of the activation working set that does not fit in on-chip
+// SRAM (re-read with a tiling penalty). The paper's own simulator is
+// cycle-validated against an FPGA; this analytical stand-in preserves the
+// properties CORDOBA consumes — latency and energy as monotone, saturating
+// functions of MAC count, SRAM capacity and kernel memory footprint
+// (see DESIGN.md §2 for the substitution rationale).
+package accel
+
+import (
+	"fmt"
+	"math"
+
+	"cordoba/internal/nn"
+	"cordoba/internal/units"
+	"cordoba/internal/workload"
+)
+
+// MACsPerArray is the number of multipliers in one MAC array; the paper's
+// "16 MACs" (Fig. 8) and "1K MACs" (Fig. 11) notations both refer to arrays
+// of 64: 16 arrays ≈ 1K multipliers, 32 arrays ≈ 2K.
+const MACsPerArray = 64
+
+// Params collects the technology constants of the simulator (7 nm values).
+// They are exposed so that studies can recalibrate; Fig. 8/11 reproduction
+// uses DefaultParams.
+type Params struct {
+	Clock  units.Frequency // accelerator clock
+	DRAMBW units.Bandwidth // processor–memory bandwidth (LPDDR4: 16 GB/s, §V)
+
+	MACEnergy units.Energy // energy per 8-bit MAC operation
+
+	// SRAMEnergyBase/Slope give the per-byte SRAM access energy:
+	// base + slope·√(capacity in MB) — bigger arrays have longer wires.
+	SRAMEnergyBase  units.Energy
+	SRAMEnergySlope units.Energy
+
+	DRAMEnergyPerByte units.Energy // LPDDR access energy per byte
+
+	// Utilization of the MAC arrays by op kind.
+	ConvUtil, DWConvUtil, FCUtil float64
+
+	// SaturationScale scales the per-layer array-count saturation. Each MAC
+	// array tiles output pixels (or output channels, whichever is larger),
+	// so a layer exposes s = scale·max(OutH·OutW, OutC)/MACsPerArray
+	// arrays' worth of parallelism; n arrays then deliver the throughput of
+	// n·s/(s+n) fully-utilized arrays. Low-resolution late layers therefore
+	// cannot fill large arrays — the over-provisioning effect the DSE
+	// explores (and the reason classification backbones favour small
+	// accelerators while full-resolution XR kernels keep scaling).
+	SaturationScale float64
+
+	// SaturationCap bounds the per-layer saturation (in arrays): even
+	// full-resolution layers eventually hit NoC/dataflow limits.
+	SaturationCap float64
+
+	// TilingPenalty multiplies spilled activation bytes. The effective
+	// re-read factor grows with the capacity deficit —
+	// TilingPenalty·(1 + log₂(workingSet/SRAM)) — because smaller tiles
+	// force proportionally more halo/weight re-fetches.
+	TilingPenalty float64
+
+	// LayerOverhead is the fixed per-layer sequencing cost.
+	LayerOverhead units.Time
+
+	// Area model: base die overhead plus per-array and per-MB terms.
+	BaseArea     units.Area
+	AreaPerArray units.Area
+	AreaPerMB    units.Area
+
+	// Leakage model.
+	BaseLeakage     units.Power
+	LeakagePerArray units.Power
+	LeakagePerMB    units.Power
+
+	// PackagingPerDie/PerBond price assembly (see carbon.Packaging).
+	PackagingPerDie  units.Carbon
+	PackagingPerBond units.Carbon
+
+	// 3D stacking adjustments (§VI-E, [54]): stacked activation memory is
+	// reached through hybrid-bonded TSVs — cheaper per byte than long 2D
+	// wires — and each die pays an area overhead for the TSV field.
+	SRAM3DEnergyScale float64
+	TSVAreaOverhead   float64
+	DRAM3DBWScale     float64 // processor–memory bandwidth gain of stacking
+}
+
+// DefaultParams returns the calibrated 7 nm constants used throughout the
+// paper reproduction.
+func DefaultParams() Params {
+	return Params{
+		Clock:  units.MHz(800),
+		DRAMBW: units.GBps(16),
+
+		MACEnergy:         0.2e-12,
+		SRAMEnergyBase:    0.04e-12,
+		SRAMEnergySlope:   0.12e-12,
+		DRAMEnergyPerByte: 30e-12,
+
+		ConvUtil:        0.85,
+		DWConvUtil:      0.30,
+		FCUtil:          0.60,
+		SaturationScale: 0.1,
+		SaturationCap:   32,
+
+		TilingPenalty: 3.0,
+		LayerOverhead: units.Time(2e-6),
+
+		BaseArea:     units.MM2(0.15),
+		AreaPerArray: units.MM2(1.0),
+		AreaPerMB:    units.MM2(0.25),
+
+		BaseLeakage:     0.005,
+		LeakagePerArray: 0.012,
+		LeakagePerMB:    0.004,
+
+		PackagingPerDie:  10,
+		PackagingPerBond: 10,
+
+		SRAM3DEnergyScale: 0.7,
+		TSVAreaOverhead:   0.08,
+		DRAM3DBWScale:     4.0,
+	}
+}
+
+// Config is one accelerator design point: the (MAC arrays, SRAM capacity)
+// pair swept in Fig. 8, optionally 3D-stacked (Fig. 11).
+type Config struct {
+	ID        string
+	MACArrays int
+	SRAM      units.Bytes
+
+	// Is3D marks a 3D-stacked configuration: the activation memory lives on
+	// MemDies separately fabricated dies hybrid-bonded on top of the logic
+	// die [54].
+	Is3D    bool
+	MemDies int
+
+	Params Params
+}
+
+// New returns a 2D configuration with default parameters.
+func New(id string, arrays int, sram units.Bytes) Config {
+	return Config{ID: id, MACArrays: arrays, SRAM: sram, Params: DefaultParams()}
+}
+
+// Validate reports whether the configuration is well-formed.
+func (c Config) Validate() error {
+	switch {
+	case c.MACArrays <= 0:
+		return fmt.Errorf("accel: %s: MAC arrays must be positive, got %d", c.ID, c.MACArrays)
+	case c.SRAM <= 0:
+		return fmt.Errorf("accel: %s: SRAM must be positive, got %v", c.ID, c.SRAM)
+	case c.Is3D && c.MemDies < 1:
+		return fmt.Errorf("accel: %s: 3D config needs at least one memory die", c.ID)
+	case c.Params.Clock <= 0 || c.Params.DRAMBW <= 0:
+		return fmt.Errorf("accel: %s: params not initialized (use New or set Params)", c.ID)
+	}
+	return nil
+}
+
+// TotalMACs returns the number of multipliers.
+func (c Config) TotalMACs() int { return c.MACArrays * MACsPerArray }
+
+// sramEnergyPerByte returns the per-byte access energy of the activation
+// memory, accounting for capacity and 3D stacking.
+func (c Config) sramEnergyPerByte() units.Energy {
+	mb := c.SRAM.InMB()
+	e := c.Params.SRAMEnergyBase + c.Params.SRAMEnergySlope*units.Energy(math.Sqrt(mb))
+	if c.Is3D {
+		e *= units.Energy(c.Params.SRAM3DEnergyScale)
+	}
+	return e
+}
+
+// dramBandwidth returns the effective processor–memory bandwidth.
+func (c Config) dramBandwidth() units.Bandwidth {
+	if c.Is3D {
+		return c.Params.DRAMBW * units.Bandwidth(c.Params.DRAM3DBWScale)
+	}
+	return c.Params.DRAMBW
+}
+
+// LayerCost breaks down the simulation of one layer.
+type LayerCost struct {
+	ComputeTime units.Time
+	MemoryTime  units.Time
+	Time        units.Time // max(compute, memory) + overhead
+
+	MACEnergy  units.Energy
+	SRAMEnergy units.Energy
+	DRAMEnergy units.Energy
+
+	DRAMTraffic units.Bytes // weights + spilled activations
+}
+
+// Energy returns the layer's total dynamic energy.
+func (lc LayerCost) Energy() units.Energy {
+	return lc.MACEnergy + lc.SRAMEnergy + lc.DRAMEnergy
+}
+
+// utilization returns the MAC-array utilization for a layer kind.
+func (c Config) utilization(kind nn.OpKind) float64 {
+	switch kind {
+	case nn.OpConv:
+		return c.Params.ConvUtil
+	case nn.OpDepthwiseConv:
+		return c.Params.DWConvUtil
+	case nn.OpFC:
+		return c.Params.FCUtil
+	default:
+		return 1
+	}
+}
+
+// LayerCost simulates one layer on the configuration.
+func (c Config) LayerCost(l nn.Layer) LayerCost {
+	var lc LayerCost
+
+	// Compute roofline with per-layer saturation: the layer's exposed
+	// parallelism bounds how many arrays it can keep busy.
+	macs := l.MACs()
+	if macs > 0 {
+		n := float64(c.MACArrays)
+		par := float64(l.OutH * l.OutW)
+		if ch := float64(l.OutC); ch > par {
+			par = ch
+		}
+		s := c.Params.SaturationScale * par / MACsPerArray
+		if cap := c.Params.SaturationCap; cap > 0 && s > cap {
+			s = cap
+		}
+		if s > 0 {
+			n = n * s / (s + n)
+		}
+		eff := n * MACsPerArray * c.utilization(l.Kind) * c.Params.Clock.Hertz()
+		lc.ComputeTime = units.Time(macs / eff)
+		lc.MACEnergy = c.Params.MACEnergy * units.Energy(macs)
+	}
+
+	// Activation traffic: the whole working set moves through the on-chip
+	// memory hierarchy; the part that does not fit spills to DRAM and is
+	// re-fetched with a tiling penalty.
+	ws := l.WorkingSet()
+	sramBytes := ws
+	var spill units.Bytes
+	if ws > c.SRAM {
+		penalty := c.Params.TilingPenalty * (1 + math.Log2(float64(ws/c.SRAM)))
+		spill = (ws - c.SRAM) * units.Bytes(penalty)
+		sramBytes = c.SRAM + spill // spilled tiles still pass through SRAM
+	}
+	weights := l.WeightBytes()
+	dram := spill + weights
+	lc.DRAMTraffic = dram
+	lc.SRAMEnergy = c.sramEnergyPerByte() * units.Energy(sramBytes)
+	lc.DRAMEnergy = c.Params.DRAMEnergyPerByte * units.Energy(dram)
+	lc.MemoryTime = units.Time(float64(dram) / c.dramBandwidth().BytesPerSecond())
+
+	lc.Time = lc.ComputeTime
+	if lc.MemoryTime > lc.Time {
+		lc.Time = lc.MemoryTime
+	}
+	lc.Time += c.Params.LayerOverhead
+	return lc
+}
+
+// KernelProfile aggregates a whole network's simulation.
+type KernelProfile struct {
+	Kernel      nn.KernelID
+	Delay       units.Time
+	Energy      units.Energy // dynamic only; leakage is added at task level
+	DRAMTraffic units.Bytes
+
+	// Breakdown of time and dynamic energy.
+	ComputeTime units.Time
+	MemoryTime  units.Time
+	MACEnergy   units.Energy
+	SRAMEnergy  units.Energy
+	DRAMEnergy  units.Energy
+}
+
+// Profile simulates a kernel end-to-end.
+func (c Config) Profile(id nn.KernelID) (KernelProfile, error) {
+	if err := c.Validate(); err != nil {
+		return KernelProfile{}, err
+	}
+	net, err := nn.Kernel(id)
+	if err != nil {
+		return KernelProfile{}, err
+	}
+	p := KernelProfile{Kernel: id}
+	for _, l := range net.Layers {
+		lc := c.LayerCost(l)
+		p.Delay += lc.Time
+		p.Energy += lc.Energy()
+		p.DRAMTraffic += lc.DRAMTraffic
+		p.ComputeTime += lc.ComputeTime
+		p.MemoryTime += lc.MemoryTime
+		p.MACEnergy += lc.MACEnergy
+		p.SRAMEnergy += lc.SRAMEnergy
+		p.DRAMEnergy += lc.DRAMEnergy
+	}
+	return p, nil
+}
+
+// BandwidthRequirement returns the processor–memory bandwidth a kernel needs
+// on this configuration to avoid memory stalls: the DRAM traffic per
+// inference divided by the pure compute time. §V uses this quantity to show
+// that growing the activation SRAM from 2 MB to 32 MB collapses the
+// bandwidth demand of high-resolution super-resolution kernels back inside
+// LPDDR4's 16 GB/s.
+func (c Config) BandwidthRequirement(id nn.KernelID) (units.Bandwidth, error) {
+	p, err := c.Profile(id)
+	if err != nil {
+		return 0, err
+	}
+	if p.ComputeTime <= 0 {
+		return 0, fmt.Errorf("accel: kernel %s has no compute time on %s", id, c.ID)
+	}
+	return units.Bandwidth(float64(p.DRAMTraffic) / p.ComputeTime.Seconds()), nil
+}
+
+// KernelCost implements workload.Platform.
+func (c Config) KernelCost(id nn.KernelID) (workload.KernelCost, error) {
+	p, err := c.Profile(id)
+	if err != nil {
+		return workload.KernelCost{}, err
+	}
+	return workload.KernelCost{Delay: p.Delay, DynamicEnergy: p.Energy}, nil
+}
+
+// LeakagePower implements workload.Platform: static power of logic + SRAM.
+func (c Config) LeakagePower() units.Power {
+	return c.Params.BaseLeakage +
+		c.Params.LeakagePerArray*units.Power(c.MACArrays) +
+		c.Params.LeakagePerMB*units.Power(c.SRAM.InMB())
+}
+
+// LogicArea returns the logic-die area: control plus MAC arrays, plus — for
+// 2D designs — the activation SRAM on the same die.
+func (c Config) LogicArea() units.Area {
+	a := c.Params.BaseArea + c.Params.AreaPerArray*units.Area(c.MACArrays)
+	if !c.Is3D {
+		a += c.SRAMArea()
+	}
+	if c.Is3D {
+		a *= units.Area(1 + c.Params.TSVAreaOverhead)
+	}
+	return a
+}
+
+// SRAMArea returns the silicon area of the activation memory.
+func (c Config) SRAMArea() units.Area {
+	return c.Params.AreaPerMB * units.Area(c.SRAM.InMB())
+}
+
+// MemDieArea returns the area of one stacked memory die (3D configs only):
+// an equal share of the SRAM plus the TSV field overhead.
+func (c Config) MemDieArea() units.Area {
+	if !c.Is3D || c.MemDies == 0 {
+		return 0
+	}
+	per := c.SRAMArea() / units.Area(c.MemDies)
+	return per * units.Area(1+c.Params.TSVAreaOverhead)
+}
+
+// TotalArea returns the total silicon area across all dies.
+func (c Config) TotalArea() units.Area {
+	if c.Is3D {
+		return c.LogicArea() + c.MemDieArea()*units.Area(c.MemDies)
+	}
+	return c.LogicArea()
+}

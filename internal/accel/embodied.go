@@ -1,0 +1,51 @@
+package accel
+
+import (
+	"cordoba/internal/carbon"
+	"cordoba/internal/units"
+)
+
+// Embodied computes the manufacturing footprint of the configuration using
+// eq. IV.5 with per-die Murphy yield, die placement on a 300 mm wafer, and
+// packaging/bonding overheads.
+//
+// For 2D designs there is one die; for 3D designs the logic die and each
+// memory die are fabricated (and yielded) separately — the yield advantage
+// of several small dies over one large die is part of why 3D stacking can
+// win on embodied carbon (§VI-E).
+func (c Config) Embodied(p carbon.Process, fab carbon.Fab) (units.Carbon, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	model := carbon.MurphyYield{}
+	dieCarbon := func(a units.Area) (units.Carbon, error) {
+		y := model.Yield(a, fab.DefectDensity)
+		return p.EmbodiedDie(fab, a, y)
+	}
+
+	total, err := dieCarbon(c.LogicArea())
+	if err != nil {
+		return 0, err
+	}
+	dice := 1
+	if c.Is3D {
+		mem, err := dieCarbon(c.MemDieArea())
+		if err != nil {
+			return 0, err
+		}
+		total += mem * units.Carbon(c.MemDies)
+		dice += c.MemDies
+	}
+	pkging := carbon.Packaging{PerDie: c.Params.PackagingPerDie, PerBond: c.Params.PackagingPerBond}
+	pkg, err := pkging.Assembly(dice)
+	if err != nil {
+		return 0, err
+	}
+	return total + pkg, nil
+}
+
+// EmbodiedDefault computes Embodied at the paper's anchor point: the 7 nm
+// node in a coal-heavy fab (CI_fab = 820 g/kWh, Table III).
+func (c Config) EmbodiedDefault() (units.Carbon, error) {
+	return c.Embodied(carbon.Process7nm(), carbon.FabCoal)
+}

@@ -1,0 +1,366 @@
+package carbon
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cordoba/internal/units"
+)
+
+func near(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol*math.Max(math.Abs(want), 1e-30) {
+		t.Errorf("%s: got %v want %v", name, got, want)
+	}
+}
+
+func TestProcess7nmMatchesTableIII(t *testing.T) {
+	p := Process7nm()
+	near(t, "EPA", p.EPA, 2.15, 1e-12)
+	near(t, "GPA", p.GPA.Grams(), 300, 1e-12)
+	near(t, "MPA", p.MPA.Grams(), 500, 1e-12)
+	near(t, "CI_fab", FabCoal.CI.GramsPerKWh(), 820, 1e-12)
+}
+
+func TestProcessesMonotone(t *testing.T) {
+	ps := Processes()
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Nm >= ps[i-1].Nm {
+			t.Errorf("nodes out of order at %s", ps[i].Node)
+		}
+		if ps[i].EPA <= ps[i-1].EPA {
+			t.Errorf("%s: EPA should rise as nodes advance", ps[i].Node)
+		}
+		if ps[i].MPA <= ps[i-1].MPA {
+			t.Errorf("%s: MPA should rise as nodes advance", ps[i].Node)
+		}
+		if ps[i].GPA <= ps[i-1].GPA {
+			t.Errorf("%s: GPA should rise as nodes advance", ps[i].Node)
+		}
+	}
+}
+
+func TestProcessByName(t *testing.T) {
+	if _, err := ProcessByName("7nm"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ProcessByName("1nm"); err == nil {
+		t.Fatal("expected error for unknown node")
+	}
+}
+
+func TestEmbodiedDieEquationIV5(t *testing.T) {
+	// Hand-computed eq. IV.5 at the Table III anchor:
+	// (820·2.15 + 500 + 300) · 2.25 / 0.98 = 2563 · 2.2959 = 5884.6 g.
+	p := Process7nm()
+	got, err := p.EmbodiedDie(FabCoal, units.Area(2.25), 0.98)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (820*2.15 + 500 + 300) * 2.25 / 0.98
+	near(t, "C_embodied", got.Grams(), want, 1e-12)
+}
+
+func TestEmbodiedDieValidation(t *testing.T) {
+	p := Process7nm()
+	if _, err := p.EmbodiedDie(FabCoal, 1, 0); err == nil {
+		t.Error("yield 0 should error")
+	}
+	if _, err := p.EmbodiedDie(FabCoal, 1, 1.2); err == nil {
+		t.Error("yield >1 should error")
+	}
+	if _, err := p.EmbodiedDie(FabCoal, -1, 0.9); err == nil {
+		t.Error("negative area should error")
+	}
+}
+
+func TestEmbodiedScalesWithFabCI(t *testing.T) {
+	p := Process7nm()
+	coal, _ := p.EmbodiedDie(FabCoal, 1, 1)
+	ren, _ := p.EmbodiedDie(FabRenewable, 1, 1)
+	if ren >= coal {
+		t.Errorf("renewable fab (%v) should beat coal fab (%v)", ren, coal)
+	}
+	// Even a zero-carbon grid leaves the GPA+MPA floor.
+	if ren.Grams() < (p.GPA + p.MPA).Grams() {
+		t.Errorf("embodied %v below the materials+gases floor", ren)
+	}
+}
+
+func TestOperational(t *testing.T) {
+	// Table V: 332 J per task at 380 g/kWh.
+	c := Operational(380, 332)
+	near(t, "C_op", c.Grams(), 380*332/3.6e6, 1e-12)
+}
+
+func TestGridSourcesOrdered(t *testing.T) {
+	ss := GridSources()
+	if len(ss) < 5 {
+		t.Fatalf("too few sources: %d", len(ss))
+	}
+	for i := 1; i < len(ss); i++ {
+		if ss[i].CI > ss[i-1].CI {
+			t.Errorf("sources not in descending CI order at %s", ss[i].Name)
+		}
+	}
+}
+
+// ---- yield models ----
+
+func TestYieldModelsAtZeroDefects(t *testing.T) {
+	for _, m := range YieldModels() {
+		if y := m.Yield(1, 0); y != 1 {
+			t.Errorf("%s: yield at zero defects = %v, want 1", m.Name(), y)
+		}
+		if m.Name() == "" {
+			t.Error("empty model name")
+		}
+	}
+}
+
+func TestYieldModelsDecreasingInArea(t *testing.T) {
+	for _, m := range YieldModels() {
+		prev := 1.0
+		for _, a := range []float64{0.1, 0.5, 1, 2, 5} {
+			y := m.Yield(units.Area(a), 0.1)
+			if y > prev {
+				t.Errorf("%s: yield increased at area %v", m.Name(), a)
+			}
+			if y <= 0 || y > 1 {
+				t.Errorf("%s: yield out of range: %v", m.Name(), y)
+			}
+			prev = y
+		}
+	}
+}
+
+// Known ordering at moderate AD: Poisson is most pessimistic, Seeds most
+// optimistic, Murphy in between.
+func TestYieldModelOrdering(t *testing.T) {
+	a, d := units.Area(1.0), 0.5
+	poisson := PoissonYield{}.Yield(a, d)
+	murphy := MurphyYield{}.Yield(a, d)
+	seeds := SeedsYield{}.Yield(a, d)
+	if !(poisson < murphy && murphy < seeds) {
+		t.Errorf("ordering violated: poisson=%v murphy=%v seeds=%v", poisson, murphy, seeds)
+	}
+}
+
+func TestMurphyKnownValue(t *testing.T) {
+	// AD=1: ((1-e^-1)/1)² = 0.39958.
+	near(t, "murphy(AD=1)", MurphyYield{}.Yield(1, 1), 0.39958, 1e-4)
+}
+
+func TestBoseEinsteinLayers(t *testing.T) {
+	b1 := BoseEinsteinYield{CriticalLayers: 1}
+	b5 := BoseEinsteinYield{CriticalLayers: 5}
+	if b5.Yield(1, 0.5) >= b1.Yield(1, 0.5) {
+		t.Error("more critical layers should reduce yield")
+	}
+	// n<1 clamps to 1 rather than inflating yield.
+	b0 := BoseEinsteinYield{CriticalLayers: 0}
+	near(t, "clamped n", b0.Yield(1, 0.5), b1.Yield(1, 0.5), 1e-12)
+	// Seeds is the n=1 special case.
+	near(t, "seeds equivalence", b1.Yield(2, 0.3), SeedsYield{}.Yield(2, 0.3), 1e-12)
+}
+
+// Property: all yields are within (0, 1] for any positive area and density.
+func TestYieldRangeProperty(t *testing.T) {
+	f := func(a, d uint16) bool {
+		area := units.Area(0.01 + float64(a%500)/100)
+		dd := float64(d%300) / 100
+		for _, m := range YieldModels() {
+			y := m.Yield(area, dd)
+			if y <= 0 || y > 1 || math.IsNaN(y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// ---- wafer / die placement ----
+
+func TestGrossDies(t *testing.T) {
+	// 1 cm² dies on a 300 mm wafer: π·225/1 − π·30/√2 = 706.9 − 66.6 ≈ 640.
+	g, err := Wafer300mm.GrossDies(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "gross dies", g, 640, 1e-2)
+	if g != math.Floor(g) {
+		t.Error("gross dies should be an integer count")
+	}
+}
+
+func TestGrossDiesErrors(t *testing.T) {
+	if _, err := Wafer300mm.GrossDies(0); err == nil {
+		t.Error("zero area should error")
+	}
+	// A die bigger than the wafer yields zero.
+	g, err := Wafer300mm.GrossDies(1000)
+	if err != nil || g != 0 {
+		t.Errorf("huge die: g=%v err=%v", g, err)
+	}
+}
+
+func TestGoodDiesAndPerDieEmbodied(t *testing.T) {
+	p := Process7nm()
+	good, err := Wafer300mm.GoodDies(1, MurphyYield{}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gross, _ := Wafer300mm.GrossDies(1)
+	if good >= gross || good <= 0 {
+		t.Errorf("good dies %v should be within (0, %v)", good, gross)
+	}
+	perDie, err := Wafer300mm.EmbodiedPerGoodDie(p, FabCoal, 1, MurphyYield{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-die embodied must exceed the yield-free per-area cost because the
+	// whole wafer (including edge waste and bad dies) is amortized.
+	floor := p.CarbonPerArea(FabCoal)
+	if perDie <= floor {
+		t.Errorf("per-good-die %v should exceed per-area floor %v", perDie, floor)
+	}
+	if _, err := Wafer300mm.EmbodiedPerGoodDie(p, FabCoal, 1000, MurphyYield{}); err == nil {
+		t.Error("un-manufacturable die should error")
+	}
+}
+
+// Property: larger dies always cost more embodied carbon per good die.
+func TestPerGoodDieMonotoneProperty(t *testing.T) {
+	p := Process7nm()
+	f := func(a, b uint8) bool {
+		a1 := 0.2 + 3*float64(a)/255
+		a2 := 0.2 + 3*float64(b)/255
+		lo, hi := math.Min(a1, a2), math.Max(a1, a2)
+		if hi-lo < 1e-6 {
+			return true
+		}
+		cLo, err1 := Wafer300mm.EmbodiedPerGoodDie(p, FabCoal, units.Area(lo), MurphyYield{})
+		cHi, err2 := Wafer300mm.EmbodiedPerGoodDie(p, FabCoal, units.Area(hi), MurphyYield{})
+		return err1 == nil && err2 == nil && cLo < cHi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// ---- memory & packaging ----
+
+func TestEmbodiedMemory(t *testing.T) {
+	d, err := EmbodiedMemory(DRAM, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Error("DRAM footprint should be positive")
+	}
+	h, _ := EmbodiedMemory(HBM, 16)
+	n, _ := EmbodiedMemory(NANDFlash, 16)
+	hd, _ := EmbodiedMemory(HDD, 16)
+	if !(h > d && d > n && n > hd) {
+		t.Errorf("expected HBM > DRAM > NAND > HDD per GB: %v %v %v %v", h, d, n, hd)
+	}
+	if _, err := EmbodiedMemory(MemoryKind(99), 1); err == nil {
+		t.Error("unknown kind should error")
+	}
+	if _, err := EmbodiedMemory(DRAM, -1); err == nil {
+		t.Error("negative capacity should error")
+	}
+	if MemoryKind(99).String() != "MemoryKind(99)" {
+		t.Error("unknown kind String")
+	}
+	for k := DRAM; k <= HDD; k++ {
+		if k.String() == "" {
+			t.Error("empty kind name")
+		}
+	}
+}
+
+func TestPackagingAssembly(t *testing.T) {
+	c1, err := DefaultPackaging.Assembly(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "single die", c1.Grams(), DefaultPackaging.PerDie.Grams(), 1e-12)
+	c5, _ := DefaultPackaging.Assembly(5)
+	want := DefaultPackaging.PerDie + 4*DefaultPackaging.PerBond
+	near(t, "5-die stack", c5.Grams(), want.Grams(), 1e-12)
+	if _, err := DefaultPackaging.Assembly(0); err == nil {
+		t.Error("0-die package should error")
+	}
+}
+
+// ---- system BOM ----
+
+func TestSystemEmbodied(t *testing.T) {
+	sys := ReferenceVRHeadset()
+	total, err := sys.Embodied()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consumer-device scale: tens of kg CO2e.
+	if total < 15e3 || total > 80e3 {
+		t.Errorf("headset embodied = %v, expected tens of kgCO2e", total)
+	}
+	// Component sum equals the total.
+	var sum units.Carbon
+	for _, c := range sys.Components {
+		e, err := sys.ComponentEmbodied(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e <= 0 {
+			t.Errorf("component %s has non-positive footprint", c.Name)
+		}
+		sum += e
+	}
+	near(t, "component sum", sum.Grams(), total.Grams(), 1e-12)
+}
+
+func TestSystemEmbodiedMasked(t *testing.T) {
+	sys := ReferenceVRHeadset()
+	all, _ := sys.Embodied()
+	// Drop the display: total decreases by exactly its fixed footprint.
+	mask := make([]bool, len(sys.Components))
+	var displayCarbon units.Carbon
+	for i, c := range sys.Components {
+		mask[i] = c.Name != "display"
+		if c.Name == "display" {
+			displayCarbon = c.Fixed
+		}
+	}
+	masked, err := sys.EmbodiedMasked(mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "masked", masked.Grams(), all.Grams()-displayCarbon.Grams(), 1e-12)
+	// Bad mask length errors.
+	if _, err := sys.EmbodiedMasked([]bool{true}); err == nil {
+		t.Error("mask length mismatch should error")
+	}
+}
+
+func TestSystemComponentValidation(t *testing.T) {
+	sys := &System{Name: "bad", Fab: FabCoal, Components: []Component{{Name: "ghost", Fixed: -1}}}
+	if _, err := sys.Embodied(); err == nil {
+		t.Error("unspecified component should error")
+	}
+	// Die with default yield uses 1.
+	die := &System{Name: "d", Fab: FabCoal, Components: []Component{
+		{Name: "chip", Die: 1, Process: Process7nm()},
+	}}
+	got, err := die.Embodied()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Process7nm().EmbodiedDie(FabCoal, 1, 1)
+	near(t, "default yield", got.Grams(), want.Grams(), 1e-12)
+}

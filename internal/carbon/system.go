@@ -1,0 +1,99 @@
+package carbon
+
+import (
+	"fmt"
+
+	"cordoba/internal/units"
+)
+
+// Component is one line of a device's bill of materials: either a silicon
+// die (priced through eq. IV.5) or a fixed-footprint part (battery, display,
+// enclosure — the categories device LCA reports itemize).
+type Component struct {
+	Name string
+
+	// Die components: area, process, yield.
+	Die     units.Area
+	Process Process
+	Yield   float64
+
+	// Memory components: kind and capacity.
+	Memory   MemoryKind
+	MemoryGB float64
+
+	// Fixed is a directly specified footprint (display, battery,
+	// enclosure, transport) taken from an LCA report.
+	Fixed units.Carbon
+}
+
+// System is a whole device: the ACT-style sum of component footprints that
+// the paper's eq. IV.3 selects from with its inclusion mask.
+type System struct {
+	Name       string
+	Fab        Fab
+	Components []Component
+}
+
+// ComponentEmbodied returns one component's embodied footprint.
+func (s *System) ComponentEmbodied(c Component) (units.Carbon, error) {
+	switch {
+	case c.Die > 0:
+		y := c.Yield
+		if y == 0 {
+			y = 1
+		}
+		return c.Process.EmbodiedDie(s.Fab, c.Die, y)
+	case c.MemoryGB > 0:
+		return EmbodiedMemory(c.Memory, c.MemoryGB)
+	case c.Fixed >= 0:
+		return c.Fixed, nil
+	default:
+		return 0, fmt.Errorf("carbon: component %q has no footprint specification", c.Name)
+	}
+}
+
+// Embodied returns the system's total embodied carbon with every component
+// included.
+func (s *System) Embodied() (units.Carbon, error) {
+	return s.EmbodiedMasked(nil)
+}
+
+// EmbodiedMasked computes eq. IV.3's dot product: include[i] selects whether
+// component i is counted (nil includes everything). This is the
+// hardware-provisioning formulation of §VI-D generalized to a whole BOM.
+func (s *System) EmbodiedMasked(include []bool) (units.Carbon, error) {
+	if include != nil && len(include) != len(s.Components) {
+		return 0, fmt.Errorf("carbon: mask has %d entries for %d components", len(include), len(s.Components))
+	}
+	var total units.Carbon
+	for i, c := range s.Components {
+		if include != nil && !include[i] {
+			continue
+		}
+		e, err := s.ComponentEmbodied(c)
+		if err != nil {
+			return 0, fmt.Errorf("carbon: system %q: %w", s.Name, err)
+		}
+		total += e
+	}
+	return total, nil
+}
+
+// ReferenceVRHeadset returns a Quest 2-class device BOM: the 7 nm SoC,
+// LPDDR memory, NAND storage, and fixed footprints for display, battery,
+// enclosure and assembly (magnitudes follow published consumer-device LCA
+// breakdowns, where the electronics dominate).
+func ReferenceVRHeadset() *System {
+	return &System{
+		Name: "vr-headset",
+		Fab:  FabCoal,
+		Components: []Component{
+			{Name: "soc", Die: units.Area(2.25), Process: Process7nm(), Yield: 0.98},
+			{Name: "lpddr", Memory: LPDDR, MemoryGB: 6},
+			{Name: "nand", Memory: NANDFlash, MemoryGB: 128},
+			{Name: "display", Fixed: 9000},
+			{Name: "battery", Fixed: 3500},
+			{Name: "enclosure+assembly", Fixed: 6000},
+		},
+	}
+}

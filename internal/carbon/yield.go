@@ -1,0 +1,145 @@
+package carbon
+
+import (
+	"fmt"
+	"math"
+
+	"cordoba/internal/units"
+)
+
+// YieldModel predicts fabrication yield as a function of die area and defect
+// density (defects per cm²). §V: "incorporate additional models for die
+// placement and yield, such as the Murphy yield model".
+type YieldModel interface {
+	// Yield returns the fraction of good dice in (0, 1].
+	Yield(area units.Area, defectDensity float64) float64
+	// Name identifies the model.
+	Name() string
+}
+
+// MurphyYield is Murphy's 1964 model [34]: Y = ((1 − e^{−AD})/(AD))².
+type MurphyYield struct{}
+
+// Name implements YieldModel.
+func (MurphyYield) Name() string { return "murphy" }
+
+// Yield implements YieldModel.
+func (MurphyYield) Yield(area units.Area, d float64) float64 {
+	ad := area.CM2() * d
+	if ad <= 0 {
+		return 1
+	}
+	f := (1 - math.Exp(-ad)) / ad
+	return f * f
+}
+
+// PoissonYield is the Poisson model: Y = e^{−AD}.
+type PoissonYield struct{}
+
+// Name implements YieldModel.
+func (PoissonYield) Name() string { return "poisson" }
+
+// Yield implements YieldModel.
+func (PoissonYield) Yield(area units.Area, d float64) float64 {
+	ad := area.CM2() * d
+	if ad <= 0 {
+		return 1
+	}
+	return math.Exp(-ad)
+}
+
+// SeedsYield is the Seeds model: Y = 1/(1 + AD).
+type SeedsYield struct{}
+
+// Name implements YieldModel.
+func (SeedsYield) Name() string { return "seeds" }
+
+// Yield implements YieldModel.
+func (SeedsYield) Yield(area units.Area, d float64) float64 {
+	ad := area.CM2() * d
+	if ad <= 0 {
+		return 1
+	}
+	return 1 / (1 + ad)
+}
+
+// BoseEinsteinYield is the Bose–Einstein model with n critical layers:
+// Y = 1/(1 + AD)^n.
+type BoseEinsteinYield struct {
+	// CriticalLayers is the number of critical mask layers (n ≥ 1).
+	CriticalLayers int
+}
+
+// Name implements YieldModel.
+func (b BoseEinsteinYield) Name() string {
+	return fmt.Sprintf("bose-einstein(n=%d)", b.CriticalLayers)
+}
+
+// Yield implements YieldModel.
+func (b BoseEinsteinYield) Yield(area units.Area, d float64) float64 {
+	ad := area.CM2() * d
+	n := b.CriticalLayers
+	if n < 1 {
+		n = 1
+	}
+	if ad <= 0 {
+		return 1
+	}
+	return math.Pow(1+ad, -float64(n))
+}
+
+// YieldModels returns the supported models.
+func YieldModels() []YieldModel {
+	return []YieldModel{MurphyYield{}, PoissonYield{}, SeedsYield{}, BoseEinsteinYield{CriticalLayers: 10}}
+}
+
+// Wafer describes a round wafer for die placement.
+type Wafer struct {
+	// Diameter in centimetres (300 mm wafer = 30 cm).
+	Diameter float64
+}
+
+// Wafer300mm is the standard 300 mm production wafer.
+var Wafer300mm = Wafer{Diameter: 30}
+
+// GrossDies returns the gross dies per wafer using the de Vries first-order
+// formula [11]: GDW = π(d/2)²/A − πd/√(2A), which accounts for edge loss.
+func (w Wafer) GrossDies(die units.Area) (float64, error) {
+	a := die.CM2()
+	if a <= 0 {
+		return 0, fmt.Errorf("carbon: die area must be positive, got %v", die)
+	}
+	r := w.Diameter / 2
+	gdw := math.Pi*r*r/a - math.Pi*w.Diameter/math.Sqrt(2*a)
+	if gdw < 0 {
+		gdw = 0
+	}
+	return math.Floor(gdw), nil
+}
+
+// GoodDies returns the expected number of functional dies per wafer under
+// the given yield model.
+func (w Wafer) GoodDies(die units.Area, m YieldModel, defectDensity float64) (float64, error) {
+	gross, err := w.GrossDies(die)
+	if err != nil {
+		return 0, err
+	}
+	return gross * m.Yield(die, defectDensity), nil
+}
+
+// EmbodiedPerGoodDie computes embodied carbon per *functional* die: the whole
+// wafer's footprint divided over its good dies. This is the per-die view of
+// eq. IV.5's A/Y term with placement effects included.
+func (w Wafer) EmbodiedPerGoodDie(p Process, fab Fab, die units.Area, m YieldModel) (units.Carbon, error) {
+	good, err := w.GoodDies(die, m, fab.DefectDensity)
+	if err != nil {
+		return 0, err
+	}
+	if good < 1 {
+		return 0, fmt.Errorf("carbon: die of %v yields no good dies per wafer", die)
+	}
+	r := w.Diameter / 2
+	waferArea := units.Area(math.Pi * r * r)
+	waferCarbon := p.CarbonPerArea(fab).Grams() * waferArea.CM2()
+	return units.Carbon(waferCarbon / good), nil
+}

@@ -1,0 +1,100 @@
+package device
+
+import "fmt"
+
+// Knob identifies one of the design knobs of paper Table VI.
+type Knob int
+
+// The five knobs of Table VI. The first three trade energy against delay;
+// the last two trade energy efficiency against embodied carbon.
+const (
+	KnobVDDDown Knob = iota
+	KnobVTUp
+	KnobWidthDown
+	KnobLifetimeDown
+	KnobNodeAdvance
+)
+
+// String returns the knob's conventional notation.
+func (k Knob) String() string {
+	switch k {
+	case KnobVDDDown:
+		return "V_DD ↓"
+	case KnobVTUp:
+		return "V_T ↑"
+	case KnobWidthDown:
+		return "FET width ↓"
+	case KnobLifetimeDown:
+		return "Lifetime ↓"
+	case KnobNodeAdvance:
+		return "Tech. node ↓"
+	default:
+		return fmt.Sprintf("Knob(%d)", int(k))
+	}
+}
+
+// Apply returns a copy of d with knob k turned by a small step. Only the
+// circuit knobs change the design; lifetime is a system-level parameter and
+// node advancement selects the next entry of Nodes().
+func (k Knob) Apply(d Design) Design {
+	switch k {
+	case KnobVDDDown:
+		d.VDD *= 0.9
+	case KnobVTUp:
+		d.VT *= 1.2
+	case KnobWidthDown:
+		d.WidthScale *= 0.8
+	case KnobNodeAdvance:
+		nodes := Nodes()
+		for i, n := range nodes {
+			if n.Nm == d.Node.Nm && i+1 < len(nodes) {
+				ratioVDD := d.VDD / d.Node.VDDNominal
+				ratioVT := d.VT / d.Node.VTNominal
+				d.Node = nodes[i+1]
+				d.VDD = d.Node.VDDNominal * ratioVDD
+				d.VT = d.Node.VTNominal * ratioVT
+				break
+			}
+		}
+	}
+	return d
+}
+
+// Effect summarizes how turning a knob moves task energy, task delay and die
+// area (the proxy for embodied carbon at a fixed node; for node advancement
+// the embodied movement is dominated by fab intensity and is reported by the
+// carbon package instead).
+type Effect struct {
+	Knob        Knob
+	EnergyRatio float64 // after/before task energy
+	DelayRatio  float64 // after/before task delay
+	AreaRatio   float64 // after/before die area
+}
+
+// Sweep evaluates all circuit-level knobs on design d running a task of the
+// given cycle count, returning the movement each knob causes.
+func Sweep(d Design, cycles float64) []Effect {
+	baseD, baseE := d.Run(cycles)
+	baseA := d.Area()
+	knobs := []Knob{KnobVDDDown, KnobVTUp, KnobWidthDown, KnobNodeAdvance}
+	effects := make([]Effect, 0, len(knobs))
+	for _, k := range knobs {
+		nd := k.Apply(d)
+		dd, ee := nd.Run(cycles)
+		effects = append(effects, Effect{
+			Knob:        k,
+			EnergyRatio: ee.Joules() / baseE.Joules(),
+			DelayRatio:  dd.Seconds() / baseD.Seconds(),
+			AreaRatio:   nd.Area().CM2() / baseA.CM2(),
+		})
+	}
+	return effects
+}
+
+// DVFSPoint scales a design's supply and clock together, the operating-mode
+// move that motivated ED² historically (§III-A): low V_DD + low f_CLK versus
+// high V_DD + high f_CLK.
+func DVFSPoint(d Design, vddScale float64) Design {
+	d.VDD = d.Node.VDDNominal * vddScale
+	return d
+}

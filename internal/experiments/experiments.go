@@ -1,0 +1,327 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment has a stable key (see DESIGN.md §3), a typed
+// result structure that tests and benchmarks assert on, and a text renderer
+// used by cmd/cordoba.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"cordoba/internal/metrics"
+	"cordoba/internal/soc"
+	"cordoba/internal/table"
+)
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	Key   string // e.g. "table2", "fig8"
+	Title string
+	// Render runs the experiment and writes its tables/charts to w.
+	Render func(w io.Writer) error
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Table I: energy-budgeted throughput of six candidate ICs", RenderTableI},
+		{"table2", "Table II: carbon-budgeted throughput of six candidate ICs", RenderTableII},
+		{"fig3", "Fig. 3: tC versus clock frequency; tCDP- vs EDP-optimal ICs", RenderFigure3},
+		{"fig6", "Fig. 6: EDP vs tCDP across wearable/mobile/datacenter design spaces", RenderFigure6},
+		{"fig7", "Fig. 7: tCDP and EDP versus die area across operational time", RenderFigure7},
+		{"fig8", "Fig. 8(a-e): carbon efficiency of 121 accelerators across operational time", RenderFigure8},
+		{"fig8f", "Fig. 8(f): specialized versus general tasks; optimal versus average", RenderFigure8F},
+		{"fig9", "Fig. 9: tCDP normalized to the per-operational-time optimum", RenderFigure9},
+		{"fig10", "Fig. 10: VR SoC carbon efficiency versus CPU core count", RenderFigure10},
+		{"table5", "Table V: VR SoC parameters before/after carbon-efficient optimization", RenderTableV},
+		{"fig11", "Fig. 11: tCDP benefits of 3D stacking on SR 512x512", RenderFigure11},
+		{"fig12", "Fig. 12: E·D versus C_emb·D and the unknown-CI survivor set", RenderFigure12},
+		{"table6", "Table VI: design-knob directions for energy vs carbon efficiency", RenderTableVI},
+		{"dvfs", "DVFS analysis (§III-A): ED² V_DD-independence under square-law vs modern devices", RenderDVFS},
+		{"ablation", "Ablations: sensitivity of the DSE conclusions to model constants", RenderAblations},
+		{"lifetime", "Lifetime study (§VII): tCDP-optimal hardware refresh cadence", RenderLifetime},
+	}
+}
+
+// ByKey returns the experiment with the given key.
+func ByKey(key string) (Experiment, error) {
+	for _, e := range All() {
+		if e.Key == key {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (try: %v)", key, Keys())
+}
+
+// Keys lists all experiment keys in paper order.
+func Keys() []string {
+	var ks []string
+	for _, e := range All() {
+		ks = append(ks, e.Key)
+	}
+	return ks
+}
+
+// ---- Table I ----
+
+// TableIResult carries the rows of Table I.
+type TableIResult struct {
+	Scenario metrics.EnergyScenario
+	Rows     []metrics.EnergyRow
+	// BestEDP/BestThroughput are indices of the winning IC ("D" for both).
+	BestEDP, BestThroughput int
+}
+
+// TableI reproduces the paper's Table I.
+func TableI() TableIResult {
+	s := metrics.EnergyScenario{CyclesPerTask: metrics.CyclesPerTask, EnergyBudget: 9.5}
+	rows := s.Evaluate(metrics.PaperICs())
+	res := TableIResult{Scenario: s, Rows: rows}
+	for i, r := range rows {
+		if r.EDP < rows[res.BestEDP].EDP {
+			res.BestEDP = i
+		}
+		if r.Throughput > rows[res.BestThroughput].Throughput {
+			res.BestThroughput = i
+		}
+	}
+	return res
+}
+
+// RenderTableI writes Table I.
+func RenderTableI(w io.Writer) error {
+	res := TableI()
+	t := table.New("Table I — fixed 9.5 J energy budget (100e6 cycles per inference)",
+		"row", "A", "B", "C", "D", "E", "F")
+	add := func(label string, f func(metrics.EnergyRow) float64) {
+		cells := []string{label}
+		for _, r := range res.Rows {
+			cells = append(cells, table.F(f(r)))
+		}
+		t.AddRow(cells...)
+	}
+	add("clock (GHz)", func(r metrics.EnergyRow) float64 { return r.IC.Clock.InGHz() })
+	add("energy/cycle (nJ)", func(r metrics.EnergyRow) float64 { return r.IC.EnergyPerCycle.Joules() * 1e9 })
+	add("inf throughput (inf/s)", func(r metrics.EnergyRow) float64 { return r.ThroughputOne })
+	add("# ICs for 1000 inf/s", func(r metrics.EnergyRow) float64 { return r.ICsFor1000 })
+	add("power per IC (W)", func(r metrics.EnergyRow) float64 { return r.Power.Watts() })
+	add("overall power (W)", func(r metrics.EnergyRow) float64 { return r.TotalPower.Watts() })
+	add("energy per inf (J)", func(r metrics.EnergyRow) float64 { return r.EnergyPerTask.Joules() })
+	add("# ICs in E budget", func(r metrics.EnergyRow) float64 { return r.ICsForBudget })
+	add("throughput in budget (inf/s)", func(r metrics.EnergyRow) float64 { return r.Throughput })
+	add("EDP (J/Hz)", func(r metrics.EnergyRow) float64 { return r.EDP })
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "EDP-optimal: IC %q; best budgeted throughput: IC %q\n",
+		res.Rows[res.BestEDP].IC.Name, res.Rows[res.BestThroughput].IC.Name)
+	return err
+}
+
+// ---- Table II ----
+
+// TableIIResult carries the rows of Table II.
+type TableIIResult struct {
+	Scenario metrics.CarbonScenario
+	Rows     []metrics.CarbonRow
+	// BestTCDP/BestThroughput are indices of the winner ("E" for both);
+	// MinTC is the total-carbon minimizer ("A").
+	BestTCDP, BestThroughput, MinTC int
+}
+
+// TableII reproduces the paper's Table II.
+func TableII() TableIIResult {
+	s := metrics.PaperCarbonScenario()
+	rows := s.Evaluate(metrics.PaperICs())
+	res := TableIIResult{Scenario: s, Rows: rows}
+	for i, r := range rows {
+		if r.TCDP < rows[res.BestTCDP].TCDP {
+			res.BestTCDP = i
+		}
+		if r.Throughput > rows[res.BestThroughput].Throughput {
+			res.BestThroughput = i
+		}
+		if r.TotalCarbon < rows[res.MinTC].TotalCarbon {
+			res.MinTC = i
+		}
+	}
+	return res
+}
+
+// RenderTableII writes Table II.
+func RenderTableII(w io.Writer) error {
+	res := TableII()
+	t := table.New(fmt.Sprintf(
+		"Table II — fixed carbon budget %s per %s service interval (CI_use = %s)",
+		res.Scenario.CarbonBudget(), res.Scenario.ServiceInterval, res.Scenario.CIUse),
+		"row", "A", "B", "C", "D", "E", "F")
+	add := func(label string, f func(metrics.CarbonRow) float64) {
+		cells := []string{label}
+		for _, r := range res.Rows {
+			cells = append(cells, table.F(f(r)))
+		}
+		t.AddRow(cells...)
+	}
+	add("time per inf (s)", func(r metrics.CarbonRow) float64 { return r.TimePerTask.Seconds() })
+	add("E per inf (J)", func(r metrics.CarbonRow) float64 { return r.EnergyPerTask.Joules() })
+	add("CCI_op (1e-5 g/inf)", func(r metrics.CarbonRow) float64 { return r.CCIOperational.Grams() * 1e5 })
+	add("CCI_emb (1e-5 g/inf)", func(r metrics.CarbonRow) float64 { return r.CCIEmbodied.Grams() * 1e5 })
+	add("CCI (1e-5 g/inf)", func(r metrics.CarbonRow) float64 { return r.CCI.Grams() * 1e5 })
+	add("# ICs in C budget", func(r metrics.CarbonRow) float64 { return r.ICsForBudget })
+	add("throughput (inf/s)", func(r metrics.CarbonRow) float64 { return r.Throughput })
+	add("tC (gCO2e)", func(r metrics.CarbonRow) float64 { return r.TotalCarbon.Grams() })
+	add("tCDP (gCO2e·s)", func(r metrics.CarbonRow) float64 { return r.TCDP })
+	add("throughput × tCDP", func(r metrics.CarbonRow) float64 { return r.ThroughputTCDPProduct() })
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"tCDP-optimal: IC %q (also the best throughput: %q); min-tC would pick the slow IC %q\n",
+		res.Rows[res.BestTCDP].IC.Name, res.Rows[res.BestThroughput].IC.Name, res.Rows[res.MinTC].IC.Name)
+	return err
+}
+
+// ---- Figure 3 ----
+
+// RenderFigure3 writes the Fig. 3 comparison: total carbon versus clock
+// frequency, and tCDP versus EDP optima.
+func RenderFigure3(w io.Writer) error {
+	res := TableII()
+	var freq, tc, tcdp, edp []float64
+	for _, r := range res.Rows {
+		freq = append(freq, r.IC.Clock.InGHz())
+		tc = append(tc, r.TotalCarbon.Grams())
+		tcdp = append(tcdp, r.TCDP)
+		edp = append(edp, r.IC.EDP(metrics.CyclesPerTask))
+	}
+	c1 := &table.Chart{
+		Title: "Fig. 3(a) — tC versus clock frequency", XLabel: "clock (GHz)", YLabel: "tC (gCO2e)",
+		LogX: true, LogY: true,
+		Series: []table.Series{{Name: "ICs A-F", X: freq, Y: tc}},
+	}
+	if err := c1.Render(w); err != nil {
+		return err
+	}
+	c2 := &table.Chart{
+		Title:  "Fig. 3(b) — tCDP versus EDP (optima differ: EDP→D, tCDP→E)",
+		XLabel: "EDP (J·s)", YLabel: "tCDP (gCO2e·s)", LogX: true, LogY: true,
+		Series: []table.Series{{Name: "ICs A-F", X: edp, Y: tcdp}},
+	}
+	return c2.Render(w)
+}
+
+// ---- Fig. 10 and Table V ----
+
+// Figure10Result carries the core-count sweeps of every VR task.
+type Figure10Result struct {
+	Tasks   []soc.VRTask
+	Sweeps  map[string][]soc.CoreResult
+	Optimal map[string]int
+}
+
+// Figure10 runs the §VI-D provisioning sweep.
+func Figure10() (Figure10Result, error) {
+	platform := soc.Quest2()
+	res := Figure10Result{
+		Tasks:   soc.PaperVRTasks(),
+		Sweeps:  map[string][]soc.CoreResult{},
+		Optimal: map[string]int{},
+	}
+	for _, t := range res.Tasks {
+		sweep, err := platform.Sweep(t)
+		if err != nil {
+			return Figure10Result{}, err
+		}
+		res.Sweeps[t.Name] = sweep
+		opt, err := platform.OptimalCores(t)
+		if err != nil {
+			return Figure10Result{}, err
+		}
+		res.Optimal[t.Name] = opt
+	}
+	return res, nil
+}
+
+// RenderFigure10 writes the Fig. 10 sweep.
+func RenderFigure10(w io.Writer) error {
+	res, err := Figure10()
+	if err != nil {
+		return err
+	}
+	t := table.New("Fig. 10 — tCDP gain vs 8-core baseline (★ marks the optimal core count)",
+		"task", "TLP", "4 cores", "5 cores", "6 cores", "7 cores", "8 cores")
+	for _, task := range res.Tasks {
+		cells := []string{task.Name, table.F(task.Profile.TLP())}
+		for _, r := range res.Sweeps[task.Name] {
+			mark := ""
+			if r.Cores == res.Optimal[task.Name] {
+				mark = " ★"
+			}
+			cells = append(cells, fmt.Sprintf("%s×%s", table.F(r.TCDPGain), mark))
+		}
+		t.AddRow(cells...)
+	}
+	return t.Render(w)
+}
+
+// TableVResult is the before/after comparison of Table V.
+type TableVResult struct {
+	Before, After     metrics.Report
+	AreaBefore        float64 // cm²
+	AreaAfter         float64 // cm²
+	FPSAfter          float64 // normalized to 8-core
+	TCDPGain, TCGain  float64
+	EDPRatio          float64 // before/after (< 1: EDP slightly degraded)
+	EmbodiedReduction float64
+}
+
+// TableV reproduces the §VI-D M-1 optimization (8 → 4 cores).
+func TableV() (TableVResult, error) {
+	platform := soc.Quest2()
+	m1, err := soc.PaperVRTask(soc.TaskM1)
+	if err != nil {
+		return TableVResult{}, err
+	}
+	before, err := platform.Evaluate(m1, 8)
+	if err != nil {
+		return TableVResult{}, err
+	}
+	after, err := platform.Evaluate(m1, 4)
+	if err != nil {
+		return TableVResult{}, err
+	}
+	p8, _ := soc.ProvisionFor(8)
+	p4, _ := soc.ProvisionFor(4)
+	return TableVResult{
+		Before:            before,
+		After:             after,
+		AreaBefore:        platform.Area(p8).CM2(),
+		AreaAfter:         platform.Area(p4).CM2(),
+		FPSAfter:          m1.Profile.RelativeFPS(4),
+		TCDPGain:          before.TCDP() / after.TCDP(),
+		TCGain:            before.TotalCarbon().Grams() / after.TotalCarbon().Grams(),
+		EDPRatio:          before.EDP() / after.EDP(),
+		EmbodiedReduction: before.EmbodiedCarbon.Grams() / after.EmbodiedCarbon.Grams(),
+	}, nil
+}
+
+// RenderTableV writes Table V.
+func RenderTableV(w io.Writer) error {
+	res, err := TableV()
+	if err != nil {
+		return err
+	}
+	t := table.New("Table V — M-1 on Quest 2-class SoC, before/after provisioning optimization",
+		"parameter", "before (8 cores)", "after (4 cores)", "improvement")
+	t.AddRow("A (cm²)", table.F(res.AreaBefore), table.F(res.AreaAfter),
+		table.F(res.AreaBefore/res.AreaAfter)+"×")
+	t.AddRow("CPU cores", "4 gold + 4 silver", "2 gold + 2 silver", "reduced 4 cores")
+	t.AddRow("C_embodied (gCO2e)", table.F(res.Before.EmbodiedCarbon.Grams()),
+		table.F(res.After.EmbodiedCarbon.Grams()), table.F(res.EmbodiedReduction)+"×")
+	t.AddRow("C_total (gCO2e)", table.F(res.Before.TotalCarbon().Grams()),
+		table.F(res.After.TotalCarbon().Grams()), table.F(res.TCGain)+"×")
+	t.AddRow("D (normalized FPS)", "1.0", table.F(res.FPSAfter), table.F(res.FPSAfter)+"×")
+	t.AddRow("EDP (normalized)", "1", table.F(1/res.EDPRatio), table.F(res.EDPRatio)+"×")
+	t.AddRow("tCDP (normalized)", "1", table.F(1/res.TCDPGain), table.F(res.TCDPGain)+"×")
+	return t.Render(w)
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"cordoba/internal/workload"
+)
+
+// Result returns the experiment's typed result structure (the same data the
+// Render functions format), for programmatic consumption.
+func Result(key string) (any, error) {
+	switch key {
+	case "table1":
+		return TableI(), nil
+	case "table2", "fig3":
+		return TableII(), nil
+	case "fig6":
+		return Figure6()
+	case "fig7":
+		return Figure7()
+	case "fig8":
+		return Figure8()
+	case "fig8f":
+		return Figure8F()
+	case "fig9":
+		return Figure9()
+	case "fig10":
+		return Figure10()
+	case "table5":
+		return TableV()
+	case "fig11":
+		return Figure11()
+	case "fig12":
+		return Figure12()
+	case "table6":
+		return TableVI()
+	case "dvfs":
+		return DVFS(), nil
+	case "ablation":
+		return Ablations()
+	case "lifetime":
+		return Lifetime()
+	default:
+		return nil, fmt.Errorf("experiments: no typed result for %q", key)
+	}
+}
+
+// ExportJSON writes the experiment's typed result as indented JSON.
+func ExportJSON(key string, w io.Writer) error {
+	res, err := Result(key)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// ExportCSV writes the experiment's plottable series as CSV. It is
+// implemented for the figure experiments whose data is naturally tabular;
+// other keys return an error suggesting JSON.
+func ExportCSV(key string, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+	switch key {
+	case "fig6":
+		domains, err := Figure6()
+		if err != nil {
+			return err
+		}
+		if err := cw.Write([]string{"domain", "edp_js", "tcdp_gs"}); err != nil {
+			return err
+		}
+		for _, d := range domains {
+			for i := range d.EDP {
+				if err := cw.Write([]string{d.Name, f(d.EDP[i]), f(d.TCDP[i])}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+
+	case "fig7":
+		res, err := Figure7()
+		if err != nil {
+			return err
+		}
+		header := []string{"config_index", "area_cm2", "edp_js"}
+		for _, n := range res.OperationalTimes {
+			header = append(header, fmt.Sprintf("tcdp_at_%.0e", n))
+		}
+		if err := cw.Write(header); err != nil {
+			return err
+		}
+		for i := range res.Areas {
+			row := []string{strconv.Itoa(i), f(res.Areas[i]), f(res.EDP[i])}
+			for j := range res.OperationalTimes {
+				row = append(row, f(res.TCDP[j][i]))
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case "fig8":
+		spaces, err := taskSpaces()
+		if err != nil {
+			return err
+		}
+		if err := cw.Write([]string{"task", "config", "inferences", "tcdp_gs"}); err != nil {
+			return err
+		}
+		sweep := Fig8Sweep()
+		for _, task := range workload.PaperTasks() {
+			s := spaces[task.Name]
+			for _, idx := range s.EverOptimal() {
+				p := s.Points[idx]
+				for _, n := range sweep {
+					row := []string{task.Name, p.Config.ID, f(n), f(p.TCDP(s.CIUse, n))}
+					if err := cw.Write(row); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+
+	case "fig9":
+		results, err := Figure9()
+		if err != nil {
+			return err
+		}
+		if err := cw.Write([]string{"task", "config", "inferences", "normalized"}); err != nil {
+			return err
+		}
+		for _, r := range results {
+			for _, c := range r.Curves {
+				for i := range c.Inferences {
+					row := []string{r.Task, c.Config, f(c.Inferences[i]), f(c.Normalized[i])}
+					if err := cw.Write(row); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+
+	case "fig11":
+		res, err := Figure11()
+		if err != nil {
+			return err
+		}
+		if err := cw.Write([]string{"case", "config", "tcdp_gs", "gain_vs_baseline"}); err != nil {
+			return err
+		}
+		for _, c := range res.Cases {
+			for i, id := range res.Configs {
+				row := []string{c.Name, id, f(c.TCDP[i]), f(c.Gain[i])}
+				if err := cw.Write(row); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+
+	case "fig12":
+		res, err := Figure12()
+		if err != nil {
+			return err
+		}
+		if err := cw.Write([]string{"config", "ed_js", "cembd_gs", "survivor"}); err != nil {
+			return err
+		}
+		surv := map[string]bool{}
+		for _, n := range res.Survivors {
+			surv[n] = true
+		}
+		for i, name := range res.Configs {
+			row := []string{name, f(res.EDP[i]), f(res.EmbD[i]), strconv.FormatBool(surv[name])}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("experiments: no CSV form for %q (use JSON)", key)
+	}
+}

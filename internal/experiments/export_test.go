@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestResultCoversAllKeys(t *testing.T) {
+	for _, e := range All() {
+		res, err := Result(e.Key)
+		if err != nil {
+			t.Errorf("%s: %v", e.Key, err)
+			continue
+		}
+		if res == nil {
+			t.Errorf("%s: nil result", e.Key)
+		}
+	}
+	if _, err := Result("nope"); err == nil {
+		t.Error("unknown key should error")
+	}
+}
+
+func TestExportJSONRoundTrips(t *testing.T) {
+	for _, key := range []string{"table2", "fig8", "table5", "lifetime"} {
+		var b strings.Builder
+		if err := ExportJSON(key, &b); err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		var decoded any
+		if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+			t.Errorf("%s: invalid JSON: %v", key, err)
+		}
+		if b.Len() < 50 {
+			t.Errorf("%s: suspiciously small JSON", key)
+		}
+	}
+	if err := ExportJSON("nope", &strings.Builder{}); err == nil {
+		t.Error("unknown key should error")
+	}
+}
+
+func TestExportCSVWellFormed(t *testing.T) {
+	for _, key := range []string{"fig6", "fig7", "fig8", "fig9", "fig11", "fig12"} {
+		var b strings.Builder
+		if err := ExportCSV(key, &b); err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		records, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+		if err != nil {
+			t.Fatalf("%s: invalid CSV: %v", key, err)
+		}
+		if len(records) < 3 {
+			t.Errorf("%s: only %d records", key, len(records))
+		}
+		width := len(records[0])
+		for i, r := range records {
+			if len(r) != width {
+				t.Errorf("%s: row %d has %d fields, header has %d", key, i, len(r), width)
+			}
+		}
+	}
+}
+
+func TestExportCSVUnsupported(t *testing.T) {
+	if err := ExportCSV("table1", &strings.Builder{}); err == nil {
+		t.Error("table1 has no CSV form and should error")
+	}
+	if err := ExportCSV("nope", &strings.Builder{}); err == nil {
+		t.Error("unknown key should error")
+	}
+}
+
+func TestExportCSVFig12MarksSurvivors(t *testing.T) {
+	var b strings.Builder
+	if err := ExportCSV("fig12", &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Baseline_1K_1M") || !strings.Contains(out, "false") || !strings.Contains(out, "true") {
+		t.Errorf("fig12 CSV missing survivor flags:\n%s", out)
+	}
+}

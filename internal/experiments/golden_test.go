@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden experiment outputs")
+
+// TestGoldenOutputs pins the full rendered output of every experiment.
+// Regenerate after an intentional model change with:
+//
+//	go test ./internal/experiments -run TestGolden -update
+//
+// and review the diff alongside EXPERIMENTS.md.
+func TestGoldenOutputs(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.Key, func(t *testing.T) {
+			var b strings.Builder
+			if err := e.Render(&b); err != nil {
+				t.Fatalf("render: %v", err)
+			}
+			got := b.String()
+			path := filepath.Join("testdata", "golden", e.Key+".txt")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("output differs from %s;\nfirst divergence near byte %d\nrun with -update after reviewing",
+					path, firstDiff(got, string(want)))
+			}
+		})
+	}
+}
+
+func firstDiff(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

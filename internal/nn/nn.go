@@ -1,0 +1,321 @@
+// Package nn is the neural-network substrate of the accelerator studies:
+// a layer-level intermediate representation with shape inference and
+// MAC/parameter/activation accounting, plus builders for the fifteen AI and
+// XR kernels the paper evaluates (§V, Table IV).
+//
+// The paper feeds PyTorch models into its accelerator simulator; here the
+// same information — per-layer multiply-accumulate counts, weight sizes and
+// activation working sets — is derived analytically from the published layer
+// configurations. Tensors are assumed quantized to one byte per element
+// (INT8), the usual deployment precision of the CICC'22 accelerator [48]
+// that Fig. 5's simulator models.
+package nn
+
+import (
+	"fmt"
+
+	"cordoba/internal/units"
+)
+
+// BytesPerElement is the tensor element size (INT8 deployment precision).
+const BytesPerElement = 1
+
+// OpKind identifies a layer's operation.
+type OpKind int
+
+// Supported layer operations.
+const (
+	OpConv OpKind = iota
+	OpDepthwiseConv
+	OpFC
+	OpPool
+	OpGlobalPool
+	OpUpsample
+	OpEltwise
+)
+
+// String returns the operation name.
+func (k OpKind) String() string {
+	switch k {
+	case OpConv:
+		return "conv"
+	case OpDepthwiseConv:
+		return "dwconv"
+	case OpFC:
+		return "fc"
+	case OpPool:
+		return "pool"
+	case OpGlobalPool:
+		return "gap"
+	case OpUpsample:
+		return "upsample"
+	case OpEltwise:
+		return "eltwise"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Layer is one operation with resolved input/output shapes. All spatial
+// shapes are (channels, height, width).
+type Layer struct {
+	Name string
+	Kind OpKind
+
+	InC, InH, InW    int
+	OutC, OutH, OutW int
+
+	Kernel, Stride, Pad int
+
+	// Inputs is the number of activation operands (2 for eltwise add).
+	Inputs int
+}
+
+// MACs returns the multiply-accumulate count of the layer.
+func (l Layer) MACs() float64 {
+	out := float64(l.OutH * l.OutW)
+	switch l.Kind {
+	case OpConv:
+		return float64(l.Kernel*l.Kernel) * float64(l.InC) * float64(l.OutC) * out
+	case OpDepthwiseConv:
+		return float64(l.Kernel*l.Kernel) * float64(l.OutC) * out
+	case OpFC:
+		return float64(l.InC) * float64(l.OutC)
+	default:
+		return 0
+	}
+}
+
+// Params returns the number of weight parameters of the layer.
+func (l Layer) Params() float64 {
+	switch l.Kind {
+	case OpConv:
+		return float64(l.Kernel*l.Kernel)*float64(l.InC)*float64(l.OutC) + float64(l.OutC)
+	case OpDepthwiseConv:
+		return float64(l.Kernel*l.Kernel)*float64(l.OutC) + float64(l.OutC)
+	case OpFC:
+		return float64(l.InC)*float64(l.OutC) + float64(l.OutC)
+	default:
+		return 0
+	}
+}
+
+// InputBytes returns the total activation bytes read by the layer.
+func (l Layer) InputBytes() units.Bytes {
+	n := l.Inputs
+	if n == 0 {
+		n = 1
+	}
+	return units.Bytes(n * l.InC * l.InH * l.InW * BytesPerElement)
+}
+
+// OutputBytes returns the activation bytes produced by the layer.
+func (l Layer) OutputBytes() units.Bytes {
+	return units.Bytes(l.OutC * l.OutH * l.OutW * BytesPerElement)
+}
+
+// WorkingSet returns the activation working set of the layer: inputs plus
+// output live at once.
+func (l Layer) WorkingSet() units.Bytes {
+	return l.InputBytes() + l.OutputBytes()
+}
+
+// WeightBytes returns the weight footprint of the layer.
+func (l Layer) WeightBytes() units.Bytes {
+	return units.Bytes(l.Params() * BytesPerElement)
+}
+
+// Network is an ordered list of layers with a fixed input shape.
+type Network struct {
+	Name                   string
+	InputC, InputH, InputW int
+	Layers                 []Layer
+}
+
+// Stats aggregates a network's compute and memory demands.
+type Stats struct {
+	MACs              float64     // total multiply-accumulates per inference
+	Params            float64     // total weights
+	WeightBytes       units.Bytes // weight footprint
+	PeakActivation    units.Bytes // largest per-layer working set
+	ActivationTraffic units.Bytes // sum of per-layer inputs+outputs
+	Layers            int
+}
+
+// Stats computes the aggregate statistics of the network.
+func (n *Network) Stats() Stats {
+	var s Stats
+	s.Layers = len(n.Layers)
+	for _, l := range n.Layers {
+		s.MACs += l.MACs()
+		s.Params += l.Params()
+		s.WeightBytes += l.WeightBytes()
+		if ws := l.WorkingSet(); ws > s.PeakActivation {
+			s.PeakActivation = ws
+		}
+		s.ActivationTraffic += l.WorkingSet()
+	}
+	return s
+}
+
+// Validate checks that layer shapes chain correctly.
+func (n *Network) Validate() error {
+	if len(n.Layers) == 0 {
+		return fmt.Errorf("nn: network %q has no layers", n.Name)
+	}
+	for i, l := range n.Layers {
+		if l.InC <= 0 || l.InH <= 0 || l.InW <= 0 || l.OutC <= 0 || l.OutH <= 0 || l.OutW <= 0 {
+			return fmt.Errorf("nn: %s layer %d (%s) has non-positive shape %+v", n.Name, i, l.Name, l)
+		}
+	}
+	return nil
+}
+
+// convOut computes the output spatial size of a convolution or pool. It
+// returns 0 when the kernel does not fit in the padded input (Go's truncated
+// division would otherwise round the negative numerator up to a spurious 1).
+func convOut(in, kernel, stride, pad int) int {
+	span := in + 2*pad - kernel
+	if span < 0 {
+		return 0
+	}
+	return span/stride + 1
+}
+
+// Builder incrementally constructs a Network, tracking the current tensor
+// shape. Builders panic on malformed topologies: builders run at package
+// init/test time with fixed inputs, so a malformed model is a programming
+// error, not an input error.
+type Builder struct {
+	net     Network
+	c, h, w int
+}
+
+// NewBuilder starts a network with the given input shape.
+func NewBuilder(name string, c, h, w int) *Builder {
+	if c <= 0 || h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("nn: invalid input shape %dx%dx%d for %s", c, h, w, name))
+	}
+	return &Builder{net: Network{Name: name, InputC: c, InputH: h, InputW: w}, c: c, h: h, w: w}
+}
+
+// Shape returns the current (channels, height, width).
+func (b *Builder) Shape() (c, h, w int) { return b.c, b.h, b.w }
+
+func (b *Builder) push(l Layer) {
+	b.net.Layers = append(b.net.Layers, l)
+	b.c, b.h, b.w = l.OutC, l.OutH, l.OutW
+}
+
+// Conv appends a square convolution.
+func (b *Builder) Conv(name string, outC, kernel, stride, pad int) *Builder {
+	oh := convOut(b.h, kernel, stride, pad)
+	ow := convOut(b.w, kernel, stride, pad)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: conv %s collapses %dx%d to %dx%d", name, b.h, b.w, oh, ow))
+	}
+	b.push(Layer{Name: name, Kind: OpConv, InC: b.c, InH: b.h, InW: b.w,
+		OutC: outC, OutH: oh, OutW: ow, Kernel: kernel, Stride: stride, Pad: pad})
+	return b
+}
+
+// DWConv appends a depthwise convolution (channel count preserved).
+func (b *Builder) DWConv(name string, kernel, stride, pad int) *Builder {
+	oh := convOut(b.h, kernel, stride, pad)
+	ow := convOut(b.w, kernel, stride, pad)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: dwconv %s collapses %dx%d", name, b.h, b.w))
+	}
+	b.push(Layer{Name: name, Kind: OpDepthwiseConv, InC: b.c, InH: b.h, InW: b.w,
+		OutC: b.c, OutH: oh, OutW: ow, Kernel: kernel, Stride: stride, Pad: pad})
+	return b
+}
+
+// Pool appends a max/avg pooling layer.
+func (b *Builder) Pool(name string, kernel, stride, pad int) *Builder {
+	oh := convOut(b.h, kernel, stride, pad)
+	ow := convOut(b.w, kernel, stride, pad)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: pool %s collapses %dx%d", name, b.h, b.w))
+	}
+	b.push(Layer{Name: name, Kind: OpPool, InC: b.c, InH: b.h, InW: b.w,
+		OutC: b.c, OutH: oh, OutW: ow, Kernel: kernel, Stride: stride, Pad: pad})
+	return b
+}
+
+// GlobalPool appends global average pooling to 1×1.
+func (b *Builder) GlobalPool(name string) *Builder {
+	b.push(Layer{Name: name, Kind: OpGlobalPool, InC: b.c, InH: b.h, InW: b.w,
+		OutC: b.c, OutH: 1, OutW: 1, Kernel: b.h, Stride: 1})
+	return b
+}
+
+// FC appends a fully connected layer over the flattened input.
+func (b *Builder) FC(name string, out int) *Builder {
+	in := b.c * b.h * b.w
+	b.push(Layer{Name: name, Kind: OpFC, InC: in, InH: 1, InW: 1,
+		OutC: out, OutH: 1, OutW: 1, Kernel: 1, Stride: 1})
+	return b
+}
+
+// Upsample appends a nearest-neighbour spatial upsample by the given factor.
+func (b *Builder) Upsample(name string, factor int) *Builder {
+	b.push(Layer{Name: name, Kind: OpUpsample, InC: b.c, InH: b.h, InW: b.w,
+		OutC: b.c, OutH: b.h * factor, OutW: b.w * factor, Kernel: factor, Stride: 1})
+	return b
+}
+
+// Residual runs body from the current shape and adds the result back to the
+// skip connection (an eltwise add). When the body changes the shape, a 1×1
+// projection convolution on the skip path is inserted automatically, as in
+// ResNet downsampling blocks.
+func (b *Builder) Residual(name string, body func(*Builder)) *Builder {
+	skipC, skipH, skipW := b.c, b.h, b.w
+	body(b)
+	if b.c != skipC || b.h != skipH || b.w != skipW {
+		stride := skipH / b.h
+		if stride < 1 {
+			panic(fmt.Sprintf("nn: residual %s body upsampled the skip path", name))
+		}
+		proj := Layer{Name: name + ".proj", Kind: OpConv,
+			InC: skipC, InH: skipH, InW: skipW,
+			OutC: b.c, OutH: b.h, OutW: b.w, Kernel: 1, Stride: stride}
+		// Insert the projection without disturbing the main shape.
+		b.net.Layers = append(b.net.Layers, proj)
+	}
+	b.push(Layer{Name: name + ".add", Kind: OpEltwise, InC: b.c, InH: b.h, InW: b.w,
+		OutC: b.c, OutH: b.h, OutW: b.w, Kernel: 1, Stride: 1, Inputs: 2})
+	return b
+}
+
+// Branch runs each body from the current shape and concatenates the results
+// along the channel dimension. All bodies must preserve the spatial size or
+// reduce it identically.
+func (b *Builder) Branch(name string, bodies ...func(*Builder)) *Builder {
+	if len(bodies) == 0 {
+		panic("nn: Branch needs at least one body")
+	}
+	startC, startH, startW := b.c, b.h, b.w
+	totalC, outH, outW := 0, -1, -1
+	for i, body := range bodies {
+		b.c, b.h, b.w = startC, startH, startW
+		body(b)
+		if outH == -1 {
+			outH, outW = b.h, b.w
+		} else if b.h != outH || b.w != outW {
+			panic(fmt.Sprintf("nn: branch %s body %d produced %dx%d, want %dx%d", name, i, b.h, b.w, outH, outW))
+		}
+		totalC += b.c
+	}
+	b.c, b.h, b.w = totalC, outH, outW
+	return b
+}
+
+// Build validates and returns the network.
+func (b *Builder) Build() *Network {
+	n := b.net
+	if err := n.Validate(); err != nil {
+		panic(err)
+	}
+	return &n
+}

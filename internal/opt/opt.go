@@ -1,0 +1,162 @@
+// Package opt implements CORDOBA's constrained design optimization,
+// eq. IV.1:
+//
+//	minimize   (C_operational(x) + C_embodied(x)) · D(x)
+//	subject to Area_i(x) ≤ a_i,  QoS_j(x) ≥ q_j,  Power_l(x) ≤ p_l
+//
+// The objective is pluggable (§III-C: the target metric must be derived from
+// the application scenario — sometimes tCDP, sometimes energy under a
+// latency constraint, sometimes raw energy). Design spaces are finite
+// candidate sets, matching the paper's grid-enumeration DSE.
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"cordoba/internal/metrics"
+	"cordoba/internal/units"
+)
+
+// Candidate is one design point with everything the constraints and
+// objectives can interrogate.
+type Candidate struct {
+	Name   string
+	Report metrics.Report
+	Area   units.Area
+	Power  units.Power
+	// QoS is the scenario's quality-of-service figure (higher is better),
+	// e.g. frames or inferences per second.
+	QoS float64
+}
+
+// Constraint is one row of eq. IV.1's subject-to block.
+type Constraint interface {
+	// Check returns nil when the candidate satisfies the constraint, and a
+	// descriptive error otherwise.
+	Check(c Candidate) error
+	// String names the constraint for reporting.
+	String() string
+}
+
+// AreaLimit enforces Area(x) ≤ Max.
+type AreaLimit struct{ Max units.Area }
+
+// Check implements Constraint.
+func (a AreaLimit) Check(c Candidate) error {
+	if c.Area > a.Max {
+		return fmt.Errorf("area %v exceeds limit %v", c.Area, a.Max)
+	}
+	return nil
+}
+
+// String implements Constraint.
+func (a AreaLimit) String() string { return fmt.Sprintf("area ≤ %v", a.Max) }
+
+// PowerLimit enforces Power(x) ≤ Max.
+type PowerLimit struct{ Max units.Power }
+
+// Check implements Constraint.
+func (p PowerLimit) Check(c Candidate) error {
+	if c.Power > p.Max {
+		return fmt.Errorf("power %v exceeds limit %v", c.Power, p.Max)
+	}
+	return nil
+}
+
+// String implements Constraint.
+func (p PowerLimit) String() string { return fmt.Sprintf("power ≤ %v", p.Max) }
+
+// QoSFloor enforces QoS(x) ≥ Min.
+type QoSFloor struct{ Min float64 }
+
+// Check implements Constraint.
+func (q QoSFloor) Check(c Candidate) error {
+	if c.QoS < q.Min {
+		return fmt.Errorf("QoS %.4g below floor %.4g", c.QoS, q.Min)
+	}
+	return nil
+}
+
+// String implements Constraint.
+func (q QoSFloor) String() string { return fmt.Sprintf("QoS ≥ %.4g", q.Min) }
+
+// DelayCap enforces D(x) ≤ Max — the "maximum latency constraint" scenario
+// of §III-C(a).
+type DelayCap struct{ Max units.Time }
+
+// Check implements Constraint.
+func (d DelayCap) Check(c Candidate) error {
+	if c.Report.Delay > d.Max {
+		return fmt.Errorf("delay %v exceeds cap %v", c.Report.Delay, d.Max)
+	}
+	return nil
+}
+
+// String implements Constraint.
+func (d DelayCap) String() string { return fmt.Sprintf("delay ≤ %v", d.Max) }
+
+// Problem is one instance of eq. IV.1.
+type Problem struct {
+	Objective   metrics.Objective
+	Constraints []Constraint
+}
+
+// Solution reports the outcome of Solve.
+type Solution struct {
+	Best     int   // index of the optimal feasible candidate
+	Feasible []int // all feasible candidate indices
+	// Infeasible maps candidate index → the first violated constraint's
+	// explanation, for every rejected candidate.
+	Infeasible map[int]string
+	// Score is the objective value of the best candidate.
+	Score float64
+}
+
+// Solve evaluates all candidates, filters by the constraints, and minimizes
+// the objective over the feasible set. It returns an error when the feasible
+// set is empty.
+func (p Problem) Solve(candidates []Candidate) (Solution, error) {
+	if len(candidates) == 0 {
+		return Solution{}, fmt.Errorf("opt: empty candidate set")
+	}
+	sol := Solution{Best: -1, Infeasible: map[int]string{}, Score: math.Inf(1)}
+	for i, c := range candidates {
+		violated := ""
+		for _, con := range p.Constraints {
+			if err := con.Check(c); err != nil {
+				violated = fmt.Sprintf("%s: %v", con, err)
+				break
+			}
+		}
+		if violated != "" {
+			sol.Infeasible[i] = violated
+			continue
+		}
+		sol.Feasible = append(sol.Feasible, i)
+		if s := p.Objective.Score(c.Report); s < sol.Score {
+			sol.Best, sol.Score = i, s
+		}
+	}
+	if sol.Best < 0 {
+		return sol, fmt.Errorf("opt: no candidate satisfies all %d constraints", len(p.Constraints))
+	}
+	return sol, nil
+}
+
+// MinimizeTCDP is the default CORDOBA problem: eq. IV.1 verbatim.
+func MinimizeTCDP(constraints ...Constraint) Problem {
+	return Problem{Objective: metrics.MinTCDP, Constraints: constraints}
+}
+
+// MinimizeEnergyUnderLatency is §III-C scenario (a): minimize energy given a
+// performance constraint, knowingly degrading EDP/tCDP.
+func MinimizeEnergyUnderLatency(maxDelay units.Time) Problem {
+	return Problem{Objective: metrics.MinEnergy, Constraints: []Constraint{DelayCap{Max: maxDelay}}}
+}
+
+// MinimizeEnergy is §III-C scenario (b): the performance-agnostic wearable —
+// minimize energy regardless of execution time.
+func MinimizeEnergy() Problem {
+	return Problem{Objective: metrics.MinEnergy}
+}

@@ -1,0 +1,156 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"cordoba/internal/metrics"
+	"cordoba/internal/units"
+)
+
+// candidatesFromICs builds opt candidates from the paper's six Table I/II
+// ICs with a 250 MHz-class QoS figure (task throughput).
+func candidatesFromICs() []Candidate {
+	s := metrics.PaperCarbonScenario()
+	rows := s.Evaluate(metrics.PaperICs())
+	out := make([]Candidate, len(rows))
+	for i, r := range rows {
+		out[i] = Candidate{
+			Name:   r.IC.Name,
+			Report: r.Report(s),
+			Area:   units.MM2(10),
+			Power:  r.IC.Power(),
+			QoS:    1 / r.TimePerTask.Seconds(),
+		}
+	}
+	return out
+}
+
+func TestSolveUnconstrainedTCDP(t *testing.T) {
+	sol, err := MinimizeTCDP().Solve(candidatesFromICs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := candidatesFromICs()[sol.Best].Name; got != "E" {
+		t.Errorf("tCDP-optimal IC = %s, want E (Table II)", got)
+	}
+	if len(sol.Feasible) != 6 {
+		t.Errorf("all 6 should be feasible, got %d", len(sol.Feasible))
+	}
+}
+
+// §III-C scenario (a): a latency constraint eliminates slow ICs, and the
+// energy-optimal feasible design is "C" — not the EDP-optimal "D".
+func TestLatencyConstrainedEnergy(t *testing.T) {
+	cands := candidatesFromICs()
+	// 250 MHz floor ⇔ task time ≤ 100e6/250e6 = 0.4 s.
+	sol, err := MinimizeEnergyUnderLatency(units.Time(0.4)).Solve(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cands[sol.Best].Name; got != "C" {
+		t.Errorf("optimal = %s, want C (paper: \"IC C is chosen\")", got)
+	}
+	// A and B must be infeasible (clock below 250 MHz).
+	for i, c := range cands {
+		_, rejected := sol.Infeasible[i]
+		slow := c.Name == "A" || c.Name == "B"
+		if slow != rejected {
+			t.Errorf("IC %s: rejected=%v, want %v", c.Name, rejected, slow)
+		}
+	}
+}
+
+// §III-C scenario (b): unconstrained energy minimization picks the slowest
+// IC "A" — the pitfall the paper warns about.
+func TestUnconstrainedEnergyPicksSlowest(t *testing.T) {
+	cands := candidatesFromICs()
+	sol, err := MinimizeEnergy().Solve(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cands[sol.Best].Name; got != "A" {
+		t.Errorf("min-energy = %s, want A", got)
+	}
+}
+
+func TestConstraintChecks(t *testing.T) {
+	c := Candidate{
+		Name:   "x",
+		Report: metrics.Report{Delay: 2, Energy: 1},
+		Area:   units.Area(3),
+		Power:  units.Power(5),
+		QoS:    30,
+	}
+	cases := []struct {
+		con  Constraint
+		pass bool
+	}{
+		{AreaLimit{Max: 4}, true},
+		{AreaLimit{Max: 2}, false},
+		{PowerLimit{Max: 6}, true},
+		{PowerLimit{Max: 4}, false},
+		{QoSFloor{Min: 30}, true},
+		{QoSFloor{Min: 31}, false},
+		{DelayCap{Max: 2}, true},
+		{DelayCap{Max: 1}, false},
+	}
+	for _, tc := range cases {
+		err := tc.con.Check(c)
+		if (err == nil) != tc.pass {
+			t.Errorf("%s: pass=%v, want %v (err=%v)", tc.con, err == nil, tc.pass, err)
+		}
+		if tc.con.String() == "" {
+			t.Errorf("constraint has empty description")
+		}
+	}
+}
+
+func TestSolveEmptyAndInfeasible(t *testing.T) {
+	if _, err := MinimizeTCDP().Solve(nil); err == nil {
+		t.Error("empty candidate set should error")
+	}
+	cands := candidatesFromICs()
+	p := MinimizeTCDP(PowerLimit{Max: 0.001})
+	sol, err := p.Solve(cands)
+	if err == nil {
+		t.Error("infeasible problem should error")
+	}
+	if len(sol.Infeasible) != len(cands) {
+		t.Errorf("all candidates should be explained, got %d", len(sol.Infeasible))
+	}
+	for _, why := range sol.Infeasible {
+		if !strings.Contains(why, "power") {
+			t.Errorf("explanation should mention power: %q", why)
+		}
+	}
+}
+
+func TestMultipleConstraintsCompose(t *testing.T) {
+	cands := candidatesFromICs()
+	// Power ≤ 20 W excludes "F" (160 W); delay ≤ 0.3 s excludes A, B;
+	// best tCDP among {C, D, E} is E.
+	p := MinimizeTCDP(PowerLimit{Max: 20}, DelayCap{Max: units.Time(0.3)})
+	sol, err := p.Solve(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cands[sol.Best].Name != "E" {
+		t.Errorf("best = %s, want E", cands[sol.Best].Name)
+	}
+	if len(sol.Feasible) != 3 {
+		t.Errorf("feasible = %d, want 3 (C, D, E)", len(sol.Feasible))
+	}
+}
+
+// The objective score reported must match the winning candidate's metric.
+func TestSolutionScore(t *testing.T) {
+	cands := candidatesFromICs()
+	sol, err := MinimizeTCDP().Solve(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Score != cands[sol.Best].Report.TCDP() {
+		t.Errorf("score %v != winner tCDP %v", sol.Score, cands[sol.Best].Report.TCDP())
+	}
+}

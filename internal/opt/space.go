@@ -1,0 +1,30 @@
+package opt
+
+import (
+	"cordoba/internal/dse"
+	"cordoba/internal/units"
+)
+
+// FromSpace converts an evaluated design space into eq. IV.1 candidates for
+// an operational time of n task executions. QoS is reported as task
+// throughput (executions per second); power is the design's average draw
+// E/D while active.
+func FromSpace(s *dse.Space, n float64) []Candidate {
+	out := make([]Candidate, len(s.Points))
+	for i, p := range s.Points {
+		var power units.Power
+		var qos float64
+		if p.Delay > 0 {
+			power = p.Energy.DividedBy(p.Delay)
+			qos = 1 / p.Delay.Seconds()
+		}
+		out[i] = Candidate{
+			Name:   p.Config.ID,
+			Report: p.Report(s.CIUse, n),
+			Area:   p.Area,
+			Power:  power,
+			QoS:    qos,
+		}
+	}
+	return out
+}

@@ -1,0 +1,337 @@
+package soc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cordoba/internal/units"
+)
+
+func near(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol*math.Max(math.Abs(want), 1e-30) {
+		t.Errorf("%s: got %v want %v", name, got, want)
+	}
+}
+
+func TestProfilesValidateAndTLPRange(t *testing.T) {
+	tasks := PaperVRTasks()
+	if len(tasks) != 5 {
+		t.Fatalf("expected 5 tasks, got %d", len(tasks))
+	}
+	for _, task := range tasks {
+		if err := task.Profile.Validate(); err != nil {
+			t.Fatalf("%s: %v", task.Name, err)
+		}
+		tlp := task.Profile.TLP()
+		// §VI-D: measured TLP of the four tasks ranges 3.52–4.15.
+		if task.Name != TaskAll && (tlp < 3.4 || tlp > 4.25) {
+			t.Errorf("%s: TLP = %.2f outside the paper's 3.52–4.15 band", task.Name, tlp)
+		}
+	}
+}
+
+func TestProfileValidateRejectsBadHistograms(t *testing.T) {
+	var p TLPProfile
+	if err := p.Validate(); err == nil {
+		t.Error("zero histogram should fail")
+	}
+	p.Fraction[0] = 1.5
+	p.Fraction[1] = -0.5
+	if err := p.Validate(); err == nil {
+		t.Error("negative fraction should fail")
+	}
+}
+
+func TestSlowdownProperties(t *testing.T) {
+	m1, err := PaperVRTask(TaskM1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := m1.Profile.Slowdown(MaxCores); s != 1 {
+		t.Errorf("8-core slowdown = %v, want 1", s)
+	}
+	prev := 1.0
+	for n := MaxCores; n >= 1; n-- {
+		s := m1.Profile.Slowdown(n)
+		if s < prev {
+			t.Errorf("slowdown should grow as cores shrink: %d cores → %v", n, s)
+		}
+		prev = s
+	}
+	if !math.IsInf(m1.Profile.Slowdown(0), 1) {
+		t.Error("0 cores should be infinitely slow")
+	}
+}
+
+// Table V row "D": M-1 keeps ≈0.98 normalized FPS on 4 cores.
+func TestM1FPSOnFourCores(t *testing.T) {
+	m1, _ := PaperVRTask(TaskM1)
+	near(t, "relative FPS", m1.Profile.RelativeFPS(4), 0.98, 0.01)
+}
+
+func TestProvisionSchedule(t *testing.T) {
+	want := map[int]Provision{
+		4: {2, 2}, 5: {3, 2}, 6: {3, 3}, 7: {4, 3}, 8: {4, 4},
+	}
+	for n, w := range want {
+		p, err := ProvisionFor(n)
+		if err != nil {
+			t.Fatalf("cores=%d: %v", n, err)
+		}
+		if p != w {
+			t.Errorf("cores=%d: %+v, want %+v", n, p, w)
+		}
+		if p.Cores() != n {
+			t.Errorf("cores=%d: Cores() = %d", n, p.Cores())
+		}
+	}
+	if _, err := ProvisionFor(3); err == nil {
+		t.Error("3 cores should be rejected")
+	}
+	if _, err := ProvisionFor(9); err == nil {
+		t.Error("9 cores should be rejected")
+	}
+}
+
+func TestProvisionMaskEqVI12(t *testing.T) {
+	// Eq. VI.12's example: the 4-core configuration keeps silver 1-2,
+	// gold 1, and the prime gold core — i.e. 2 silver + 2 gold.
+	p, _ := ProvisionFor(4)
+	mask := p.Mask()
+	count := 0
+	for _, on := range mask {
+		if on {
+			count++
+		}
+	}
+	if count != 4 {
+		t.Fatalf("4-core mask enables %d cores", count)
+	}
+	if !mask[0] || !mask[1] || mask[2] || mask[3] {
+		t.Errorf("silver part of mask wrong: %v", mask)
+	}
+	if !mask[4] || !mask[5] || mask[6] || mask[7] {
+		t.Errorf("gold part of mask wrong: %v", mask)
+	}
+}
+
+// Table V before-column reproduction.
+func TestTableVBaseline(t *testing.T) {
+	s := Quest2()
+	m1, _ := PaperVRTask(TaskM1)
+	r, err := s.Evaluate(m1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "P_total·D = E", r.Energy.Joules(), 332, 1e-9)
+	near(t, "C_embodied", r.EmbodiedCarbon.Grams(), 5375.33, 1e-4)
+	near(t, "C_op per hour", s.CIUse.Of(s.Power.Over(units.Hours(1))).Grams(), 3.154, 1e-3)
+	near(t, "C_total", r.TotalCarbon().Grams(), 12273, 3e-3)
+	p8, _ := ProvisionFor(8)
+	near(t, "area", s.Area(p8).CM2(), 2.25, 1e-9)
+}
+
+// Table V after-column: 8 → 4 cores for M-1.
+func TestTableVOptimized(t *testing.T) {
+	s := Quest2()
+	m1, _ := PaperVRTask(TaskM1)
+	before, _ := s.Evaluate(m1, 8)
+	after, err := s.Evaluate(m1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "C_embodied halves", before.EmbodiedCarbon.Grams()/after.EmbodiedCarbon.Grams(), 2.0, 1e-9)
+	p4, _ := ProvisionFor(4)
+	near(t, "area", s.Area(p4).CM2(), 1.35, 1e-9)
+	near(t, "C_total gain", before.TotalCarbon().Grams()/after.TotalCarbon().Grams(), 1.27, 0.02)
+	// Headline: tCDP improves by ≈1.25×.
+	near(t, "tCDP gain", before.TCDP()/after.TCDP(), 1.25, 0.01)
+	// EDP gets slightly worse (0.98×), since delay grew.
+	edpRatio := before.EDP() / after.EDP()
+	if edpRatio >= 1 {
+		t.Errorf("EDP should degrade slightly: ratio %v", edpRatio)
+	}
+	if edpRatio < 0.94 {
+		t.Errorf("EDP degradation too large: %v", edpRatio)
+	}
+}
+
+// Fig. 10: M-1 is tCDP-optimal at 4 cores; browser and social-gaming tasks
+// degrade at 4 cores; All Tasks is optimal at 5 cores with ≥1.08× gain.
+func TestFig10OptimalCores(t *testing.T) {
+	s := Quest2()
+	m1, _ := PaperVRTask(TaskM1)
+	if n, _ := s.OptimalCores(m1); n != 4 {
+		t.Errorf("M-1 optimal cores = %d, want 4", n)
+	}
+	for _, name := range []string{TaskB1, TaskSG1} {
+		task, _ := PaperVRTask(name)
+		res, err := s.Sweep(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fourCore := res[0]
+		if fourCore.Cores != 4 {
+			t.Fatalf("sweep should start at 4 cores")
+		}
+		if fourCore.TCDPGain >= 1 {
+			t.Errorf("%s should degrade at 4 cores, gain = %v", name, fourCore.TCDPGain)
+		}
+	}
+	all, _ := PaperVRTask(TaskAll)
+	n, _ := s.OptimalCores(all)
+	if n != 5 {
+		t.Errorf("All Tasks optimal cores = %d, want 5", n)
+	}
+	res, _ := s.Sweep(all)
+	var gain5 float64
+	for _, r := range res {
+		if r.Cores == 5 {
+			gain5 = r.TCDPGain
+		}
+	}
+	if gain5 < 1.08 {
+		t.Errorf("All Tasks 8→5 gain = %v, want ≥ 1.08 (paper: 1.08×)", gain5)
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	s := Quest2()
+	g2, _ := PaperVRTask(TaskG2)
+	res, err := s.Sweep(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("sweep length = %d", len(res))
+	}
+	for i, r := range res {
+		if r.Cores != 4+i {
+			t.Errorf("sweep order wrong at %d", i)
+		}
+		if r.RelativeFPS <= 0 || r.RelativeFPS > 1 {
+			t.Errorf("relative FPS out of range: %v", r.RelativeFPS)
+		}
+	}
+	// 8-core entry is the baseline: gain exactly 1, FPS exactly 1.
+	last := res[len(res)-1]
+	near(t, "baseline gain", last.TCDPGain, 1, 1e-12)
+	near(t, "baseline FPS", last.RelativeFPS, 1, 1e-12)
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	s := Quest2()
+	m1, _ := PaperVRTask(TaskM1)
+	if _, err := s.Evaluate(m1, 3); err == nil {
+		t.Error("3 cores should error")
+	}
+	bad := VRTask{Name: "bad"}
+	if _, err := s.Evaluate(bad, 8); err == nil {
+		t.Error("invalid profile should error")
+	}
+	if _, err := PaperVRTask("nope"); err == nil {
+		t.Error("unknown task should error")
+	}
+}
+
+// Property: for any valid histogram, slowdown(n) ≥ 1 and is monotone
+// non-increasing in n; TLP is within [1, 8].
+func TestSlowdownMonotoneProperty(t *testing.T) {
+	f := func(raw [MaxCores]uint8) bool {
+		var p TLPProfile
+		sum := 0.0
+		for i, v := range raw {
+			p.Fraction[i] = float64(v) + 0.01
+			sum += p.Fraction[i]
+		}
+		for i := range p.Fraction {
+			p.Fraction[i] /= sum
+		}
+		if err := p.Validate(); err != nil {
+			return false
+		}
+		tlp := p.TLP()
+		if tlp < 1 || tlp > 8 {
+			return false
+		}
+		const eps = 1e-9
+		prev := math.Inf(1)
+		for n := 1; n <= MaxCores; n++ {
+			s := p.Slowdown(n)
+			if s < 1-eps || s > prev+eps {
+				return false
+			}
+			prev = s
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The tasks-per-lifetime bookkeeping must make CCI well-defined.
+func TestEvaluateTaskCount(t *testing.T) {
+	s := Quest2()
+	m1, _ := PaperVRTask(TaskM1)
+	r, _ := s.Evaluate(m1, 8)
+	if r.Tasks <= 0 {
+		t.Fatal("task count missing")
+	}
+	if _, err := r.CCI(); err != nil {
+		t.Fatalf("CCI: %v", err)
+	}
+	// Task count = operational time / task delay.
+	want := s.OperationalTime.Seconds() / s.TaskDelay.Seconds()
+	near(t, "tasks", r.Tasks, want, 1e-9)
+}
+
+// Ablating Table V's fixed-power assumption: when power scales with the
+// active core count, removing cores additionally saves operational carbon,
+// so the optimal core count can only move down (or stay).
+func TestScaledPowerFavorsFewerCores(t *testing.T) {
+	fixed := Quest2()
+	scaled := Quest2()
+	scaled.PowerModel = ScaledPower
+	scaled.UncorePowerFraction = 0.4
+	for _, task := range PaperVRTasks() {
+		nFixed, err := fixed.OptimalCores(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nScaled, err := scaled.OptimalCores(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nScaled > nFixed {
+			t.Errorf("%s: scaled-power optimum %d should not exceed fixed-power optimum %d",
+				task.Name, nScaled, nFixed)
+		}
+	}
+}
+
+func TestScaledPowerValues(t *testing.T) {
+	s := Quest2()
+	s.PowerModel = ScaledPower
+	s.UncorePowerFraction = 0.4
+	// 8 cores: full power; 4 cores: 0.4 + 0.6·0.5 = 0.7 of full.
+	if got := s.power(8); math.Abs(got.Watts()-s.Power.Watts()) > 1e-12 {
+		t.Errorf("8-core power = %v", got)
+	}
+	want := s.Power.Watts() * 0.7
+	if got := s.power(4); math.Abs(got.Watts()-want) > 1e-12 {
+		t.Errorf("4-core power = %v, want %v", got, want)
+	}
+	// Out-of-range fraction falls back to 0.4.
+	s.UncorePowerFraction = 2
+	if got := s.power(4); math.Abs(got.Watts()-want) > 1e-12 {
+		t.Errorf("fallback power = %v, want %v", got, want)
+	}
+	// Fixed model ignores n.
+	f := Quest2()
+	if f.power(4) != f.Power {
+		t.Error("fixed power should not scale")
+	}
+}

@@ -1,0 +1,302 @@
+// Package table renders experiment results as aligned text tables and ASCII
+// charts — the repository's stand-in for the paper's figures, since the
+// reproduction is stdlib-only.
+package table
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table is a titled grid of cells with a header row.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; missing cells render empty, extra cells are kept and
+// widen the table.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// width returns the number of columns including over-wide rows.
+func (t *Table) width() int {
+	w := len(t.Columns)
+	for _, r := range t.Rows {
+		if len(r) > w {
+			w = len(r)
+		}
+	}
+	return w
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	cols := t.width()
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if n := utf8.RuneCountInString(c); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	measure(t.Columns)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	formatRow := func(row []string) {
+		var line strings.Builder
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				line.WriteString("  ")
+			}
+			line.WriteString(cell)
+			line.WriteString(strings.Repeat(" ", widths[i]-utf8.RuneCountInString(cell)))
+		}
+		b.WriteString(strings.TrimRight(line.String(), " "))
+		b.WriteString("\n")
+	}
+	formatRow(t.Columns)
+	total := 2 * (cols - 1)
+	for _, wd := range widths {
+		total += wd
+	}
+	b.WriteString(strings.Repeat("-", total) + "\n")
+	for _, r := range t.Rows {
+		formatRow(r)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.Render(&b); err != nil {
+		return fmt.Sprintf("table error: %v", err)
+	}
+	return b.String()
+}
+
+// F formats a float compactly for table cells.
+func F(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.IsNaN(v):
+		return "NaN"
+	case math.Abs(v) >= 1e5 || math.Abs(v) < 1e-3:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", v), "0"), ".")
+	}
+}
+
+// Series is one line of a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart renders one or more series as an ASCII scatter/line plot.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	LogY   bool
+	Series []Series
+	Width  int // plot columns (default 72)
+	Height int // plot rows (default 20)
+}
+
+var markers = []byte("*o+x#@%&")
+
+// Render writes the chart to w.
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+	tx := func(v float64) float64 { return v }
+	ty := func(v float64) float64 { return v }
+	if c.LogX {
+		tx = math.Log10
+	}
+	if c.LogY {
+		ty = math.Log10
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	count := 0
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("table: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			x, y := tx(s.X[i]), ty(s.Y[i])
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			count++
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if count == 0 {
+		return fmt.Errorf("table: chart %q has no plottable points", c.Title)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	cells := make([][]byte, height)
+	for i := range cells {
+		cells[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			x, y := tx(s.X[i]), ty(s.Y[i])
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			col := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+			row := height - 1 - int(math.Round((y-minY)/(maxY-minY)*float64(height-1)))
+			cells[row][col] = m
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "y: %s%s\n", c.YLabel, logNote(c.LogY))
+	}
+	for _, row := range cells {
+		b.WriteString("| ")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width+1) + "\n")
+	fmt.Fprintf(&b, "x: %s%s  [%s .. %s]\n", c.XLabel, logNote(c.LogX), F(untx(minX, c.LogX)), F(untx(maxX, c.LogX)))
+	if len(c.Series) > 1 || c.Series[0].Name != "" {
+		b.WriteString("legend:")
+		for si, s := range c.Series {
+			fmt.Fprintf(&b, " %c=%s", markers[si%len(markers)], s.Name)
+		}
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func logNote(log bool) string {
+	if log {
+		return " (log scale)"
+	}
+	return ""
+}
+
+func untx(v float64, log bool) float64 {
+	if log {
+		return math.Pow(10, v)
+	}
+	return v
+}
+
+// String renders the chart to a string.
+func (c *Chart) String() string {
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		return fmt.Sprintf("chart error: %v", err)
+	}
+	return b.String()
+}
+
+// Bar is one bar of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+	Note  string
+}
+
+// BarChart renders labelled horizontal bars scaled to the largest value.
+type BarChart struct {
+	Title string
+	Unit  string
+	Bars  []Bar
+	Width int // bar columns (default 50)
+}
+
+// Render writes the bar chart to w.
+func (bc *BarChart) Render(w io.Writer) error {
+	if len(bc.Bars) == 0 {
+		return fmt.Errorf("table: bar chart %q has no bars", bc.Title)
+	}
+	width := bc.Width
+	if width <= 0 {
+		width = 50
+	}
+	maxV, maxLabel := 0.0, 0
+	for _, b := range bc.Bars {
+		if b.Value < 0 {
+			return fmt.Errorf("table: bar %q has negative value", b.Label)
+		}
+		maxV = math.Max(maxV, b.Value)
+		if n := utf8.RuneCountInString(b.Label); n > maxLabel {
+			maxLabel = n
+		}
+	}
+	var sb strings.Builder
+	if bc.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", bc.Title)
+	}
+	for _, b := range bc.Bars {
+		n := 0
+		if maxV > 0 {
+			n = int(math.Round(b.Value / maxV * float64(width)))
+		}
+		fmt.Fprintf(&sb, "%-*s |%s %s %s", maxLabel, b.Label, strings.Repeat("█", n), F(b.Value), bc.Unit)
+		if b.Note != "" {
+			fmt.Fprintf(&sb, "  (%s)", b.Note)
+		}
+		sb.WriteString("\n")
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders the bar chart to a string.
+func (bc *BarChart) String() string {
+	var b strings.Builder
+	if err := bc.Render(&b); err != nil {
+		return fmt.Sprintf("bar chart error: %v", err)
+	}
+	return b.String()
+}

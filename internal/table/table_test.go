@@ -1,0 +1,152 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := New("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("beta-very-long", "22.5")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "Demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Errorf("rule = %q", lines[2])
+	}
+	// Columns aligned: "value" column starts at the same offset in all rows.
+	idx := strings.Index(lines[1], "value")
+	if lines[3][idx:idx+1] != "1" {
+		t.Errorf("misaligned row: %q", lines[3])
+	}
+}
+
+func TestTableShortAndLongRows(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("only")
+	tb.AddRow("x", "y", "extra")
+	out := tb.String()
+	if !strings.Contains(out, "extra") {
+		t.Errorf("extra cell dropped:\n%s", out)
+	}
+	if strings.HasPrefix(out, "\n") {
+		t.Error("empty title should not emit a blank line")
+	}
+}
+
+func TestF(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{1.25, "1.25"},
+		{1.5, "1.5"},
+		{12273, "12273"},
+		{1e6, "1e+06"},
+		{0.0001, "0.0001"},
+		{3.0, "3"},
+	}
+	for _, c := range cases {
+		if got := F(c.v); got != c.want {
+			t.Errorf("F(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	c := &Chart{
+		Title:  "tCDP vs inferences",
+		XLabel: "inferences",
+		YLabel: "tCDP",
+		LogX:   true,
+		Series: []Series{
+			{Name: "a1", X: []float64{1e3, 1e6, 1e9}, Y: []float64{1, 2, 30}},
+			{Name: "a48", X: []float64{1e3, 1e6, 1e9}, Y: []float64{5, 6, 7}},
+		},
+	}
+	out := c.String()
+	if !strings.Contains(out, "tCDP vs inferences") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "legend: *=a1 o=a48") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "log scale") {
+		t.Error("missing log-scale note")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing plotted markers")
+	}
+}
+
+func TestChartErrors(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}}}
+	if err := c.Render(&strings.Builder{}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	empty := &Chart{Title: "e", Series: []Series{{Name: "n"}}}
+	if err := empty.Render(&strings.Builder{}); err == nil {
+		t.Error("no points should error")
+	}
+	if !strings.Contains(empty.String(), "chart error") {
+		t.Error("String should surface the error")
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	// A single point must still render (ranges padded).
+	c := &Chart{Series: []Series{{Name: "p", X: []float64{5}, Y: []float64{5}}}}
+	if err := c.Render(&strings.Builder{}); err != nil {
+		t.Fatalf("single point: %v", err)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	bc := &BarChart{
+		Title: "tCDP gain",
+		Unit:  "×",
+		Bars: []Bar{
+			{Label: "M-1", Value: 1.25, Note: "optimal"},
+			{Label: "All", Value: 1.08},
+		},
+	}
+	out := bc.String()
+	if !strings.Contains(out, "M-1") || !strings.Contains(out, "1.25 ×") || !strings.Contains(out, "(optimal)") {
+		t.Errorf("bar chart malformed:\n%s", out)
+	}
+	// The larger value gets the longer bar.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Count(lines[1], "█") <= strings.Count(lines[2], "█") {
+		t.Errorf("bars not scaled:\n%s", out)
+	}
+}
+
+func TestBarChartErrors(t *testing.T) {
+	if err := (&BarChart{Title: "x"}).Render(&strings.Builder{}); err == nil {
+		t.Error("empty bar chart should error")
+	}
+	neg := &BarChart{Bars: []Bar{{Label: "n", Value: -1}}}
+	if err := neg.Render(&strings.Builder{}); err == nil {
+		t.Error("negative bar should error")
+	}
+	if !strings.Contains(neg.String(), "bar chart error") {
+		t.Error("String should surface the error")
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	bc := &BarChart{Bars: []Bar{{Label: "z", Value: 0}}}
+	if err := bc.Render(&strings.Builder{}); err != nil {
+		t.Fatalf("all-zero bars should render: %v", err)
+	}
+}

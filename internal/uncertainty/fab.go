@@ -1,0 +1,68 @@
+package uncertainty
+
+import (
+	"fmt"
+	"math"
+
+	"cordoba/internal/pareto"
+	"cordoba/internal/units"
+)
+
+// FabSensitiveDesign is a candidate whose embodied carbon is split into a
+// known materials/gases part and a fab-energy part whose carbon intensity
+// (CI_fab) is unknown at design time — the scenario of §IV-B's closing
+// remark ("designers can further leverage Lagrange multipliers when
+// parameters for embodied carbon are unknown, such as CI_fab").
+type FabSensitiveDesign struct {
+	Name   string
+	Energy units.Energy // per-task operational energy
+	Delay  units.Time   // per-task delay
+	// Materials is the CI_fab-independent embodied part: (MPA + GPA)·A/Y
+	// (see carbon.Process.EmbodiedSplit).
+	Materials units.Carbon
+	// FabEnergy is the fab energy per part, EPA·A/Y; CI_fab multiplies it.
+	FabEnergy units.Energy
+}
+
+// TCDP returns the design's total-carbon-delay product after n task
+// executions for concrete carbon intensities.
+func (d FabSensitiveDesign) TCDP(ciFab, ciUse units.CarbonIntensity, n float64) float64 {
+	emb := d.Materials + ciFab.Of(d.FabEnergy)
+	op := ciUse.Of(d.Energy * units.Energy(n))
+	return (emb + op).Grams() * d.Delay.Seconds()
+}
+
+// SurvivorsUnknownFab returns the designs that can be tCDP-optimal for
+// *some* CI_fab ∈ [0, ∞), with CI_use and the operational time n known:
+//
+//	tCDP = [ (Materials + CI_use·E·n)·D ] + CI_fab·[ FabEnergy·D ]
+//
+// is linear in CI_fab, so the survivor set is the lower convex envelope of
+// (FabEnergy·D, knownCarbon·D). Everything else is eliminated even without
+// fab transparency.
+func SurvivorsUnknownFab(designs []FabSensitiveDesign, ciUse units.CarbonIntensity, n float64) []int {
+	pts := make([]pareto.Point, len(designs))
+	for i, d := range designs {
+		known := d.Materials + ciUse.Of(d.Energy*units.Energy(n))
+		pts[i] = pareto.Point{
+			X: d.FabEnergy.InKWh() * d.Delay.Seconds(),
+			Y: known.Grams() * d.Delay.Seconds(),
+		}
+	}
+	return pareto.Envelope(pts)
+}
+
+// OptimalAtFab returns the tCDP-optimal design for a concrete CI_fab, or an
+// error for an empty design list.
+func OptimalAtFab(designs []FabSensitiveDesign, ciFab, ciUse units.CarbonIntensity, n float64) (int, error) {
+	if len(designs) == 0 {
+		return -1, fmt.Errorf("uncertainty: no designs")
+	}
+	best, bestV := -1, math.Inf(1)
+	for i, d := range designs {
+		if v := d.TCDP(ciFab, ciUse, n); v < bestV {
+			best, bestV = i, v
+		}
+	}
+	return best, nil
+}

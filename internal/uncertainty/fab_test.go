@@ -1,0 +1,119 @@
+package uncertainty
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cordoba/internal/carbon"
+	"cordoba/internal/units"
+)
+
+func fabDesigns() []FabSensitiveDesign {
+	return []FabSensitiveDesign{
+		// Small die in an energy-light process: low fab exposure, slow.
+		{Name: "small", Energy: 2, Delay: 4, Materials: 50, FabEnergy: units.KWh(0.5)},
+		// Large die: high fab exposure, fast.
+		{Name: "large", Energy: 4, Delay: 1, Materials: 300, FabEnergy: units.KWh(4)},
+		// Balanced.
+		{Name: "mid", Energy: 3, Delay: 2, Materials: 120, FabEnergy: units.KWh(1.2)},
+		// Dominated: slow AND fab-heavy.
+		{Name: "bad", Energy: 5, Delay: 4, Materials: 400, FabEnergy: units.KWh(5)},
+	}
+}
+
+func TestFabTCDPClosedForm(t *testing.T) {
+	d := FabSensitiveDesign{Name: "d", Energy: 2, Delay: 3, Materials: 10, FabEnergy: units.KWh(1)}
+	// CI_fab 500: emb = 10 + 500 = 510; op at CI_use 360 for n=3.6e6 tasks:
+	// 360 g/kWh × (2·3.6e6 J = 2 kWh) = 720 g. tCDP = (510+720)·3.
+	got := d.TCDP(500, 360, 3.6e6)
+	want := (10.0 + 500 + 720) * 3
+	if math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("tCDP = %v, want %v", got, want)
+	}
+}
+
+// The defining property: for any CI_fab, the optimum is in the survivor set.
+func TestUnknownFabTheorem(t *testing.T) {
+	ds := fabDesigns()
+	const ciUse, n = 380, 1e5
+	surv := map[int]bool{}
+	for _, i := range SurvivorsUnknownFab(ds, ciUse, n) {
+		surv[i] = true
+	}
+	if len(surv) == len(ds) {
+		t.Fatal("expected at least one eliminated design")
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		ciFab := units.CarbonIntensity(rng.Float64() * 2000)
+		opt, err := OptimalAtFab(ds, ciFab, ciUse, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !surv[opt] {
+			t.Fatalf("CI_fab=%v: optimum %s not a survivor", ciFab, ds[opt].Name)
+		}
+	}
+	// Extremes: CI_fab = 0 picks the min known-carbon·D design; CI_fab → ∞
+	// picks the min fab-exposure·D design. Both must be survivors.
+	o0, _ := OptimalAtFab(ds, 0, ciUse, n)
+	oInf, _ := OptimalAtFab(ds, 1e12, ciUse, n)
+	if !surv[o0] || !surv[oInf] {
+		t.Error("extreme-CI_fab optima must be survivors")
+	}
+}
+
+func TestUnknownFabEliminatesDominated(t *testing.T) {
+	ds := fabDesigns()
+	surv := SurvivorsUnknownFab(ds, 380, 1e5)
+	for _, i := range surv {
+		if ds[i].Name == "bad" {
+			t.Error("dominated design survived")
+		}
+	}
+}
+
+func TestOptimalAtFabErrors(t *testing.T) {
+	if _, err := OptimalAtFab(nil, 1, 1, 1); err == nil {
+		t.Error("empty designs should error")
+	}
+}
+
+// End-to-end with the carbon model: build fab-sensitive designs from real
+// process data via EmbodiedSplit and check the split reassembles eq. IV.5.
+func TestEmbodiedSplitConsistency(t *testing.T) {
+	p := carbon.Process7nm()
+	area, y := units.Area(0.5), 0.95
+	fabE, mats, err := p.EmbodiedSplit(area, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := p.EmbodiedDie(carbon.FabCoal, area, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reassembled := mats + carbon.FabCoal.CI.Of(fabE)
+	if math.Abs(reassembled.Grams()-whole.Grams()) > 1e-9*whole.Grams() {
+		t.Fatalf("split %v + %v does not reassemble %v", mats, fabE, whole)
+	}
+	if _, _, err := p.EmbodiedSplit(area, 0); err == nil {
+		t.Error("zero yield should error")
+	}
+	if _, _, err := p.EmbodiedSplit(-1, 0.9); err == nil {
+		t.Error("negative area should error")
+	}
+}
+
+// A renewable-powered fab (CI_fab → small) should shift the optimum toward
+// larger dies; a coal fab toward smaller ones.
+func TestFabIntensityShiftsOptimum(t *testing.T) {
+	ds := fabDesigns()
+	const ciUse, n = 380, 1e5
+	clean, _ := OptimalAtFab(ds, 20, ciUse, n)
+	dirty, _ := OptimalAtFab(ds, 2000, ciUse, n)
+	if ds[clean].FabEnergy < ds[dirty].FabEnergy {
+		t.Errorf("clean fab should afford more fab energy: clean=%s dirty=%s",
+			ds[clean].Name, ds[dirty].Name)
+	}
+}
