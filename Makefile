@@ -1,0 +1,32 @@
+# CORDOBA build/test entry points. `make ci` is the full PR gate: the
+# tier-1 verify (build + all tests), go vet, and a race-detector pass over
+# the concurrent paths (the cordobad service layer and the parallel DSE
+# engine).
+
+GO ?= go
+
+.PHONY: build test vet race ci bench bench-server run-daemon
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/server/... ./internal/dse/...
+
+ci: build vet test race
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# The pool-sizing and cache benchmarks behind cordobad's defaults.
+bench-server:
+	$(GO) test -run '^$$' -bench 'BenchmarkEvaluateParallel|BenchmarkServerDSE' -benchmem .
+
+run-daemon:
+	$(GO) run ./cmd/cordobad -addr :8080

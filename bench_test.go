@@ -5,11 +5,17 @@ package cordoba_test
 // the reproduction pipeline and re-verifies that every experiment still runs.
 
 import (
+	"fmt"
 	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"cordoba"
 	"cordoba/internal/experiments"
+	"cordoba/internal/server"
 )
 
 func benchExperiment(b *testing.B, key string) {
@@ -57,6 +63,75 @@ func BenchmarkFullDSE(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEvaluateParallel compares the sequential 121-point grid
+// evaluation against the fanned-out version across worker counts — the
+// numbers behind cordobad's default pool sizing (speedup flattens after a
+// handful of workers, so the daemon admits several moderately parallel
+// evaluations rather than one maximally parallel one).
+func BenchmarkEvaluateParallel(b *testing.B) {
+	task, err := cordoba.PaperTask(cordoba.TaskAllKernels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid := cordoba.Grid()
+
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cordoba.Explore(task, grid); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := cordoba.ExploreParallel(task, grid, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServerDSE times cordobad's /v1/dse end-to-end: an uncached
+// request pays the full grid evaluation; a cached one replays the stored
+// bytes — the gap is the whole point of the response cache.
+func BenchmarkServerDSE(b *testing.B) {
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	body := `{"task":"All kernels"}`
+	post := func(b *testing.B, h http.Handler) int {
+		req := httptest.NewRequest("POST", "/v1/dse", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body)
+		}
+		return w.Body.Len()
+	}
+
+	b.Run("uncached", func(b *testing.B) {
+		s := server.New(server.Config{CacheSize: -1, Logger: quiet})
+		h := s.Handler()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, h)
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		s := server.New(server.Config{Logger: quiet})
+		h := s.Handler()
+		post(b, h) // prime the cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, h)
+		}
+	})
 }
 
 // BenchmarkKernelProfile times a single kernel simulation (ResNet-50 on the

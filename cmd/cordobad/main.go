@@ -1,0 +1,84 @@
+// Command cordobad serves CORDOBA's carbon accounting, design-space
+// exploration, and experiment registry as a long-lived JSON API.
+//
+// Usage:
+//
+//	cordobad -addr :8080
+//
+// Endpoints (see internal/server and the README's "Running as a service"):
+//
+//	POST /v1/accounting   POST /v1/dse   GET /v1/experiments[/{key}]
+//	GET  /v1/tasks        GET /v1/configs
+//	GET  /healthz         GET /metrics
+//
+// The daemon drains in-flight requests on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cordoba/internal/server"
+)
+
+func main() {
+	if err := run(context.Background(), os.Stderr, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cordobad:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, logw io.Writer, args []string) error {
+	fs := flag.NewFlagSet("cordobad", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	var (
+		addr        = fs.String("addr", ":8080", "listen address")
+		cacheSize   = fs.Int("cache-size", 256, "response-cache entries (negative disables)")
+		maxBody     = fs.Int64("max-body-bytes", 1<<20, "request-body size limit")
+		timeout     = fs.Duration("request-timeout", 60*time.Second, "per-request deadline")
+		poolSize    = fs.Int("pool-size", 0, "concurrent grid evaluations (0 = GOMAXPROCS-derived)")
+		evalWorkers = fs.Int("eval-workers", 0, "goroutines per evaluation (0 = default)")
+		grace       = fs.Duration("shutdown-grace", 15*time.Second, "drain window on SIGTERM")
+		logJSON     = fs.Bool("log-json", false, "emit structured logs as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(logw, nil)
+	} else {
+		handler = slog.NewTextHandler(logw, nil)
+	}
+	log := slog.New(handler)
+
+	srv := server.New(server.Config{
+		Addr:           *addr,
+		CacheSize:      *cacheSize,
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *timeout,
+		PoolSize:       *poolSize,
+		EvalWorkers:    *evalWorkers,
+		Logger:         log,
+	})
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Info("cordobad listening",
+		"addr", *addr,
+		"pool_size", srv.Pool().Size(),
+		"eval_workers", srv.Pool().Workers(),
+		"cache_size", *cacheSize,
+		"request_timeout", *timeout,
+	)
+	return srv.ListenAndServe(ctx, *grace)
+}

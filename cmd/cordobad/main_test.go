@@ -1,0 +1,43 @@
+package main
+
+import (
+	"context"
+	"io"
+	"testing"
+	"time"
+)
+
+// TestRunStartsAndDrains boots the daemon on an ephemeral port and cancels
+// its context: run must return nil after a clean graceful shutdown.
+func TestRunStartsAndDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, io.Discard, []string{
+			"-addr", "127.0.0.1:0",
+			"-shutdown-grace", "2s",
+		})
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not return after context cancellation")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run(context.Background(), io.Discard, []string{"-no-such-flag"}); err == nil {
+		t.Fatal("run accepted an unknown flag")
+	}
+}
+
+func TestRunRejectsBadAddr(t *testing.T) {
+	if err := run(context.Background(), io.Discard, []string{"-addr", "not-an-addr:nope"}); err == nil {
+		t.Fatal("run accepted an unusable listen address")
+	}
+}

@@ -119,12 +119,21 @@ func Process7nm() Process { return carbon.Process7nm() }
 // Processes returns all supported nodes, 28 nm to 3 nm.
 func Processes() []Process { return carbon.Processes() }
 
+// ProcessByName returns the fab characterization for a named node ("7nm").
+func ProcessByName(name string) (Process, error) { return carbon.ProcessByName(name) }
+
 // Reference fabs.
 var (
 	FabCoal      = carbon.FabCoal
 	FabTaiwan    = carbon.FabTaiwan
 	FabRenewable = carbon.FabRenewable
 )
+
+// Fabs returns the reference fabs, dirtiest grid first.
+func Fabs() []Fab { return carbon.Fabs() }
+
+// FabByName returns a reference fab by name ("coal-heavy", "taiwan", ...).
+func FabByName(name string) (Fab, error) { return carbon.FabByName(name) }
 
 // EmbodiedDie computes eq. IV.5: (CI_fab·EPA + MPA + GPA)·A/Y.
 func EmbodiedDie(p Process, fab Fab, area Area, yield float64) (Carbon, error) {
@@ -222,6 +231,18 @@ func Explore(task Task, configs []AcceleratorConfig) (*DesignSpace, error) {
 // ExploreAt evaluates with explicit carbon-accounting parameters.
 func ExploreAt(task Task, configs []AcceleratorConfig, p Process, fab Fab, ci CarbonIntensity) (*DesignSpace, error) {
 	return dse.Evaluate(task, configs, p, fab, ci)
+}
+
+// ExploreParallel is Explore with the per-configuration simulations fanned
+// out across workers goroutines (workers < 1 selects GOMAXPROCS). Results
+// are identical to Explore; this is the entry point cordobad serves.
+func ExploreParallel(task Task, configs []AcceleratorConfig, workers int) (*DesignSpace, error) {
+	return dse.EvaluateParallel(task, configs, carbon.Process7nm(), carbon.FabCoal, 380, workers)
+}
+
+// ExploreParallelAt is ExploreAt with a bounded worker fan-out.
+func ExploreParallelAt(task Task, configs []AcceleratorConfig, p Process, fab Fab, ci CarbonIntensity, workers int) (*DesignSpace, error) {
+	return dse.EvaluateParallel(task, configs, p, fab, ci, workers)
 }
 
 // LogSpace returns k log-spaced operational times over [lo, hi].
@@ -334,3 +355,22 @@ func RunExperiment(key string, w io.Writer) error {
 	}
 	return e.Render(w)
 }
+
+// ExperimentKeys lists all experiment keys in paper order.
+func ExperimentKeys() []string { return experiments.Keys() }
+
+// ExperimentResult returns the experiment's typed result structure for
+// programmatic consumption (the same data the renderers format).
+func ExperimentResult(key string) (any, error) { return experiments.Result(key) }
+
+// ExportExperimentJSON streams the experiment's typed result as indented
+// JSON to w.
+func ExportExperimentJSON(key string, w io.Writer) error { return experiments.ExportJSON(key, w) }
+
+// ExportExperimentCSV streams the experiment's plottable series as CSV to w;
+// keys without a tabular form return an error suggesting JSON.
+func ExportExperimentCSV(key string, w io.Writer) error { return experiments.ExportCSV(key, w) }
+
+// XRGamingTask returns the §IV-A motivating XR gaming session with
+// per-kernel call rates (camera-rate tracking, display-rate upscaling).
+func XRGamingTask() Task { return workload.XRGamingSession() }

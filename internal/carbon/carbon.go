@@ -85,6 +85,29 @@ var (
 	FabRenewable = Fab{"renewable", 30, 0.1}
 )
 
+// Fabs returns the reference fabs, dirtiest grid first.
+func Fabs() []Fab {
+	return []Fab{FabCoal, FabTaiwan, FabKorea, FabRenewable}
+}
+
+// FabByName returns the reference fab with the given name.
+func FabByName(name string) (Fab, error) {
+	for _, f := range Fabs() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Fab{}, fmt.Errorf("carbon: unknown fab %q (try one of %v)", name, fabNames())
+}
+
+func fabNames() []string {
+	var names []string
+	for _, f := range Fabs() {
+		names = append(names, f.Name)
+	}
+	return names
+}
+
 // EmbodiedDie computes eq. IV.5 for a single die:
 //
 //	C_embodied = (CI_fab·EPA + MPA + GPA) · A / Y

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sync"
+)
+
+// cachedResponse is a fully rendered HTTP response body. DSE and accounting
+// results are deterministic functions of the request, so a hit can be
+// replayed byte-for-byte without re-running the evaluation.
+type cachedResponse struct {
+	Status      int
+	ContentType string
+	Body        []byte
+}
+
+// Cache is a thread-safe LRU of rendered responses keyed by the canonical
+// request hash (see canonicalKey). A zero/nil capacity disables caching.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	resp cachedResponse
+}
+
+// NewCache returns an LRU holding up to capacity responses.
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: map[string]*list.Element{},
+	}
+}
+
+// Get returns the cached response for key, marking it most recently used.
+func (c *Cache) Get(key string) (cachedResponse, bool) {
+	if c == nil || c.cap <= 0 {
+		return cachedResponse{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return cachedResponse{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).resp, true
+}
+
+// Put stores a response, evicting the least recently used entry when full.
+func (c *Cache) Put(key string, resp cachedResponse) {
+	if c == nil || c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).resp = resp
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, resp: resp})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached responses.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// canonicalKey hashes a route plus the decoded-and-defaulted request
+// structure. Hashing after decoding (rather than the raw body) makes
+// requests that differ only in JSON whitespace, field order, or omitted
+// defaults share one cache entry; Go structs marshal with deterministic
+// field order, so the digest is stable.
+func canonicalKey(route string, req any) (string, error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(append([]byte(route+"\x00"), b...))
+	return hex.EncodeToString(sum[:]), nil
+}

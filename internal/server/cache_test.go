@@ -1,0 +1,113 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func resp(s string) cachedResponse {
+	return cachedResponse{Status: 200, ContentType: "application/json", Body: []byte(s)}
+}
+
+func TestCachePutGet(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", resp("A"))
+	got, ok := c.Get("a")
+	if !ok || !bytes.Equal(got.Body, []byte("A")) {
+		t.Fatalf("Get(a) = %v, %v", got, ok)
+	}
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("Get(missing) reported a hit")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", resp("A"))
+	c.Put("b", resp("B"))
+	c.Get("a") // refresh a → b is now the LRU entry
+	c.Put("c", resp("C"))
+
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction; LRU order is wrong")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a was evicted despite a recent hit")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c missing after insert")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheUpdateExisting(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", resp("old"))
+	c.Put("a", resp("new"))
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	got, _ := c.Get("a")
+	if string(got.Body) != "new" {
+		t.Fatalf("Body = %q, want new", got.Body)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	for _, c := range []*Cache{NewCache(0), NewCache(-1), nil} {
+		c.Put("a", resp("A"))
+		if _, ok := c.Get("a"); ok {
+			t.Fatal("disabled cache stored an entry")
+		}
+	}
+}
+
+func TestCanonicalKeyStability(t *testing.T) {
+	type req struct {
+		Task  string  `json:"task"`
+		CIUse float64 `json:"ci_use"`
+	}
+	k1, err := canonicalKey("/v1/dse", req{Task: "All kernels", CIUse: 380})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := canonicalKey("/v1/dse", req{Task: "All kernels", CIUse: 380})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatal("identical requests hash differently")
+	}
+	k3, _ := canonicalKey("/v1/dse", req{Task: "All kernels", CIUse: 381})
+	if k1 == k3 {
+		t.Fatal("different requests share a hash")
+	}
+	k4, _ := canonicalKey("/v1/accounting", req{Task: "All kernels", CIUse: 380})
+	if k1 == k4 {
+		t.Fatal("different routes share a hash")
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache(8)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%16)
+				c.Put(key, resp(key))
+				c.Get(key)
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if c.Len() > 8 {
+		t.Fatalf("Len = %d exceeds capacity 8", c.Len())
+	}
+}

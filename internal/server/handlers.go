@@ -1,0 +1,521 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"cordoba"
+)
+
+// decodeJSON strictly decodes the request body into v, bounding the read at
+// the server's body limit. Unknown fields, trailing garbage, and oversized
+// bodies are all rejected.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mb *http.MaxBytesError
+		if errors.As(err, &mb) {
+			return err // writeError maps this onto 413
+		}
+		return errf(http.StatusBadRequest, "malformed JSON request: %v", err)
+	}
+	if dec.More() {
+		return errf(http.StatusBadRequest, "malformed JSON request: trailing data after object")
+	}
+	return nil
+}
+
+// respondCached consults the response cache for key and replays a hit;
+// otherwise it runs build, writes the result, and stores the exact bytes so
+// a later identical request returns a byte-identical body.
+func (s *Server) respondCached(w http.ResponseWriter, key string, build func() (any, error)) error {
+	if resp, ok := s.cache.Get(key); ok {
+		s.metrics.CacheHit()
+		w.Header().Set("X-Cache", "hit")
+		w.Header().Set("Content-Type", resp.ContentType)
+		w.WriteHeader(resp.Status)
+		_, err := w.Write(resp.Body)
+		return err
+	}
+	s.metrics.CacheMiss()
+	w.Header().Set("X-Cache", "miss")
+	v, err := build()
+	if err != nil {
+		return err
+	}
+	body, err := writeJSON(w, http.StatusOK, v)
+	if err != nil {
+		return err
+	}
+	s.cache.Put(key, cachedResponse{
+		Status:      http.StatusOK,
+		ContentType: "application/json",
+		Body:        body,
+	})
+	return nil
+}
+
+// ---- POST /v1/accounting ----
+
+// AccelSpec selects an accelerator either by grid/3D ID or by explicit
+// (MAC arrays, SRAM) knobs.
+type AccelSpec struct {
+	ID        string  `json:"id,omitempty"`
+	MACArrays int     `json:"mac_arrays,omitempty"`
+	SRAMMB    float64 `json:"sram_mb,omitempty"`
+	Is3D      bool    `json:"is_3d,omitempty"`
+	MemDies   int     `json:"mem_dies,omitempty"`
+}
+
+// AccountingRequest asks for the ACT embodied carbon (eq. IV.5) of either a
+// bare die (area + yield) or an accelerator configuration (full model with
+// Murphy yield, die placement, and packaging).
+type AccountingRequest struct {
+	Process string  `json:"process,omitempty"` // node name, default "7nm"
+	Fab     string  `json:"fab,omitempty"`     // fab name, default "coal-heavy"
+	AreaCM2 float64 `json:"area_cm2,omitempty"`
+	Yield   float64 `json:"yield,omitempty"` // default 1.0 (die mode only)
+
+	Accelerator *AccelSpec `json:"accelerator,omitempty"`
+}
+
+// AccountingResponse reports the embodied footprint and echoes the resolved
+// accounting parameters.
+type AccountingResponse struct {
+	Process     string  `json:"process"`
+	Fab         string  `json:"fab"`
+	FabCI       float64 `json:"fab_ci_g_per_kwh"`
+	AreaCM2     float64 `json:"area_cm2"`
+	Yield       float64 `json:"yield,omitempty"` // die mode only
+	ConfigID    string  `json:"config_id,omitempty"`
+	EmbodiedG   float64 `json:"embodied_gco2e"`
+	EmbodiedKG  float64 `json:"embodied_kgco2e"`
+	PerAreaG    float64 `json:"gco2e_per_cm2"` // before yield derating
+	Description string  `json:"description"`
+}
+
+func (s *Server) handleAccounting(w http.ResponseWriter, r *http.Request) error {
+	var req AccountingRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		return err
+	}
+	if req.Process == "" {
+		req.Process = "7nm"
+	}
+	if req.Fab == "" {
+		req.Fab = "coal-heavy"
+	}
+	if req.Accelerator == nil && req.Yield == 0 {
+		req.Yield = 1.0
+	}
+
+	key, err := canonicalKey("/v1/accounting", req)
+	if err != nil {
+		return err
+	}
+	return s.respondCached(w, key, func() (any, error) { return s.buildAccounting(req) })
+}
+
+func (s *Server) buildAccounting(req AccountingRequest) (*AccountingResponse, error) {
+	proc, err := cordoba.ProcessByName(req.Process)
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "%v", err)
+	}
+	fab, err := cordoba.FabByName(req.Fab)
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "%v", err)
+	}
+	resp := &AccountingResponse{
+		Process:  proc.Node,
+		Fab:      fab.Name,
+		FabCI:    float64(fab.CI),
+		PerAreaG: proc.CarbonPerArea(fab).Grams(),
+	}
+
+	switch {
+	case req.Accelerator != nil:
+		cfg, err := s.resolveAccel(*req.Accelerator)
+		if err != nil {
+			return nil, err
+		}
+		emb, err := cfg.Embodied(proc, fab)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "%v", err)
+		}
+		resp.ConfigID = cfg.ID
+		resp.AreaCM2 = cfg.TotalArea().CM2()
+		resp.EmbodiedG = emb.Grams()
+		resp.Description = fmt.Sprintf(
+			"accelerator %s (%d MAC arrays, %.0f MB SRAM) incl. yield and packaging",
+			cfg.ID, cfg.MACArrays, cfg.SRAM.InMB())
+	case req.AreaCM2 > 0:
+		emb, err := cordoba.EmbodiedDie(proc, fab, cordoba.Area(req.AreaCM2), req.Yield)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "%v", err)
+		}
+		resp.AreaCM2 = req.AreaCM2
+		resp.Yield = req.Yield
+		resp.EmbodiedG = emb.Grams()
+		resp.Description = fmt.Sprintf("bare die of %.3g cm² at yield %.3g", req.AreaCM2, req.Yield)
+	default:
+		return nil, errf(http.StatusBadRequest,
+			"request needs either area_cm2 > 0 or an accelerator spec")
+	}
+	resp.EmbodiedKG = resp.EmbodiedG / 1e3
+	return resp, nil
+}
+
+// resolveAccel turns an AccelSpec into a concrete configuration.
+func (s *Server) resolveAccel(spec AccelSpec) (cordoba.AcceleratorConfig, error) {
+	if spec.ID != "" {
+		cfg, ok := s.configs[spec.ID]
+		if !ok {
+			return cordoba.AcceleratorConfig{}, errf(http.StatusBadRequest,
+				"unknown accelerator config %q (see GET /v1/configs)", spec.ID)
+		}
+		return cfg, nil
+	}
+	if spec.MACArrays <= 0 || spec.SRAMMB <= 0 {
+		return cordoba.AcceleratorConfig{}, errf(http.StatusBadRequest,
+			"accelerator spec needs an id or positive mac_arrays and sram_mb")
+	}
+	cfg := cordoba.NewAccelerator(
+		fmt.Sprintf("custom_%dx%gMB", spec.MACArrays, spec.SRAMMB),
+		spec.MACArrays, cordoba.MB(spec.SRAMMB))
+	cfg.Is3D = spec.Is3D
+	cfg.MemDies = spec.MemDies
+	return cfg, nil
+}
+
+// ---- POST /v1/dse ----
+
+// SweepSpec selects the operational-time sweep: points log-spaced
+// inference counts over [lo, hi].
+type SweepSpec struct {
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+	Points int     `json:"points"`
+}
+
+// DSERequest asks for a design-space exploration of a task over a set of
+// accelerator configurations.
+type DSERequest struct {
+	Task    string  `json:"task"`
+	Process string  `json:"process,omitempty"` // default "7nm"
+	Fab     string  `json:"fab,omitempty"`     // default "coal-heavy"
+	CIUse   float64 `json:"ci_use,omitempty"`  // g/kWh, default 380 (Table III)
+
+	// Set selects a predefined space: "grid" (121 Fig. 8 configs, the
+	// default) or "3d" (the seven §VI-E designs). Configs, when non-empty,
+	// restricts the space to the named IDs instead.
+	Set     string     `json:"set,omitempty"`
+	Configs []string   `json:"configs,omitempty"`
+	Sweep   *SweepSpec `json:"sweep,omitempty"`
+}
+
+// DSEPoint is one evaluated design in the response.
+type DSEPoint struct {
+	ID             string  `json:"id"`
+	MACArrays      int     `json:"mac_arrays"`
+	SRAMMB         float64 `json:"sram_mb"`
+	Is3D           bool    `json:"is_3d,omitempty"`
+	DelayS         float64 `json:"delay_s"`
+	EnergyJ        float64 `json:"energy_j"`
+	EmbodiedG      float64 `json:"embodied_gco2e"`
+	AreaCM2        float64 `json:"area_cm2"`
+	EDPJS          float64 `json:"edp_js"`
+	EmbodiedDelayG float64 `json:"embodied_delay_gs"`
+}
+
+// SweepEntry is the tCDP optimum at one operational time.
+type SweepEntry struct {
+	Inferences float64 `json:"inferences"`
+	OptimalID  string  `json:"optimal_id"`
+	TCDPGS     float64 `json:"tcdp_gs"`
+	MeanTCDPGS float64 `json:"mean_tcdp_gs"`
+}
+
+// DSEResponse is the full exploration result: every evaluated point, the
+// ever-optimal set with its elimination fraction (§VI-B), and the
+// tCDP-optimal sweep across operational time (the Fig. 8 x-axis).
+type DSEResponse struct {
+	Task               string       `json:"task"`
+	Process            string       `json:"process"`
+	Fab                string       `json:"fab"`
+	CIUse              float64      `json:"ci_use_g_per_kwh"`
+	Points             []DSEPoint   `json:"points"`
+	EverOptimal        []string     `json:"ever_optimal"`
+	EliminatedFraction float64      `json:"eliminated_fraction"`
+	Sweep              []SweepEntry `json:"sweep"`
+}
+
+func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) error {
+	var req DSERequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		return err
+	}
+	if req.Process == "" {
+		req.Process = "7nm"
+	}
+	if req.Fab == "" {
+		req.Fab = "coal-heavy"
+	}
+	if req.CIUse == 0 {
+		req.CIUse = 380
+	}
+	if req.Set == "" && len(req.Configs) == 0 {
+		req.Set = "grid"
+	}
+	if req.Sweep == nil {
+		req.Sweep = &SweepSpec{Lo: 1, Hi: 1e12, Points: 13}
+	}
+
+	key, err := canonicalKey("/v1/dse", req)
+	if err != nil {
+		return err
+	}
+	return s.respondCached(w, key, func() (any, error) { return s.buildDSE(r, req) })
+}
+
+func (s *Server) buildDSE(r *http.Request, req DSERequest) (*DSEResponse, error) {
+	task, err := s.taskByName(req.Task)
+	if err != nil {
+		return nil, err
+	}
+	proc, err := cordoba.ProcessByName(req.Process)
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "%v", err)
+	}
+	fab, err := cordoba.FabByName(req.Fab)
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "%v", err)
+	}
+	if req.CIUse < 0 {
+		return nil, errf(http.StatusBadRequest, "ci_use must be non-negative, got %g", req.CIUse)
+	}
+	configs, err := s.resolveConfigs(req)
+	if err != nil {
+		return nil, err
+	}
+	if req.Sweep.Lo <= 0 || req.Sweep.Hi < req.Sweep.Lo || req.Sweep.Points < 1 || req.Sweep.Points > 10000 {
+		return nil, errf(http.StatusBadRequest,
+			"sweep needs 0 < lo <= hi and 1 <= points <= 10000, got lo=%g hi=%g points=%d",
+			req.Sweep.Lo, req.Sweep.Hi, req.Sweep.Points)
+	}
+
+	// The grid evaluation is the expensive part; it runs under a pool slot
+	// so a burst of uncached requests queues instead of oversubscribing.
+	ctx := r.Context()
+	if err := s.pool.Acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.pool.Release()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	space, err := cordoba.ExploreParallelAt(task, configs, proc, fab,
+		cordoba.CarbonIntensity(req.CIUse), s.pool.Workers())
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "%v", err)
+	}
+
+	resp := &DSEResponse{
+		Task:               task.Name,
+		Process:            proc.Node,
+		Fab:                fab.Name,
+		CIUse:              req.CIUse,
+		EverOptimal:        space.IDs(space.EverOptimal()),
+		EliminatedFraction: space.EliminatedFraction(),
+	}
+	for _, p := range space.Points {
+		resp.Points = append(resp.Points, DSEPoint{
+			ID:             p.Config.ID,
+			MACArrays:      p.Config.MACArrays,
+			SRAMMB:         p.Config.SRAM.InMB(),
+			Is3D:           p.Config.Is3D,
+			DelayS:         p.Delay.Seconds(),
+			EnergyJ:        p.Energy.Joules(),
+			EmbodiedG:      p.Embodied.Grams(),
+			AreaCM2:        p.Area.CM2(),
+			EDPJS:          p.EDP(),
+			EmbodiedDelayG: p.EmbodiedDelay(),
+		})
+	}
+	for _, n := range cordoba.LogSpace(req.Sweep.Lo, req.Sweep.Hi, req.Sweep.Points) {
+		opt := space.OptimalAt(n)
+		resp.Sweep = append(resp.Sweep, SweepEntry{
+			Inferences: n,
+			OptimalID:  space.Points[opt].Config.ID,
+			TCDPGS:     space.Points[opt].TCDP(space.CIUse, n),
+			MeanTCDPGS: space.MeanTCDPAt(n),
+		})
+	}
+	return resp, nil
+}
+
+// taskByName resolves a Table IV paper task or the XR gaming session.
+func (s *Server) taskByName(name string) (cordoba.Task, error) {
+	if name == "" {
+		return cordoba.Task{}, errf(http.StatusBadRequest, "missing task name (see GET /v1/tasks)")
+	}
+	if xr := cordoba.XRGamingTask(); name == xr.Name {
+		return xr, nil
+	}
+	task, err := cordoba.PaperTask(name)
+	if err != nil {
+		return cordoba.Task{}, errf(http.StatusBadRequest, "unknown task %q (see GET /v1/tasks)", name)
+	}
+	return task, nil
+}
+
+// resolveConfigs materializes the design space a DSE request names.
+func (s *Server) resolveConfigs(req DSERequest) ([]cordoba.AcceleratorConfig, error) {
+	if len(req.Configs) > 0 {
+		if req.Set != "" {
+			return nil, errf(http.StatusBadRequest, "give either set or configs, not both")
+		}
+		out := make([]cordoba.AcceleratorConfig, 0, len(req.Configs))
+		for _, id := range req.Configs {
+			cfg, ok := s.configs[id]
+			if !ok {
+				return nil, errf(http.StatusBadRequest,
+					"unknown accelerator config %q (see GET /v1/configs)", id)
+			}
+			out = append(out, cfg)
+		}
+		return out, nil
+	}
+	switch req.Set {
+	case "grid":
+		return cordoba.Grid(), nil
+	case "3d":
+		return cordoba.Stacked3D(), nil
+	default:
+		return nil, errf(http.StatusBadRequest, `unknown config set %q (use "grid" or "3d")`, req.Set)
+	}
+}
+
+// ---- GET /v1/experiments and /v1/experiments/{key} ----
+
+// experimentInfo is one row of the discovery listing.
+type experimentInfo struct {
+	Key     string   `json:"key"`
+	Title   string   `json:"title"`
+	Formats []string `json:"formats"`
+}
+
+func (s *Server) handleExperimentsList(w http.ResponseWriter, r *http.Request) error {
+	var out []experimentInfo
+	for _, e := range cordoba.Experiments() {
+		out = append(out, experimentInfo{Key: e.Key, Title: e.Title, Formats: []string{"json", "csv", "text"}})
+	}
+	_, err := writeJSON(w, http.StatusOK, out)
+	return err
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) error {
+	key := r.PathValue("key")
+	if _, err := cordoba.ExperimentResult(key); err != nil {
+		return errf(http.StatusNotFound,
+			"unknown experiment %q (keys: %s)", key, strings.Join(cordoba.ExperimentKeys(), ", "))
+	}
+	// The export registry streams straight to the client; large series
+	// (fig8 CSV is tens of thousands of rows) never materialize in memory.
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		return cordoba.ExportExperimentJSON(key, w)
+	case "csv":
+		// Keys without a tabular form fail before the first write, so the
+		// error envelope still goes out with a clean 400.
+		w.Header().Set("Content-Type", "text/csv")
+		if err := cordoba.ExportExperimentCSV(key, w); err != nil {
+			return errf(http.StatusBadRequest, "%v", err)
+		}
+		return nil
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		return cordoba.RunExperiment(key, w)
+	default:
+		return errf(http.StatusBadRequest, "unknown format %q (json, csv, or text)", format)
+	}
+}
+
+// ---- GET /v1/tasks and /v1/configs ----
+
+// taskInfo describes one servable task.
+type taskInfo struct {
+	Name       string             `json:"name"`
+	Kernels    map[string]float64 `json:"kernels"`
+	TotalCalls float64            `json:"total_calls"`
+}
+
+func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) error {
+	tasks := append(cordoba.PaperTasks(), cordoba.XRGamingTask())
+	out := make([]taskInfo, 0, len(tasks))
+	for _, t := range tasks {
+		calls := make(map[string]float64, len(t.Calls))
+		for k, n := range t.Calls {
+			calls[string(k)] = n
+		}
+		out = append(out, taskInfo{Name: t.Name, Kernels: calls, TotalCalls: t.TotalCalls()})
+	}
+	_, err := writeJSON(w, http.StatusOK, out)
+	return err
+}
+
+// configInfo describes one accelerator configuration.
+type configInfo struct {
+	ID        string  `json:"id"`
+	MACArrays int     `json:"mac_arrays"`
+	TotalMACs int     `json:"total_macs"`
+	SRAMMB    float64 `json:"sram_mb"`
+	Is3D      bool    `json:"is_3d,omitempty"`
+	MemDies   int     `json:"mem_dies,omitempty"`
+	AreaCM2   float64 `json:"area_cm2"`
+}
+
+func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) error {
+	var configs []cordoba.AcceleratorConfig
+	switch set := r.URL.Query().Get("set"); set {
+	case "", "grid":
+		configs = cordoba.Grid()
+	case "3d":
+		configs = cordoba.Stacked3D()
+	case "all":
+		configs = append(cordoba.Grid(), cordoba.Stacked3D()...)
+	default:
+		return errf(http.StatusBadRequest, `unknown config set %q (use "grid", "3d", or "all")`, set)
+	}
+	out := make([]configInfo, 0, len(configs))
+	for _, c := range configs {
+		out = append(out, configInfo{
+			ID:        c.ID,
+			MACArrays: c.MACArrays,
+			TotalMACs: c.TotalMACs(),
+			SRAMMB:    c.SRAM.InMB(),
+			Is3D:      c.Is3D,
+			MemDies:   c.MemDies,
+			AreaCM2:   c.TotalArea().CM2(),
+		})
+	}
+	_, err := writeJSON(w, http.StatusOK, out)
+	return err
+}
+
+// ---- GET /healthz and /metrics ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+	_, err := writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	return err
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	return s.metrics.WriteProm(w)
+}

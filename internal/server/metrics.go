@@ -1,0 +1,174 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the request-duration
+// histogram. They bracket the observed spread: a cache hit answers in
+// microseconds, a full 121-point grid evaluation in hundreds of
+// milliseconds on a loaded box.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// routeMetrics accumulates per-route counters. Everything is lock-free on
+// the hot path: status-code counters live in a sync.Map of *atomic.Int64,
+// the histogram in a fixed bucket array.
+type routeMetrics struct {
+	codes sync.Map // int status → *atomic.Int64
+
+	bucketCounts []atomic.Int64 // cumulative at render time, raw per-bucket here
+	count        atomic.Int64
+	sumNanos     atomic.Int64
+}
+
+func (rm *routeMetrics) observe(code int, seconds float64) {
+	v, ok := rm.codes.Load(code)
+	if !ok {
+		v, _ = rm.codes.LoadOrStore(code, new(atomic.Int64))
+	}
+	v.(*atomic.Int64).Add(1)
+
+	idx := len(latencyBuckets) // +Inf bucket
+	for i, ub := range latencyBuckets {
+		if seconds <= ub {
+			idx = i
+			break
+		}
+	}
+	rm.bucketCounts[idx].Add(1)
+	rm.count.Add(1)
+	rm.sumNanos.Add(int64(seconds * 1e9))
+}
+
+// Metrics is cordobad's observability registry: request counts and latency
+// histograms per route, cache hits/misses, in-flight requests, and the
+// evaluation worker-pool gauges. It renders itself in Prometheus text
+// exposition format and is implemented with sync/atomic only.
+type Metrics struct {
+	mu     sync.Mutex
+	routes map[string]*routeMetrics
+
+	inflight    atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
+	evalInflight atomic.Int64 // grid evaluations currently running
+	evalWaiting  atomic.Int64 // requests queued for a pool slot
+	poolSize     int
+}
+
+// NewMetrics returns an empty registry; poolSize is exported as a gauge so
+// dashboards can plot utilization = inflight/size.
+func NewMetrics(poolSize int) *Metrics {
+	return &Metrics{routes: map[string]*routeMetrics{}, poolSize: poolSize}
+}
+
+func (m *Metrics) route(name string) *routeMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rm, ok := m.routes[name]
+	if !ok {
+		rm = &routeMetrics{bucketCounts: make([]atomic.Int64, len(latencyBuckets)+1)}
+		m.routes[name] = rm
+	}
+	return rm
+}
+
+// ObserveRequest records one completed request on a route.
+func (m *Metrics) ObserveRequest(route string, code int, seconds float64) {
+	m.route(route).observe(code, seconds)
+}
+
+// CacheHit / CacheMiss record response-cache outcomes.
+func (m *Metrics) CacheHit()  { m.cacheHits.Add(1) }
+func (m *Metrics) CacheMiss() { m.cacheMisses.Add(1) }
+
+// CacheCounts returns the (hits, misses) totals.
+func (m *Metrics) CacheCounts() (hits, misses int64) {
+	return m.cacheHits.Load(), m.cacheMisses.Load()
+}
+
+// WriteProm renders the registry in Prometheus text exposition format.
+func (m *Metrics) WriteProm(w io.Writer) error {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.routes))
+	for name := range m.routes {
+		names = append(names, name)
+	}
+	routes := make(map[string]*routeMetrics, len(m.routes))
+	for name, rm := range m.routes {
+		routes[name] = rm
+	}
+	m.mu.Unlock()
+	sort.Strings(names)
+
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	p("# HELP cordobad_requests_total Completed HTTP requests by route and status code.\n")
+	p("# TYPE cordobad_requests_total counter\n")
+	for _, name := range names {
+		rm := routes[name]
+		type cc struct {
+			code int
+			n    int64
+		}
+		var codes []cc
+		rm.codes.Range(func(k, v any) bool {
+			codes = append(codes, cc{k.(int), v.(*atomic.Int64).Load()})
+			return true
+		})
+		sort.Slice(codes, func(i, j int) bool { return codes[i].code < codes[j].code })
+		for _, c := range codes {
+			p("cordobad_requests_total{route=%q,code=\"%d\"} %d\n", name, c.code, c.n)
+		}
+	}
+
+	p("# HELP cordobad_request_duration_seconds Request latency by route.\n")
+	p("# TYPE cordobad_request_duration_seconds histogram\n")
+	for _, name := range names {
+		rm := routes[name]
+		var cum int64
+		for i, ub := range latencyBuckets {
+			cum += rm.bucketCounts[i].Load()
+			p("cordobad_request_duration_seconds_bucket{route=%q,le=\"%g\"} %d\n", name, ub, cum)
+		}
+		cum += rm.bucketCounts[len(latencyBuckets)].Load()
+		p("cordobad_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", name, cum)
+		p("cordobad_request_duration_seconds_sum{route=%q} %g\n", name, float64(rm.sumNanos.Load())/1e9)
+		p("cordobad_request_duration_seconds_count{route=%q} %d\n", name, rm.count.Load())
+	}
+
+	p("# HELP cordobad_cache_hits_total Response-cache hits.\n")
+	p("# TYPE cordobad_cache_hits_total counter\n")
+	p("cordobad_cache_hits_total %d\n", m.cacheHits.Load())
+	p("# HELP cordobad_cache_misses_total Response-cache misses.\n")
+	p("# TYPE cordobad_cache_misses_total counter\n")
+	p("cordobad_cache_misses_total %d\n", m.cacheMisses.Load())
+
+	p("# HELP cordobad_inflight_requests HTTP requests currently being served.\n")
+	p("# TYPE cordobad_inflight_requests gauge\n")
+	p("cordobad_inflight_requests %d\n", m.inflight.Load())
+
+	p("# HELP cordobad_pool_size Evaluation worker-pool capacity.\n")
+	p("# TYPE cordobad_pool_size gauge\n")
+	p("cordobad_pool_size %d\n", m.poolSize)
+	p("# HELP cordobad_pool_inflight_evaluations Grid evaluations currently running.\n")
+	p("# TYPE cordobad_pool_inflight_evaluations gauge\n")
+	p("cordobad_pool_inflight_evaluations %d\n", m.evalInflight.Load())
+	p("# HELP cordobad_pool_waiting_requests Requests queued for an evaluation slot.\n")
+	p("# TYPE cordobad_pool_waiting_requests gauge\n")
+	p("cordobad_pool_waiting_requests %d\n", m.evalWaiting.Load())
+
+	return err
+}

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMetricsHistogramBuckets(t *testing.T) {
+	m := NewMetrics(4)
+	m.ObserveRequest("/x", 200, 0.0001) // first bucket
+	m.ObserveRequest("/x", 200, 0.03)   // mid bucket
+	m.ObserveRequest("/x", 500, 42)     // +Inf bucket
+
+	var sb strings.Builder
+	if err := m.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`cordobad_requests_total{route="/x",code="200"} 2`,
+		`cordobad_requests_total{route="/x",code="500"} 1`,
+		`cordobad_request_duration_seconds_bucket{route="/x",le="0.0005"} 1`,
+		`cordobad_request_duration_seconds_bucket{route="/x",le="0.05"} 2`,
+		`cordobad_request_duration_seconds_bucket{route="/x",le="10"} 2`,
+		`cordobad_request_duration_seconds_bucket{route="/x",le="+Inf"} 3`,
+		`cordobad_request_duration_seconds_count{route="/x"} 3`,
+		"cordobad_pool_size 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsBucketsAreCumulative(t *testing.T) {
+	m := NewMetrics(1)
+	for i := 0; i < 50; i++ {
+		m.ObserveRequest("/y", 200, 0.002) // all land in the le=0.005 bucket
+	}
+	var sb strings.Builder
+	if err := m.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Every bucket at or above 0.005 must report the full count.
+	for _, le := range []string{"0.005", "0.5", "10", "+Inf"} {
+		want := `cordobad_request_duration_seconds_bucket{route="/y",le="` + le + `"} 50`
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, `le="0.001"} 50`) {
+		t.Error("lower bucket wrongly includes slower observations")
+	}
+}
+
+func TestMetricsConcurrentObserve(t *testing.T) {
+	m := NewMetrics(1)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				m.ObserveRequest("/z", 200, 0.01)
+				m.CacheHit()
+				m.CacheMiss()
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	var sb strings.Builder
+	if err := m.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `cordobad_requests_total{route="/z",code="200"} 4000`) {
+		t.Fatalf("lost observations under concurrency:\n%s", sb.String())
+	}
+	hits, misses := m.CacheCounts()
+	if hits != 4000 || misses != 4000 {
+		t.Fatalf("cache counts = (%d, %d), want (4000, 4000)", hits, misses)
+	}
+}

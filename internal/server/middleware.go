@@ -1,0 +1,156 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// StatusClientClosedRequest is the nginx-convention status recorded when
+// the client canceled the request before a response was written.
+const StatusClientClosedRequest = 499
+
+// apiError is an error carrying the HTTP status it should be reported as.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+// errf builds an apiError with a formatted message.
+func errf(status int, format string, args ...any) error {
+	return &apiError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// errorEnvelope is the JSON error body every endpoint returns on failure.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Status  int    `json:"status"`
+	Message string `json:"message"`
+}
+
+// statusRecorder captures the status code and byte count written by a
+// handler so the middleware can log and meter them.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// handlerFunc is the internal handler signature: returning an error routes
+// it through the shared envelope/status mapping in one place.
+type handlerFunc func(w http.ResponseWriter, r *http.Request) error
+
+// instrument wraps a handler with the full middleware stack: per-request
+// timeout, panic recovery, metrics observation under the route label, and
+// structured request logging.
+func (s *Server) instrument(route string, h handlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.inflight.Add(1)
+		defer s.metrics.inflight.Add(-1)
+
+		ctx := r.Context()
+		if s.cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			defer cancel()
+		}
+		r = r.WithContext(ctx)
+
+		rec := &statusRecorder{ResponseWriter: w}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					s.log.Error("panic in handler", "route", route, "panic", fmt.Sprint(p))
+					writeError(rec, errf(http.StatusInternalServerError, "internal error"))
+				}
+			}()
+			if err := h(rec, r); err != nil {
+				writeError(rec, err)
+			}
+		}()
+
+		elapsed := time.Since(start)
+		s.metrics.ObserveRequest(route, rec.status, elapsed.Seconds())
+		s.log.Info("request",
+			"method", r.Method,
+			"route", route,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"bytes", rec.bytes,
+			"duration", elapsed,
+			"cache", rec.Header().Get("X-Cache"),
+		)
+	})
+}
+
+// writeError renders err as the JSON error envelope, mapping context and
+// body-size failures onto their HTTP statuses. If the handler already
+// started streaming a body, the status is left alone and only the metric
+// records the failure.
+func writeError(w *statusRecorder, err error) {
+	if w.status != 0 {
+		return // headers already sent; can't change the status mid-stream
+	}
+	status := http.StatusInternalServerError
+	msg := err.Error()
+	var (
+		ae *apiError
+		mb *http.MaxBytesError
+	)
+	switch {
+	case errors.As(err, &ae):
+		status = ae.status
+	case errors.As(err, &mb):
+		status = http.StatusRequestEntityTooLarge
+		msg = fmt.Sprintf("request body exceeds %d bytes", mb.Limit)
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+		msg = "request deadline exceeded"
+	case errors.Is(err, context.Canceled):
+		status = StatusClientClosedRequest
+		msg = "client closed request"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorEnvelope{Error: errorBody{Status: status, Message: msg}})
+}
+
+// writeJSON marshals v and writes it with the given status. The body is
+// rendered to a buffer first so a marshal failure can still produce a clean
+// error envelope, and so callers can cache the exact bytes.
+func writeJSON(w http.ResponseWriter, status int, v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	b = append(b, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, err = w.Write(b)
+	return b, err
+}

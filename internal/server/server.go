@@ -1,0 +1,166 @@
+// Package server is cordobad's service layer: it exposes CORDOBA's carbon
+// accounting (eq. IV.5), design-space exploration (§VI-B/C), and experiment
+// registry as a long-lived, concurrent JSON API over net/http — stdlib only.
+//
+// Production plumbing around the handlers:
+//
+//   - a bounded worker pool sized from GOMAXPROCS admits grid evaluations
+//     (dse.EvaluateParallel) so request bursts queue instead of thrashing;
+//   - an in-memory LRU caches rendered responses keyed by a canonical hash
+//     of the decoded request — DSE results are deterministic, so a hit
+//     skips the whole evaluation and replays byte-identical JSON;
+//   - per-request timeouts, request-size limits, panic recovery, and a
+//     uniform JSON error envelope;
+//   - GET /healthz, Prometheus-format GET /metrics (request counts, latency
+//     histograms, cache hit/miss, in-flight and pool gauges, all
+//     sync/atomic), and structured request logging via log/slog.
+//
+// Routes:
+//
+//	POST /v1/accounting          ACT embodied carbon for a die or accelerator
+//	POST /v1/dse                 task + design space → ever-optimal set, sweep
+//	GET  /v1/experiments         experiment discovery
+//	GET  /v1/experiments/{key}   stream one experiment (json, csv, or text)
+//	GET  /v1/tasks               servable tasks
+//	GET  /v1/configs             accelerator design spaces
+//	GET  /healthz                liveness
+//	GET  /metrics                Prometheus text exposition
+package server
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"net"
+	"net/http"
+	"time"
+
+	"cordoba"
+)
+
+// Config tunes the daemon; zero values select production defaults.
+type Config struct {
+	Addr           string        // listen address, default ":8080"
+	CacheSize      int           // LRU entries, default 256; negative disables
+	MaxBodyBytes   int64         // request-body cap, default 1 MiB
+	RequestTimeout time.Duration // per-request deadline, default 60 s
+	PoolSize       int           // concurrent evaluations, default DefaultPoolSize
+	EvalWorkers    int           // goroutines per evaluation, default DefaultEvalWorkers
+	Logger         *slog.Logger  // default slog.Default()
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server is the assembled service: router, cache, metrics, and pool.
+type Server struct {
+	cfg     Config
+	log     *slog.Logger
+	mux     *http.ServeMux
+	metrics *Metrics
+	cache   *Cache
+	pool    *Pool
+
+	// configs indexes every known accelerator ID (grid + 3D) for request
+	// resolution without re-enumerating the design space per request.
+	configs map[string]cordoba.AcceleratorConfig
+}
+
+// New assembles a Server from the configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		log:     cfg.Logger,
+		mux:     http.NewServeMux(),
+		configs: map[string]cordoba.AcceleratorConfig{},
+	}
+	for _, c := range cordoba.Grid() {
+		s.configs[c.ID] = c
+	}
+	for _, c := range cordoba.Stacked3D() {
+		s.configs[c.ID] = c
+	}
+
+	pm := NewMetrics(0)
+	s.pool = NewPool(cfg.PoolSize, cfg.EvalWorkers, pm)
+	pm.poolSize = s.pool.Size()
+	s.metrics = pm
+	s.cache = NewCache(cfg.CacheSize)
+
+	s.mux.Handle("POST /v1/accounting", s.instrument("/v1/accounting", s.handleAccounting))
+	s.mux.Handle("POST /v1/dse", s.instrument("/v1/dse", s.handleDSE))
+	s.mux.Handle("GET /v1/experiments", s.instrument("/v1/experiments", s.handleExperimentsList))
+	s.mux.Handle("GET /v1/experiments/{key}", s.instrument("/v1/experiments/{key}", s.handleExperiment))
+	s.mux.Handle("GET /v1/tasks", s.instrument("/v1/tasks", s.handleTasks))
+	s.mux.Handle("GET /v1/configs", s.instrument("/v1/configs", s.handleConfigs))
+	s.mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	return s
+}
+
+// Handler returns the fully instrumented route tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the observability registry (tests and the daemon banner).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Cache exposes the response cache.
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Pool exposes the evaluation worker pool.
+func (s *Server) Pool() *Pool { return s.pool }
+
+// ListenAndServe serves until ctx is canceled, then shuts down gracefully:
+// the listener closes immediately, in-flight requests get grace to drain,
+// and only then does the call return.
+func (s *Server) ListenAndServe(ctx context.Context, grace time.Duration) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln, grace)
+}
+
+// Serve is ListenAndServe on an existing listener (tests bind an ephemeral
+// port first to learn the address).
+func (s *Server) Serve(ctx context.Context, ln net.Listener, grace time.Duration) error {
+	srv := &http.Server{Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	log := s.log
+
+	select {
+	case err := <-errc:
+		return err // listener failed before shutdown was requested
+	case <-ctx.Done():
+	}
+
+	log.Info("shutting down, draining in-flight requests", "grace", grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
