@@ -1,11 +1,11 @@
 # CORDOBA build/test entry points. `make ci` is the full PR gate: the
 # tier-1 verify (build + all tests), go vet, and a race-detector pass over
-# the concurrent paths (the cordobad service layer and the parallel DSE
-# engine).
+# the concurrent paths (the cordobad service layer, the parallel/streaming
+# DSE engine, and the envelope accumulator it locks around).
 
 GO ?= go
 
-.PHONY: build test vet race ci bench bench-server run-daemon
+.PHONY: build test vet race ci bench bench-server bench-check bench-baseline fuzz-smoke run-daemon
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/server/... ./internal/dse/...
+	$(GO) test -race ./internal/server/... ./internal/dse/... ./internal/pareto/...
 
 ci: build vet test race
 
@@ -27,6 +27,23 @@ bench:
 # The pool-sizing and cache benchmarks behind cordobad's defaults.
 bench-server:
 	$(GO) test -run '^$$' -bench 'BenchmarkEvaluateParallel|BenchmarkServerDSE' -benchmem .
+
+# Guard the streaming-engine speedup: fail on a >2x ns/op regression against
+# the checked-in baseline. Regenerate after an intentional perf change with
+# `make bench-baseline` and review the diff.
+bench-check:
+	$(GO) test -run '^$$' -bench BenchmarkStreamingDSE -benchtime 1x . | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json
+
+bench-baseline:
+	$(GO) test -run '^$$' -bench BenchmarkStreamingDSE -benchtime 1x . | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
+
+# Ten seconds of coverage-guided fuzzing per target (one -fuzz per
+# invocation is a `go test` restriction). Seed corpora live under each
+# package's testdata/fuzz/ and also run as regular tests in `make test`.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParetoEnvelope -fuzztime 10s ./internal/pareto
+	$(GO) test -run '^$$' -fuzz FuzzDSERequest -fuzztime 10s ./internal/server
+	$(GO) test -run '^$$' -fuzz FuzzAccountingRequest -fuzztime 10s ./internal/server
 
 run-daemon:
 	$(GO) run ./cmd/cordobad -addr :8080

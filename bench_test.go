@@ -5,6 +5,7 @@ package cordoba_test
 // the reproduction pipeline and re-verifies that every experiment still runs.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
@@ -14,6 +15,8 @@ import (
 	"testing"
 
 	"cordoba"
+	"cordoba/internal/carbon"
+	"cordoba/internal/dse"
 	"cordoba/internal/experiments"
 	"cordoba/internal/server"
 )
@@ -187,4 +190,65 @@ func BenchmarkScheduler(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// streamBenchGrid is the ≥100k-point knob grid behind the streaming-engine
+// acceptance benchmark: 50 MAC options × 30 SRAM options × 10 DVFS points ×
+// 7 technology nodes = 105,000 configurations.
+func streamBenchGrid() dse.Grid {
+	macs := make([]int, 50)
+	for i := range macs {
+		macs[i] = 4 * (i + 1)
+	}
+	sram := make([]float64, 30)
+	for i := range sram {
+		sram[i] = 1 + float64(i)*2
+	}
+	vdd := make([]float64, 10)
+	for i := range vdd {
+		vdd[i] = 0.55 + 0.05*float64(i)
+	}
+	return dse.Grid{
+		MACArrays: macs,
+		SRAMMB:    sram,
+		VDDScales: vdd,
+		Nodes:     []string{"28nm", "20nm", "14nm", "10nm", "7nm", "5nm", "3nm"},
+	}
+}
+
+// BenchmarkStreamingDSE pits the v2 streaming engine against naive full
+// materialization on the same 105k-point knob grid ("naive" re-derives
+// every kernel cost per configuration and holds all points in memory;
+// "streaming" memoizes shape profiles and keeps only the envelope). The
+// acceptance bar for the engine is ≥5× lower wall time for streaming.
+func BenchmarkStreamingDSE(b *testing.B) {
+	task, err := cordoba.PaperTask(cordoba.TaskAllKernels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := streamBenchGrid()
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := dse.EvaluateGrid(task, g, carbon.FabCoal, 380)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(s.EverOptimal()) == 0 {
+				b.Fatal("empty envelope")
+			}
+		}
+	})
+	b.Run("streaming", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := dse.EvaluateStream(context.Background(), task, g, carbon.FabCoal, 380, dse.StreamOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r.Kept() == 0 {
+				b.Fatal("empty envelope")
+			}
+		}
+	})
 }

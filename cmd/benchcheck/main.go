@@ -1,0 +1,140 @@
+// Command benchcheck guards against performance regressions: it parses
+// `go test -bench` output on stdin, compares each benchmark's ns/op against
+// a checked-in baseline, and exits non-zero when any result is more than
+// -max-ratio times slower. Regenerate the baseline after an intentional
+// change with -update.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkStreamingDSE -benchtime 1x . | benchcheck -baseline testdata/bench_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches one result row, e.g.
+//
+//	BenchmarkStreamingDSE/naive-8   1  7613378000 ns/op  93437848 B/op ...
+//
+// The trailing -N on the name is the GOMAXPROCS suffix and is stripped so
+// baselines recorded on one machine compare on another.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
+
+// parseBench extracts name → ns/op from go test -bench output, echoing the
+// input through to w so the pipeline stays readable.
+func parseBench(r io.Reader, w io.Writer) (map[string]float64, error) {
+	results := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(w, line)
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", line, err)
+		}
+		results[m[1]] = ns
+	}
+	return results, sc.Err()
+}
+
+// check compares results against the baseline and returns one line per
+// violation: a benchmark slower than maxRatio times its baseline, or one
+// missing from the baseline entirely.
+func check(results, baseline map[string]float64, maxRatio float64) []string {
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var violations []string
+	for _, name := range names {
+		ns := results[name]
+		base, ok := baseline[name]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s: no baseline entry (rerun with -update)", name))
+			continue
+		}
+		if base > 0 && ns > maxRatio*base {
+			violations = append(violations,
+				fmt.Sprintf("%s: %.3gms vs baseline %.3gms (%.2fx > %.2gx budget)",
+					name, ns/1e6, base/1e6, ns/base, maxRatio))
+		}
+	}
+	return violations
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		baselinePath = fs.String("baseline", "testdata/bench_baseline.json", "baseline JSON path")
+		update       = fs.Bool("update", false, "rewrite the baseline from this run")
+		maxRatio     = fs.Float64("max-ratio", 2.0, "fail when ns/op exceeds baseline by this factor")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	results, err := parseBench(stdin, stdout)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchcheck:", err)
+		return 2
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(stderr, "benchcheck: no benchmark results on stdin")
+		return 2
+	}
+
+	if *update {
+		b, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "benchcheck:", err)
+			return 2
+		}
+		if err := os.WriteFile(*baselinePath, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, "benchcheck:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "benchcheck: wrote %d entries to %s\n", len(results), *baselinePath)
+		return 0
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchcheck: reading baseline (rerun with -update):", err)
+		return 2
+	}
+	baseline := map[string]float64{}
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		fmt.Fprintln(stderr, "benchcheck: baseline:", err)
+		return 2
+	}
+
+	violations := check(results, baseline, *maxRatio)
+	for _, v := range violations {
+		fmt.Fprintln(stderr, "benchcheck: FAIL", v)
+	}
+	if len(violations) > 0 {
+		return 1
+	}
+	fmt.Fprintf(stderr, "benchcheck: %d benchmarks within %.2gx of baseline\n", len(results), *maxRatio)
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}

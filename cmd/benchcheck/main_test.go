@@ -1,0 +1,88 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: cordoba
+BenchmarkStreamingDSE/naive-8         	       1	7613378000 ns/op	93437848 B/op	  316410 allocs/op
+BenchmarkStreamingDSE/streaming-8     	       2	 536123456 ns/op	210000000 B/op	  794000 allocs/op
+BenchmarkEvaluateParallel 	      10	 123456789 ns/op
+PASS
+ok  	cordoba	10.123s
+`
+
+func TestParseBenchStripsSuffix(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleOutput), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkStreamingDSE/naive":     7613378000,
+		"BenchmarkStreamingDSE/streaming": 536123456,
+		"BenchmarkEvaluateParallel":       123456789,
+	}
+	if len(results) != len(want) {
+		t.Fatalf("parsed %v, want %v", results, want)
+	}
+	for name, ns := range want {
+		if results[name] != ns {
+			t.Errorf("%s = %v, want %v", name, results[name], ns)
+		}
+	}
+}
+
+func TestCheckFlagsRegressionsAndMissing(t *testing.T) {
+	results := map[string]float64{"BenchmarkA": 900, "BenchmarkB": 2100, "BenchmarkC": 5}
+	baseline := map[string]float64{"BenchmarkA": 1000, "BenchmarkB": 1000}
+	got := check(results, baseline, 2.0)
+	if len(got) != 2 {
+		t.Fatalf("violations = %v, want a regression and a missing entry", got)
+	}
+	if !strings.Contains(got[0], "BenchmarkB") || !strings.Contains(got[0], "2.10x") {
+		t.Errorf("regression line = %q", got[0])
+	}
+	if !strings.Contains(got[1], "BenchmarkC") || !strings.Contains(got[1], "no baseline") {
+		t.Errorf("missing-baseline line = %q", got[1])
+	}
+}
+
+func TestRunUpdateThenPass(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "baseline.json")
+
+	if code := run([]string{"-baseline", base, "-update"},
+		strings.NewReader(sampleOutput), io.Discard, io.Discard); code != 0 {
+		t.Fatalf("-update exited %d", code)
+	}
+	if _, err := os.Stat(base); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-baseline", base},
+		strings.NewReader(sampleOutput), io.Discard, io.Discard); code != 0 {
+		t.Fatalf("clean compare exited %d", code)
+	}
+
+	// 3x slower on one benchmark: must fail.
+	slow := strings.Replace(sampleOutput, "7613378000 ns/op", "22840134000 ns/op", 1)
+	var errOut strings.Builder
+	if code := run([]string{"-baseline", base},
+		strings.NewReader(slow), io.Discard, &errOut); code != 1 {
+		t.Fatalf("regression exited %d, want 1\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "BenchmarkStreamingDSE/naive") {
+		t.Fatalf("regression output missing benchmark name:\n%s", errOut.String())
+	}
+
+	// Empty input is an operator error, not a pass.
+	if code := run([]string{"-baseline", base},
+		strings.NewReader("PASS\n"), io.Discard, io.Discard); code != 2 {
+		t.Fatalf("empty input exited %d, want 2", code)
+	}
+}

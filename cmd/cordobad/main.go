@@ -45,6 +45,8 @@ func run(ctx context.Context, logw io.Writer, args []string) error {
 		timeout     = fs.Duration("request-timeout", 60*time.Second, "per-request deadline")
 		poolSize    = fs.Int("pool-size", 0, "concurrent grid evaluations (0 = GOMAXPROCS-derived)")
 		evalWorkers = fs.Int("eval-workers", 0, "goroutines per evaluation (0 = default)")
+		maxGrid     = fs.Int64("max-grid-points", 0, "knob-grid size cap per DSE request (0 = default 1<<20)")
+		memoSize    = fs.Int("memo-size", 0, "shape-profile memo entries for streaming DSE (0 = default)")
 		grace       = fs.Duration("shutdown-grace", 15*time.Second, "drain window on SIGTERM")
 		logJSON     = fs.Bool("log-json", false, "emit structured logs as JSON")
 	)
@@ -67,6 +69,8 @@ func run(ctx context.Context, logw io.Writer, args []string) error {
 		RequestTimeout: *timeout,
 		PoolSize:       *poolSize,
 		EvalWorkers:    *evalWorkers,
+		MaxGridPoints:  *maxGrid,
+		MemoEntries:    *memoSize,
 		Logger:         log,
 	})
 

@@ -33,6 +33,7 @@
 package cordoba
 
 import (
+	"context"
 	"io"
 
 	"cordoba/internal/accel"
@@ -247,6 +248,53 @@ func ExploreParallelAt(task Task, configs []AcceleratorConfig, p Process, fab Fa
 
 // LogSpace returns k log-spaced operational times over [lo, hi].
 func LogSpace(lo, hi float64, k int) []float64 { return dse.LogSpace(lo, hi, k) }
+
+// ---- streaming exploration (DSE engine v2) ----
+
+// KnobGrid describes a design space as cartesian knob ranges — MAC-array
+// count, SRAM capacity, DVFS supply scaling, technology node — enumerated
+// lazily instead of materialized.
+type KnobGrid = dse.Grid
+
+// StreamResult is a streaming exploration's outcome: the surviving
+// ever-optimal set plus grid-wide aggregates.
+type StreamResult = dse.StreamResult
+
+// StreamOptions tunes the streaming engine (worker fan-out, shared memo).
+type StreamOptions = dse.StreamOptions
+
+// MemoCache is the shared (kernel, config-signature) → shape-profile cache
+// of the streaming engine; pass one cache across calls to reuse kernel
+// evaluations between requests.
+type MemoCache = dse.MemoCache
+
+// NewMemoCache returns a bounded memo cache (max < 1 selects the default).
+func NewMemoCache(max int) *MemoCache { return dse.NewMemoCache(max) }
+
+// ExploreStream explores a knob grid with the v2 streaming engine at the
+// paper's anchor parameters, keeping only the ever-optimal envelope in
+// memory. Results match materializing the grid and calling EverOptimal.
+func ExploreStream(ctx context.Context, task Task, g KnobGrid, opt StreamOptions) (*StreamResult, error) {
+	return dse.EvaluateStream(ctx, task, g, carbon.FabCoal, 380, opt)
+}
+
+// ExploreStreamAt is ExploreStream with explicit fab and use-phase carbon
+// intensity (the grid's node axis selects the embodied process per point).
+func ExploreStreamAt(ctx context.Context, task Task, g KnobGrid, fab Fab, ci CarbonIntensity, opt StreamOptions) (*StreamResult, error) {
+	return dse.EvaluateStream(ctx, task, g, fab, ci, opt)
+}
+
+// ExploreStreamTasks streams several tasks over one grid in a single pass,
+// sharing every kernel evaluation between them.
+func ExploreStreamTasks(ctx context.Context, tasks []Task, g KnobGrid, fab Fab, ci CarbonIntensity, opt StreamOptions) ([]*StreamResult, error) {
+	return dse.EvaluateStreamTasks(ctx, tasks, g, fab, ci, opt)
+}
+
+// ExploreGridNaive materializes a knob grid and evaluates it through the v1
+// engine — the reference baseline for the streaming engine.
+func ExploreGridNaive(task Task, g KnobGrid, fab Fab, ci CarbonIntensity) (*DesignSpace, error) {
+	return dse.EvaluateGrid(task, g, fab, ci)
+}
 
 // ---- uncertainty (§IV-B) ----
 

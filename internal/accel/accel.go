@@ -221,14 +221,27 @@ func (c Config) utilization(kind nn.OpKind) float64 {
 	}
 }
 
-// LayerCost simulates one layer on the configuration.
-func (c Config) LayerCost(l nn.Layer) LayerCost {
-	var lc LayerCost
+// layerShape holds the knob-invariant quantities of one layer on one
+// configuration shape: MAC work, saturated effective throughput (before the
+// clock is applied), and the byte counts that move through each level of the
+// memory hierarchy. Everything the DVFS/energy knobs can rescale (clock,
+// per-op energies) is deliberately absent, so a ShapeProfile built from
+// these replays under different knob settings (see shape.go).
+type layerShape struct {
+	macs    float64     // MAC count; 0 for memory-only layers
+	effBase float64     // saturated arrays × MACsPerArray × utilization, clock excluded
+	sram    units.Bytes // bytes traversing the activation memory, incl. spill re-reads
+	dram    units.Bytes // weights + spilled activations
+}
+
+// layerShape computes the knob-invariant part of one layer's simulation.
+func (c Config) layerShape(l nn.Layer) layerShape {
+	var ls layerShape
 
 	// Compute roofline with per-layer saturation: the layer's exposed
 	// parallelism bounds how many arrays it can keep busy.
-	macs := l.MACs()
-	if macs > 0 {
+	ls.macs = l.MACs()
+	if ls.macs > 0 {
 		n := float64(c.MACArrays)
 		par := float64(l.OutH * l.OutW)
 		if ch := float64(l.OutC); ch > par {
@@ -241,28 +254,39 @@ func (c Config) LayerCost(l nn.Layer) LayerCost {
 		if s > 0 {
 			n = n * s / (s + n)
 		}
-		eff := n * MACsPerArray * c.utilization(l.Kind) * c.Params.Clock.Hertz()
-		lc.ComputeTime = units.Time(macs / eff)
-		lc.MACEnergy = c.Params.MACEnergy * units.Energy(macs)
+		ls.effBase = n * MACsPerArray * c.utilization(l.Kind)
 	}
 
 	// Activation traffic: the whole working set moves through the on-chip
 	// memory hierarchy; the part that does not fit spills to DRAM and is
 	// re-fetched with a tiling penalty.
 	ws := l.WorkingSet()
-	sramBytes := ws
+	ls.sram = ws
 	var spill units.Bytes
 	if ws > c.SRAM {
 		penalty := c.Params.TilingPenalty * (1 + math.Log2(float64(ws/c.SRAM)))
 		spill = (ws - c.SRAM) * units.Bytes(penalty)
-		sramBytes = c.SRAM + spill // spilled tiles still pass through SRAM
+		ls.sram = c.SRAM + spill // spilled tiles still pass through SRAM
 	}
-	weights := l.WeightBytes()
-	dram := spill + weights
-	lc.DRAMTraffic = dram
-	lc.SRAMEnergy = c.sramEnergyPerByte() * units.Energy(sramBytes)
-	lc.DRAMEnergy = c.Params.DRAMEnergyPerByte * units.Energy(dram)
-	lc.MemoryTime = units.Time(float64(dram) / c.dramBandwidth().BytesPerSecond())
+	ls.dram = spill + l.WeightBytes()
+	return ls
+}
+
+// layerCostOf prices a layer shape under the configuration's clock and
+// energy parameters. LayerCost and ShapeProfile.Cost both go through this
+// helper so the direct and memoized paths cannot drift — their results are
+// bit-identical by construction.
+func (c Config) layerCostOf(ls layerShape) LayerCost {
+	var lc LayerCost
+	if ls.macs > 0 {
+		eff := ls.effBase * c.Params.Clock.Hertz()
+		lc.ComputeTime = units.Time(ls.macs / eff)
+		lc.MACEnergy = c.Params.MACEnergy * units.Energy(ls.macs)
+	}
+	lc.DRAMTraffic = ls.dram
+	lc.SRAMEnergy = c.sramEnergyPerByte() * units.Energy(ls.sram)
+	lc.DRAMEnergy = c.Params.DRAMEnergyPerByte * units.Energy(ls.dram)
+	lc.MemoryTime = units.Time(float64(ls.dram) / c.dramBandwidth().BytesPerSecond())
 
 	lc.Time = lc.ComputeTime
 	if lc.MemoryTime > lc.Time {
@@ -270,6 +294,11 @@ func (c Config) LayerCost(l nn.Layer) LayerCost {
 	}
 	lc.Time += c.Params.LayerOverhead
 	return lc
+}
+
+// LayerCost simulates one layer on the configuration.
+func (c Config) LayerCost(l nn.Layer) LayerCost {
+	return c.layerCostOf(c.layerShape(l))
 }
 
 // KernelProfile aggregates a whole network's simulation.

@@ -1,0 +1,108 @@
+package accel
+
+import (
+	"cordoba/internal/nn"
+	"cordoba/internal/units"
+	"cordoba/internal/workload"
+)
+
+// ShapeKey identifies the inputs of layerShape: the fields of a Config that
+// determine a kernel's layer shapes. Two configurations with equal ShapeKeys
+// produce identical layerShape sequences for every kernel — only clocks,
+// per-op energies, bandwidth and 3D wiring may differ between them — so a
+// ShapeProfile computed under one can be replayed under the other. The DSE
+// memo cache (internal/dse.MemoCache) keys on (kernel, ShapeKey), which is
+// what lets a knob grid sweeping DVFS points and technology nodes re-derive
+// each kernel's layer shapes once per (MAC arrays, SRAM) pair instead of
+// once per grid cell.
+type ShapeKey struct {
+	MACArrays int
+	SRAM      units.Bytes
+
+	ConvUtil, DWConvUtil, FCUtil float64
+	SaturationScale              float64
+	SaturationCap                float64
+	TilingPenalty                float64
+}
+
+// ShapeKey returns the configuration's shape signature.
+func (c Config) ShapeKey() ShapeKey {
+	return ShapeKey{
+		MACArrays:       c.MACArrays,
+		SRAM:            c.SRAM,
+		ConvUtil:        c.Params.ConvUtil,
+		DWConvUtil:      c.Params.DWConvUtil,
+		FCUtil:          c.Params.FCUtil,
+		SaturationScale: c.Params.SaturationScale,
+		SaturationCap:   c.Params.SaturationCap,
+		TilingPenalty:   c.Params.TilingPenalty,
+	}
+}
+
+// ShapeProfile is a kernel's pre-computed layer shapes for one ShapeKey: the
+// knob-invariant half of the simulation, cached once and re-priced under any
+// configuration that shares the key. Cost replays through the same
+// layerCostOf helper as the direct path, so for a Config c with
+// c.ShapeKey() == sp.Key, sp.Cost(c) is bit-identical to c.KernelCost(sp.Kernel).
+type ShapeProfile struct {
+	Kernel nn.KernelID
+	Key    ShapeKey
+
+	layers []layerShape
+}
+
+// ShapeProfile pre-computes a kernel's layer shapes on this configuration.
+func (c Config) ShapeProfile(id nn.KernelID) (*ShapeProfile, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	net, err := nn.Kernel(id)
+	if err != nil {
+		return nil, err
+	}
+	sp := &ShapeProfile{Kernel: id, Key: c.ShapeKey(), layers: make([]layerShape, len(net.Layers))}
+	for i, l := range net.Layers {
+		sp.layers[i] = c.layerShape(l)
+	}
+	return sp, nil
+}
+
+// Cost prices the profiled kernel under a configuration's clock, energy and
+// bandwidth parameters. The caller must ensure c.ShapeKey() equals sp.Key.
+//
+// The loop below is layerCostOf with the layer-invariant parameters hoisted
+// out — every expression keeps layerCostOf's operand grouping, so hoisting
+// changes nothing bit-wise (the per-layer accumulation order also matches
+// Profile: time, then (MAC + SRAM) + DRAM energy). TestShapeProfileCostBitwise
+// holds the two paths equal.
+func (sp *ShapeProfile) Cost(c Config) workload.KernelCost {
+	var (
+		clk    = c.Params.Clock.Hertz()
+		macE   = c.Params.MACEnergy
+		sramPB = c.sramEnergyPerByte()
+		dramPB = c.Params.DRAMEnergyPerByte
+		bw     = c.dramBandwidth().BytesPerSecond()
+		oh     = c.Params.LayerOverhead
+	)
+	var kc workload.KernelCost
+	for _, ls := range sp.layers {
+		var ct units.Time
+		var macEnergy units.Energy
+		if ls.macs > 0 {
+			eff := ls.effBase * clk
+			ct = units.Time(ls.macs / eff)
+			macEnergy = macE * units.Energy(ls.macs)
+		}
+		sramEnergy := sramPB * units.Energy(ls.sram)
+		dramEnergy := dramPB * units.Energy(ls.dram)
+		mt := units.Time(float64(ls.dram) / bw)
+		t := ct
+		if mt > t {
+			t = mt
+		}
+		t += oh
+		kc.Delay += t
+		kc.DynamicEnergy += macEnergy + sramEnergy + dramEnergy
+	}
+	return kc
+}

@@ -1,0 +1,95 @@
+package accel
+
+import (
+	"testing"
+
+	"cordoba/internal/nn"
+	"cordoba/internal/units"
+)
+
+// TestShapeProfileCostBitwise holds the memoized replay path equal — bit for
+// bit — to the direct simulator path, across the whole Fig. 8 grid, the 3D
+// configurations, and knob-rescaled parameter sets.
+func TestShapeProfileCostBitwise(t *testing.T) {
+	configs := append(Grid(), Stacked3D()...)
+	// A DVFS/node-style rescaled configuration: slower clock, cheaper ops,
+	// different leakage — everything outside the ShapeKey.
+	scaled := New("scaled", 48, units.MB(24))
+	scaled.Params.Clock *= 0.6321
+	scaled.Params.MACEnergy *= 0.7777
+	scaled.Params.SRAMEnergyBase *= 0.7777
+	scaled.Params.SRAMEnergySlope *= 0.7777
+	scaled.Params.BaseLeakage *= 1.3
+	configs = append(configs, scaled)
+
+	for _, c := range configs {
+		for _, id := range nn.AllKernels() {
+			sp, err := c.ShapeProfile(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sp.Key != c.ShapeKey() {
+				t.Fatalf("%s: profile key %+v != config key %+v", c.ID, sp.Key, c.ShapeKey())
+			}
+			direct, err := c.KernelCost(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if replay := sp.Cost(c); replay != direct {
+				t.Fatalf("%s/%s: replay %+v != direct %+v", c.ID, id, replay, direct)
+			}
+		}
+	}
+}
+
+// TestShapeKeyInvariance: configs differing only in knob-scaled parameters
+// share a ShapeKey; configs differing in shape fields do not.
+func TestShapeKeyInvariance(t *testing.T) {
+	a := New("a", 16, units.MB(8))
+	b := New("b", 16, units.MB(8))
+	b.Params.Clock *= 0.5
+	b.Params.MACEnergy *= 0.5
+	b.Params.BaseArea *= 2
+	b.Is3D = true
+	b.MemDies = 4
+	if a.ShapeKey() != b.ShapeKey() {
+		t.Error("knob-only differences must not change the ShapeKey")
+	}
+	c := New("c", 32, units.MB(8))
+	if a.ShapeKey() == c.ShapeKey() {
+		t.Error("MAC-array count must change the ShapeKey")
+	}
+	d := New("d", 16, units.MB(16))
+	if a.ShapeKey() == d.ShapeKey() {
+		t.Error("SRAM capacity must change the ShapeKey")
+	}
+	e := New("e", 16, units.MB(8))
+	e.Params.TilingPenalty *= 2
+	if a.ShapeKey() == e.ShapeKey() {
+		t.Error("tiling penalty must change the ShapeKey")
+	}
+}
+
+// TestShapeProfileReplayFasterPath sanity-checks that a 3D config replays
+// correctly too: Is3D changes SRAM energy and bandwidth but not the key, so
+// a profile computed on the 2D twin replays on the 3D one.
+func TestShapeProfileReplayAcross3D(t *testing.T) {
+	flat := New("flat", 16, units.MB(8))
+	stacked := flat
+	stacked.ID = "stacked"
+	stacked.Is3D = true
+	stacked.MemDies = 4
+	for _, id := range nn.AllKernels() {
+		sp, err := flat.ShapeProfile(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := stacked.KernelCost(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if replay := sp.Cost(stacked); replay != direct {
+			t.Fatalf("%s: 3D replay %+v != direct %+v", id, replay, direct)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package dse
+
+import (
+	"fmt"
+	"strconv"
+
+	"cordoba/internal/accel"
+	"cordoba/internal/carbon"
+	"cordoba/internal/device"
+	"cordoba/internal/units"
+	"cordoba/internal/workload"
+)
+
+// Grid is a lazy cartesian design-space generator: the v2 request form of
+// POST /v1/dse. Instead of materializing a []accel.Config, callers describe
+// knob ranges — MAC-array count, activation-SRAM capacity, DVFS supply
+// scaling and technology node — and the engine enumerates the product space
+// on demand, one configuration at a time. A 10⁶-point grid therefore costs
+// four small slices, not a million Config values.
+//
+// The circuit knobs go through internal/device: each (node, V_DD scale)
+// cell is priced by the alpha-power-law model relative to the nominal 7 nm
+// design that calibrated accel.DefaultParams, and the resulting clock,
+// dynamic-energy, leakage and area ratios rescale the simulator parameters.
+// Embodied carbon uses each node's own carbon.Process, so advancing the
+// node trades operational energy against fab footprint exactly as §VII's
+// Table VI describes.
+//
+// Enumeration order is shape-major: all (V_DD, node) cells of one
+// (MAC arrays, SRAM) pair are contiguous. The streaming engine leans on
+// this — a shape's kernel layer profiles (accel.ShapeProfile) are computed
+// once and replayed across every cell in the run.
+type Grid struct {
+	MACArrays []int     // MAC-array axis; required
+	SRAMMB    []float64 // activation-SRAM axis in MB; required
+	VDDScales []float64 // V_DD as a fraction of nominal; default {1.0}
+	Nodes     []string  // technology nodes by name; default {"7nm"}
+}
+
+// maxGridBits bounds Size() so index arithmetic cannot overflow; real grids
+// are far smaller (the server applies its own request-size cap on top).
+const maxGridBits = 40
+
+// normalized returns the grid with defaults applied.
+func (g Grid) normalized() Grid {
+	if len(g.VDDScales) == 0 {
+		g.VDDScales = []float64{1.0}
+	}
+	if len(g.Nodes) == 0 {
+		g.Nodes = []string{"7nm"}
+	}
+	return g
+}
+
+// Size returns the number of configurations the grid enumerates, after
+// defaults are applied.
+func (g Grid) Size() int64 {
+	g = g.normalized()
+	return int64(len(g.MACArrays)) * int64(len(g.SRAMMB)) *
+		int64(len(g.VDDScales)) * int64(len(g.Nodes))
+}
+
+// gridCell is one compiled (V_DD scale, node) combination: the parameter
+// ratios relative to the nominal 7 nm calibration point, plus the node's
+// embodied-carbon process.
+type gridCell struct {
+	vddScale float64
+	node     string
+	process  carbon.Process
+
+	clockR  float64 // max-clock ratio vs nominal 7 nm
+	energyR float64 // dynamic energy per cycle ratio
+	leakR   float64 // leakage power ratio
+	areaR   float64 // area per gate ratio
+}
+
+// compiledGrid is a validated grid with its cells priced by the device
+// model, ready for O(1) random access.
+type compiledGrid struct {
+	g     Grid
+	cells []gridCell
+}
+
+// compile validates the grid and prices every (V_DD, node) cell.
+func (g Grid) compile() (*compiledGrid, error) {
+	g = g.normalized()
+	if len(g.MACArrays) == 0 {
+		return nil, fmt.Errorf("dse: grid needs at least one MAC-array option")
+	}
+	if len(g.SRAMMB) == 0 {
+		return nil, fmt.Errorf("dse: grid needs at least one SRAM option")
+	}
+	if s := g.Size(); s >= 1<<maxGridBits {
+		return nil, fmt.Errorf("dse: grid enumerates %d points, beyond the 2^%d indexing limit", s, maxGridBits)
+	}
+	for _, a := range g.MACArrays {
+		if a <= 0 {
+			return nil, fmt.Errorf("dse: grid MAC arrays must be positive, got %d", a)
+		}
+	}
+	for _, mb := range g.SRAMMB {
+		if mb <= 0 {
+			return nil, fmt.Errorf("dse: grid SRAM must be positive, got %v MB", mb)
+		}
+	}
+
+	ref := device.NewDesign(device.Node7nm())
+	refClock := ref.MaxClock().Hertz()
+	refEnergy := ref.DynamicEnergyPerCycle().Joules()
+	refLeak := ref.LeakagePower().Watts()
+	refArea := ref.Area().CM2()
+
+	cg := &compiledGrid{g: g, cells: make([]gridCell, 0, len(g.VDDScales)*len(g.Nodes))}
+	for _, vs := range g.VDDScales {
+		if vs <= 0 {
+			return nil, fmt.Errorf("dse: grid V_DD scale must be positive, got %v", vs)
+		}
+		for _, name := range g.Nodes {
+			node, err := device.NodeByName(name)
+			if err != nil {
+				return nil, fmt.Errorf("dse: grid: %w", err)
+			}
+			proc, err := carbon.ProcessByName(name)
+			if err != nil {
+				return nil, fmt.Errorf("dse: grid: %w", err)
+			}
+			d := device.DVFSPoint(device.NewDesign(node), vs)
+			if err := d.Validate(); err != nil {
+				return nil, fmt.Errorf("dse: grid: node %s at %.2f·V_DD: %w", name, vs, err)
+			}
+			cg.cells = append(cg.cells, gridCell{
+				vddScale: vs,
+				node:     name,
+				process:  proc,
+				clockR:   d.MaxClock().Hertz() / refClock,
+				energyR:  d.DynamicEnergyPerCycle().Joules() / refEnergy,
+				leakR:    d.LeakagePower().Watts() / refLeak,
+				areaR:    d.Area().CM2() / refArea,
+			})
+		}
+	}
+	return cg, nil
+}
+
+// shapes returns the number of (MAC arrays, SRAM) pairs.
+func (cg *compiledGrid) shapes() int { return len(cg.g.MACArrays) * len(cg.g.SRAMMB) }
+
+// size returns the total configuration count.
+func (cg *compiledGrid) size() int64 { return int64(cg.shapes()) * int64(len(cg.cells)) }
+
+// shapeConfig returns the configuration of shape index si priced at the
+// nominal 7 nm cell — the representative used to compute shape profiles
+// (the ShapeKey fields are cell-independent, so any cell would do).
+func (cg *compiledGrid) shapeConfig(si int) accel.Config {
+	ai, mi := si/len(cg.g.SRAMMB), si%len(cg.g.SRAMMB)
+	return accel.New("", cg.g.MACArrays[ai], units.MB(cg.g.SRAMMB[mi]))
+}
+
+// at returns configuration i (shape-major: i = shape·cells + cell) with its
+// node's embodied process. IDs are "k1" … "kN" in enumeration order.
+func (cg *compiledGrid) at(i int64) (accel.Config, carbon.Process) {
+	cells := int64(len(cg.cells))
+	si, ci := int(i/cells), int(i%cells)
+	cell := cg.cells[ci]
+	c := cg.shapeConfig(si)
+	c.ID = "k" + strconv.FormatInt(i+1, 10)
+	applyCell(&c, cell)
+	return c, cell.process
+}
+
+// applyCell rescales the simulator parameters to a grid cell. Clock and
+// per-op dynamic energies follow the device model's DVFS/node ratios; so do
+// leakage and area (area feeds both embodied carbon and, at a fixed node,
+// nothing else). DRAM energy and bandwidth stay fixed — LPDDR lives
+// off-package and does not scale with the logic node.
+func applyCell(c *accel.Config, cell gridCell) {
+	c.Params.Clock *= units.Frequency(cell.clockR)
+	c.Params.MACEnergy *= units.Energy(cell.energyR)
+	c.Params.SRAMEnergyBase *= units.Energy(cell.energyR)
+	c.Params.SRAMEnergySlope *= units.Energy(cell.energyR)
+	c.Params.BaseLeakage *= units.Power(cell.leakR)
+	c.Params.LeakagePerArray *= units.Power(cell.leakR)
+	c.Params.LeakagePerMB *= units.Power(cell.leakR)
+	c.Params.BaseArea *= units.Area(cell.areaR)
+	c.Params.AreaPerArray *= units.Area(cell.areaR)
+	c.Params.AreaPerMB *= units.Area(cell.areaR)
+}
+
+// Materialize allocates every configuration in the grid, paired with its
+// node's embodied-carbon process — the full-allocation path the streaming
+// engine is benchmarked and property-tested against.
+func (g Grid) Materialize() ([]accel.Config, []carbon.Process, error) {
+	cg, err := g.compile()
+	if err != nil {
+		return nil, nil, err
+	}
+	n := cg.size()
+	configs := make([]accel.Config, n)
+	procs := make([]carbon.Process, n)
+	for i := int64(0); i < n; i++ {
+		configs[i], procs[i] = cg.at(i)
+	}
+	return configs, procs, nil
+}
+
+// EvaluateGrid is the naive baseline: materialize the whole grid, then
+// evaluate every configuration exactly like Evaluate — re-deriving each
+// kernel's cost per configuration, holding all points in memory. It exists
+// as the reference implementation for the streaming engine's equivalence
+// tests and benchmarks.
+func EvaluateGrid(task workload.Task, g Grid, fab carbon.Fab, ci units.CarbonIntensity) (*Space, error) {
+	if ci < 0 {
+		return nil, fmt.Errorf("dse: negative CI_use %v", ci)
+	}
+	configs, procs, err := g.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	s := &Space{Task: task, CIUse: ci, Points: make([]Point, 0, len(configs))}
+	for i, c := range configs {
+		pt, err := evalPoint(task, c, procs[i], fab)
+		if err != nil {
+			return nil, err
+		}
+		s.Points = append(s.Points, pt)
+	}
+	return s, nil
+}

@@ -1,0 +1,93 @@
+package dse
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cordoba/internal/accel"
+	"cordoba/internal/nn"
+)
+
+// DefaultMemoEntries bounds the shared shape-profile cache. One entry is a
+// kernel's layer shapes for one (MAC arrays, SRAM) pair — a few hundred
+// bytes — so the default admits every shape of a Fig. 8-scale grid for all
+// fifteen kernels (121 × 15 = 1815 entries) with room for several requests'
+// worth of distinct shapes on top.
+const DefaultMemoEntries = 8192
+
+// memoKey identifies a cached profile: the (kernel, config-signature) pair
+// of the issue spec, with accel.ShapeKey as the signature — the exact set
+// of Config fields a kernel's layer shapes depend on.
+type memoKey struct {
+	kernel nn.KernelID
+	key    accel.ShapeKey
+}
+
+// MemoCache is the concurrency-safe memoization layer of the streaming DSE
+// engine: it caches accel.ShapeProfile values keyed on (kernel, ShapeKey),
+// so the dominant per-point cost — walking a kernel's layers — is paid once
+// per shape per worker-pool run and replayed across every DVFS/node cell,
+// every task sharing the kernel, and every request sharing the cache.
+//
+// The cache is bounded: when an insert would exceed the limit the whole map
+// is flushed (profiles are cheap to recompute and real workloads cycle
+// through a bounded shape set, so an LRU chain would buy little here).
+type MemoCache struct {
+	mu  sync.RWMutex
+	max int
+	m   map[memoKey]*accel.ShapeProfile
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewMemoCache returns a cache bounded to max profiles; max < 1 selects
+// DefaultMemoEntries.
+func NewMemoCache(max int) *MemoCache {
+	if max < 1 {
+		max = DefaultMemoEntries
+	}
+	return &MemoCache{max: max, m: make(map[memoKey]*accel.ShapeProfile)}
+}
+
+// Profile returns the shape profile of kernel id on configuration c,
+// computing and caching it on first use. The returned profile is shared and
+// immutable; callers replay it with ShapeProfile.Cost.
+func (mc *MemoCache) Profile(c accel.Config, id nn.KernelID) (*accel.ShapeProfile, error) {
+	k := memoKey{kernel: id, key: c.ShapeKey()}
+	mc.mu.RLock()
+	sp, ok := mc.m[k]
+	mc.mu.RUnlock()
+	if ok {
+		mc.hits.Add(1)
+		return sp, nil
+	}
+	mc.misses.Add(1)
+	sp, err := c.ShapeProfile(id)
+	if err != nil {
+		return nil, err
+	}
+	mc.mu.Lock()
+	if prev, ok := mc.m[k]; ok {
+		sp = prev // another worker won the race; keep one canonical profile
+	} else {
+		if len(mc.m) >= mc.max {
+			mc.m = make(map[memoKey]*accel.ShapeProfile)
+		}
+		mc.m[k] = sp
+	}
+	mc.mu.Unlock()
+	return sp, nil
+}
+
+// Len returns the number of cached profiles.
+func (mc *MemoCache) Len() int {
+	mc.mu.RLock()
+	defer mc.mu.RUnlock()
+	return len(mc.m)
+}
+
+// Stats returns the lifetime hit and miss counters.
+func (mc *MemoCache) Stats() (hits, misses int64) {
+	return mc.hits.Load(), mc.misses.Load()
+}

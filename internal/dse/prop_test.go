@@ -1,0 +1,202 @@
+package dse
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"cordoba/internal/accel"
+	"cordoba/internal/pareto"
+	"cordoba/internal/units"
+	"cordoba/internal/workload"
+)
+
+// propSpaces is the number of seeded-random design spaces the property
+// suite checks (the ISSUE's "~1000 random spaces" acceptance bar).
+const propSpaces = 1000
+
+// randomSpace builds a synthetic evaluated design space: points with
+// log-uniform delay, energy and embodied carbon — continuous random
+// coordinates, so exact ties and collinear triples have probability zero
+// and the streaming/batch equivalence is exact, not approximate.
+func randomSpace(rng *rand.Rand) *Space {
+	n := 2 + rng.Intn(60)
+	s := &Space{
+		Task:   workload.Task{Name: "synthetic"},
+		CIUse:  units.CarbonIntensity(50 + rng.Float64()*750),
+		Points: make([]Point, n),
+	}
+	for i := range s.Points {
+		s.Points[i] = Point{
+			Config:   accel.Config{ID: "p" + strconv.Itoa(i)},
+			Delay:    units.Time(math.Exp(rng.Float64()*8 - 8)),   // 0.3 ms … 1 s
+			Energy:   units.Energy(math.Exp(rng.Float64()*8 - 6)), // 2.5 mJ … 7 J
+			Embodied: units.Carbon(math.Exp(rng.Float64() * 8)),   // 1 g … 3 kg
+		}
+	}
+	return s
+}
+
+// streamSpace feeds the space's Lagrange points through the incremental
+// accumulator in the given order and returns the kept indices (ascending X).
+func streamSpace(s *Space, order []int) []int {
+	var st pareto.Stream
+	for _, i := range order {
+		p := s.Points[i]
+		st.Offer(int64(i), pareto.Point{X: p.EDP(), Y: p.EmbodiedDelay()})
+	}
+	ids := st.IDs()
+	out := make([]int, len(ids))
+	for k, id := range ids {
+		out[k] = int(id)
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// witnessInferences derives, for each envelope member, an operational time N
+// strictly inside its optimality window — the brute-force N-sweep that must
+// recover the envelope exactly. Window breakpoints are the chord slopes
+// β_k = (Y_k − Y_{k+1})/(X_{k+1} − X_k) of adjacent envelope vertices, and
+// β maps to N via tCDP(N) ∝ Y + (CI·N/3.6e6)·X.
+func witnessInferences(s *Space, env []int) []float64 {
+	m := len(env)
+	betaToN := func(beta float64) float64 {
+		return beta * units.JoulesPerKWh / s.CIUse.GramsPerKWh()
+	}
+	if m == 1 {
+		return []float64{betaToN(1)}
+	}
+	slopes := make([]float64, m-1) // slopes[k]: breakpoint between env[k] and env[k+1]
+	for k := 0; k < m-1; k++ {
+		a, b := s.Points[env[k]], s.Points[env[k+1]]
+		slopes[k] = (a.EmbodiedDelay() - b.EmbodiedDelay()) / (b.EDP() - a.EDP())
+	}
+	ns := make([]float64, m)
+	ns[0] = betaToN(slopes[0] * 2) // lowest-X vertex wins for β > slopes[0]
+	for k := 1; k < m-1; k++ {
+		ns[k] = betaToN(math.Sqrt(slopes[k] * slopes[k-1])) // geometric midpoint
+	}
+	ns[m-1] = betaToN(slopes[m-2] / 2) // highest-X vertex wins for β < slopes[m-2]
+	return ns
+}
+
+// TestPropStreamEquivalence is the core property: on 1000 seeded-random
+// design spaces, the streaming envelope's ever-optimal set and elimination
+// fraction exactly match (a) the batch envelope and (b) the brute-force
+// N-sweep over per-member witness operational times.
+func TestPropStreamEquivalence(t *testing.T) {
+	for seed := int64(0); seed < propSpaces; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSpace(rng)
+		env := s.EverOptimal()
+		streamed := streamSpace(s, seqOrder(len(s.Points)))
+		if !equalInts(env, streamed) {
+			t.Fatalf("seed %d: streaming kept %v, batch envelope %v", seed, streamed, env)
+		}
+
+		// Elimination fraction: identical counts, identical division.
+		var st pareto.Stream
+		for i, p := range s.Points {
+			st.Offer(int64(i), pareto.Point{X: p.EDP(), Y: p.EmbodiedDelay()})
+		}
+		if got, want := st.EliminatedFraction(), s.EliminatedFraction(); got != want {
+			t.Fatalf("seed %d: streaming eliminated %v, batch %v", seed, got, want)
+		}
+
+		// Brute-force cross-check: each envelope member is the tCDP optimum
+		// at its witness N, in envelope order (lowest E·D ↔ largest N).
+		inEnv := make(map[int]bool, len(env))
+		for _, i := range env {
+			inEnv[i] = true
+		}
+		for k, n := range witnessInferences(s, env) {
+			if got := s.OptimalAt(n); got != env[k] {
+				t.Fatalf("seed %d: optimal at witness N=%g is point %d, want envelope member %d",
+					seed, n, got, env[k])
+			}
+		}
+		// And no operational time elects a non-member.
+		for _, n := range LogSpace(1, 1e15, 31) {
+			if got := s.OptimalAt(n); !inEnv[got] {
+				t.Fatalf("seed %d: N=%g elected point %d outside the ever-optimal set %v",
+					seed, n, got, env)
+			}
+		}
+	}
+}
+
+// TestPropStreamOrderInvariance: the streaming envelope is independent of
+// arrival order — the property that makes parallel chunked streaming sound.
+func TestPropStreamOrderInvariance(t *testing.T) {
+	for seed := int64(0); seed < propSpaces; seed++ {
+		rng := rand.New(rand.NewSource(1_000_000 + seed))
+		s := randomSpace(rng)
+		want := streamSpace(s, seqOrder(len(s.Points)))
+		for trial := 0; trial < 3; trial++ {
+			order := rng.Perm(len(s.Points))
+			if got := streamSpace(s, order); !equalInts(got, want) {
+				t.Fatalf("seed %d trial %d: order %v kept %v, in-order kept %v",
+					seed, trial, order, got, want)
+			}
+		}
+	}
+}
+
+// TestPropChunkedStreamInvariance models exactly what the engine does:
+// dominance pre-pruning per chunk, then offering survivors — against the
+// one-point-at-a-time stream.
+func TestPropChunkedStreamInvariance(t *testing.T) {
+	for seed := int64(0); seed < propSpaces/4; seed++ {
+		rng := rand.New(rand.NewSource(2_000_000 + seed))
+		s := randomSpace(rng)
+		want := streamSpace(s, seqOrder(len(s.Points)))
+
+		lp := make([]pareto.Point, len(s.Points))
+		for i, p := range s.Points {
+			lp[i] = pareto.Point{X: p.EDP(), Y: p.EmbodiedDelay()}
+		}
+		var st pareto.Stream
+		chunk := 1 + rng.Intn(7)
+		order := rng.Perm((len(s.Points) + chunk - 1) / chunk)
+		for _, ch := range order {
+			lo := ch * chunk
+			hi := lo + chunk
+			if hi > len(lp) {
+				hi = len(lp)
+			}
+			sub := lp[lo:hi]
+			for _, rel := range pareto.Front(sub) {
+				st.Offer(int64(lo+rel), sub[rel])
+			}
+		}
+		ids := st.IDs()
+		got := make([]int, len(ids))
+		for k, id := range ids {
+			got[k] = int(id)
+		}
+		if !equalInts(got, want) {
+			t.Fatalf("seed %d: chunked (size %d) kept %v, pointwise kept %v", seed, chunk, got, want)
+		}
+	}
+}
+
+func seqOrder(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

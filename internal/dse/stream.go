@@ -1,0 +1,359 @@
+package dse
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cordoba/internal/accel"
+	"cordoba/internal/carbon"
+	"cordoba/internal/nn"
+	"cordoba/internal/pareto"
+	"cordoba/internal/units"
+	"cordoba/internal/workload"
+)
+
+// evalPoint evaluates one configuration the way Evaluate does: task cost via
+// the direct simulator path, embodied carbon via the given process/fab.
+func evalPoint(task workload.Task, c accel.Config, p carbon.Process, fab carbon.Fab) (Point, error) {
+	cost, err := workload.Evaluate(task, c)
+	if err != nil {
+		return Point{}, err
+	}
+	emb, err := c.Embodied(p, fab)
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{
+		Config:   c,
+		Delay:    cost.Delay,
+		Energy:   cost.Energy,
+		Embodied: emb,
+		Area:     c.TotalArea(),
+	}, nil
+}
+
+// StreamOptions tunes the streaming engine.
+type StreamOptions struct {
+	// Workers is the evaluation fan-out; < 1 selects GOMAXPROCS.
+	Workers int
+	// Memo is the shared shape-profile cache; nil uses a private cache that
+	// lives for this run only. Pass the server's cache to reuse profiles
+	// across requests.
+	Memo *MemoCache
+}
+
+// StreamResult is the outcome of a streaming exploration: the surviving
+// ever-optimal set plus the aggregates the engine kept while discarding the
+// rest of the space.
+type StreamResult struct {
+	// Space holds only the surviving (ever-optimal) points, ordered by
+	// ascending E·D — from the long-operational-time winner backwards.
+	Space *Space
+
+	Total     int64 // configurations evaluated
+	PrePruned int64 // removed by chunk-local dominance pruning before the envelope
+	Offered   int64 // offered to the envelope accumulator
+
+	// SumEDP and SumEmbD accumulate Σ E·D and Σ C_emb·D over every evaluated
+	// point; by tCDP's linearity in N they are sufficient statistics for the
+	// space-wide mean at any operational time.
+	SumEDP  float64
+	SumEmbD float64
+}
+
+// Kept returns the size of the ever-optimal set.
+func (r *StreamResult) Kept() int { return len(r.Space.Points) }
+
+// EliminatedFraction returns the share of the grid proven never-optimal.
+func (r *StreamResult) EliminatedFraction() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return 1 - float64(r.Kept())/float64(r.Total)
+}
+
+// OptimalAt returns the index (into Space.Points) of the tCDP-optimal
+// design after n inferences. Because tCDP(N) is linear in N, the optimum
+// over the full grid always survives streaming, so this equals the
+// brute-force answer over the materialized space.
+func (r *StreamResult) OptimalAt(n float64) int { return r.Space.OptimalAt(n) }
+
+// MeanTCDPAt returns the mean tCDP across the whole evaluated grid — not
+// just the survivors — after n inferences, reconstructed from the streamed
+// sufficient statistics:
+//
+//	mean = (Σ C_emb·D + CI·N/3.6e6 · Σ E·D) / total
+func (r *StreamResult) MeanTCDPAt(n float64) float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	ci := r.Space.CIUse.GramsPerKWh()
+	return (r.SumEmbD + ci*n/units.JoulesPerKWh*r.SumEDP) / float64(r.Total)
+}
+
+// taskAcc accumulates one task's stream: the incremental envelope, the
+// payloads of currently surviving points, and the space-wide sums.
+type taskAcc struct {
+	mu      sync.Mutex
+	stream  pareto.Stream
+	payload map[int64]Point
+
+	sumEDP, sumEmbD  float64
+	total, prePruned int64
+}
+
+// offerChunk feeds one evaluated chunk into the accumulator: dominance
+// pre-pruning first (cheap, lock-free), then the envelope under the lock.
+// Evicted points drop their payloads immediately, so memory stays
+// O(survivors + chunk).
+func (a *taskAcc) offerChunk(base int64, pts []Point) {
+	lp := make([]pareto.Point, len(pts))
+	for i, p := range pts {
+		lp[i] = pareto.Point{X: p.EDP(), Y: p.EmbodiedDelay()}
+	}
+	front := pareto.Front(lp)
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.total += int64(len(pts))
+	a.prePruned += int64(len(pts) - len(front))
+	for _, p := range lp {
+		a.sumEDP += p.X
+		a.sumEmbD += p.Y
+	}
+	for _, idx := range front {
+		id := base + int64(idx)
+		accepted, evicted := a.stream.Offer(id, lp[idx])
+		if accepted {
+			a.payload[id] = pts[idx]
+		}
+		for _, ev := range evicted {
+			delete(a.payload, ev)
+		}
+	}
+}
+
+// result packages the accumulator once the stream is drained.
+func (a *taskAcc) result(task workload.Task, ci units.CarbonIntensity) *StreamResult {
+	ids := a.stream.IDs()
+	points := make([]Point, len(ids))
+	for i, id := range ids {
+		points[i] = a.payload[id]
+	}
+	return &StreamResult{
+		Space:     &Space{Task: task, CIUse: ci, Points: points},
+		Total:     a.total,
+		PrePruned: a.prePruned,
+		Offered:   a.stream.Offered(),
+		SumEDP:    a.sumEDP,
+		SumEmbD:   a.sumEmbD,
+	}
+}
+
+// streamPlatform implements workload.Platform over pre-computed shape
+// profiles, memoizing per-kernel costs so tasks sharing a kernel price it
+// once per configuration. Replay goes through the same layerCostOf helper
+// as the direct simulator path, so costs are bit-identical to Evaluate's.
+type streamPlatform struct {
+	cfg      accel.Config
+	leak     units.Power
+	profiles map[nn.KernelID]*accel.ShapeProfile
+	costs    map[nn.KernelID]workload.KernelCost
+}
+
+func (p *streamPlatform) KernelCost(id nn.KernelID) (workload.KernelCost, error) {
+	if kc, ok := p.costs[id]; ok {
+		return kc, nil
+	}
+	sp, ok := p.profiles[id]
+	if !ok {
+		// A kernel outside the profiled union — fall back to the direct path.
+		return p.cfg.KernelCost(id)
+	}
+	kc := sp.Cost(p.cfg)
+	p.costs[id] = kc
+	return kc, nil
+}
+
+func (p *streamPlatform) LeakagePower() units.Power { return p.leak }
+
+// kernelUnion returns the kernels referenced by any task, in the canonical
+// nn.AllKernels order.
+func kernelUnion(tasks []workload.Task) []nn.KernelID {
+	var out []nn.KernelID
+	for _, id := range nn.AllKernels() {
+		for _, t := range tasks {
+			if _, ok := t.Calls[id]; ok {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// EvaluateStream explores a knob grid for one task with the streaming
+// engine: lazy enumeration, memoized kernel evaluation, incremental
+// envelope. See EvaluateStreamTasks.
+func EvaluateStream(ctx context.Context, task workload.Task, g Grid, fab carbon.Fab, ci units.CarbonIntensity, opt StreamOptions) (*StreamResult, error) {
+	rs, err := EvaluateStreamTasks(ctx, []workload.Task{task}, g, fab, ci, opt)
+	if err != nil {
+		return nil, err
+	}
+	return rs[0], nil
+}
+
+// EvaluateStreamTasks is the v2 DSE engine. It enumerates the grid lazily
+// in shape-major order, computes each (MAC arrays, SRAM) shape's kernel
+// layer profiles once (through the shared memo cache), replays them across
+// every DVFS/node cell and every task, and streams the resulting points
+// through per-task dominance pruning into incremental convex-envelope
+// accumulators. Memory stays O(survivors + workers·chunk) regardless of
+// grid size; evaluated chunks are discarded as they stream.
+//
+// The surviving ever-optimal sets, elimination fractions and per-N optima
+// are identical to materializing the grid with EvaluateGrid and calling
+// EverOptimal — the property suite in prop_test.go holds the two engines
+// equal on randomized spaces.
+func EvaluateStreamTasks(ctx context.Context, tasks []workload.Task, g Grid, fab carbon.Fab, ci units.CarbonIntensity, opt StreamOptions) ([]*StreamResult, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("dse: no tasks to stream")
+	}
+	if ci < 0 {
+		return nil, fmt.Errorf("dse: negative CI_use %v", ci)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cg, err := g.compile()
+	if err != nil {
+		return nil, err
+	}
+	memo := opt.Memo
+	if memo == nil {
+		memo = NewMemoCache(0)
+	}
+	workers := opt.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cg.shapes() {
+		workers = cg.shapes()
+	}
+
+	kernels := kernelUnion(tasks)
+	accs := make([]*taskAcc, len(tasks))
+	for i := range accs {
+		accs[i] = &taskAcc{payload: make(map[int64]Point)}
+	}
+
+	cells := int64(len(cg.cells))
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		failed   atomic.Bool
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		failed.Store(true)
+	}
+
+	shapeCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buffers := make([][]Point, len(tasks))
+			for ti := range buffers {
+				buffers[ti] = make([]Point, 0, cells)
+			}
+			for si := range shapeCh {
+				if ctx.Err() != nil || failed.Load() {
+					continue // drain the channel without evaluating
+				}
+				// The shape's kernel profiles, computed once and replayed
+				// across every cell and task below.
+				shapeCfg := cg.shapeConfig(si)
+				profiles := make(map[nn.KernelID]*accel.ShapeProfile, len(kernels))
+				ok := true
+				for _, id := range kernels {
+					sp, err := memo.Profile(shapeCfg, id)
+					if err != nil {
+						fail(err)
+						ok = false
+						break
+					}
+					profiles[id] = sp
+				}
+				if !ok {
+					continue
+				}
+				for ti := range buffers {
+					buffers[ti] = buffers[ti][:0]
+				}
+				base := int64(si) * cells
+				for off := int64(0); off < cells; off++ {
+					cfg, proc := cg.at(base + off)
+					emb, err := cfg.Embodied(proc, fab)
+					if err != nil {
+						fail(err)
+						ok = false
+						break
+					}
+					area := cfg.TotalArea()
+					plat := &streamPlatform{
+						cfg:      cfg,
+						leak:     cfg.LeakagePower(),
+						profiles: profiles,
+						costs:    make(map[nn.KernelID]workload.KernelCost, len(kernels)),
+					}
+					for ti, task := range tasks {
+						cost, err := workload.Evaluate(task, plat)
+						if err != nil {
+							fail(err)
+							ok = false
+							break
+						}
+						buffers[ti] = append(buffers[ti], Point{
+							Config:   cfg,
+							Delay:    cost.Delay,
+							Energy:   cost.Energy,
+							Embodied: emb,
+							Area:     area,
+						})
+					}
+					if !ok {
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				for ti := range tasks {
+					accs[ti].offerChunk(base, buffers[ti])
+				}
+			}
+		}()
+	}
+	for si := 0; si < cg.shapes(); si++ {
+		shapeCh <- si
+	}
+	close(shapeCh)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("dse: streaming exploration aborted: %w", err)
+	}
+	out := make([]*StreamResult, len(tasks))
+	for i, a := range accs {
+		out[i] = a.result(tasks[i], ci)
+	}
+	return out, nil
+}

@@ -47,6 +47,66 @@ func TestGoldenOutputs(t *testing.T) {
 	}
 }
 
+// compareGolden pins got against the golden file at path, rewriting it under
+// -update.
+func compareGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s;\nfirst divergence near byte %d\nrun with -update after reviewing",
+			path, firstDiff(got, string(want)))
+	}
+}
+
+// TestGoldenJSON pins the typed JSON export of every registered experiment —
+// the same bytes GET /v1/experiments/{key}?format=json streams.
+func TestGoldenJSON(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.Key, func(t *testing.T) {
+			var b strings.Builder
+			if err := ExportJSON(e.Key, &b); err != nil {
+				t.Fatalf("export json: %v", err)
+			}
+			compareGolden(t, filepath.Join("testdata", "golden", "json", e.Key+".json"), b.String())
+		})
+	}
+}
+
+// TestGoldenCSV pins the CSV export of every experiment with a tabular form;
+// keys without one must keep failing cleanly before the first write.
+func TestGoldenCSV(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.Key, func(t *testing.T) {
+			var b strings.Builder
+			err := ExportCSV(e.Key, &b)
+			if err != nil {
+				if !strings.Contains(err.Error(), "no CSV form") {
+					t.Fatalf("export csv: %v", err)
+				}
+				if b.Len() != 0 {
+					t.Fatalf("CSV error after writing %d bytes; errors must precede output", b.Len())
+				}
+				return
+			}
+			compareGolden(t, filepath.Join("testdata", "golden", "csv", e.Key+".csv"), b.String())
+		})
+	}
+}
+
 func firstDiff(a, b string) int {
 	n := len(a)
 	if len(b) < n {

@@ -1,0 +1,197 @@
+package pareto
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// The fuzzer's bytes are decoded two ways. decodeGridPoints maps 2-byte
+// words onto a small integer lattice (with a few reserved patterns injecting
+// NaN and ±Inf): coordinates there make every cross product exact, so batch
+// and streaming envelopes must agree exactly, and exact duplicates and
+// collinear triples occur constantly. decodeRawPoints reinterprets the same
+// bytes as raw float64 pairs — subnormals, 1e300-scale magnitudes, negative
+// zeros — where cross products can overflow and rounding makes the two
+// algorithms legitimately diverge on near-degenerate inputs, so only the
+// robust structural invariants are checked.
+
+const maxFuzzPoints = 512
+
+func decodeWord(u uint16) float64 {
+	switch u {
+	case 0xFFFF:
+		return math.NaN()
+	case 0xFFFE:
+		return math.Inf(1)
+	case 0xFFFD:
+		return math.Inf(-1)
+	}
+	return float64(int(u%1024) - 512)
+}
+
+func decodeGridPoints(data []byte) []Point {
+	n := len(data) / 4
+	if n > maxFuzzPoints {
+		n = maxFuzzPoints
+	}
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{
+			X: decodeWord(binary.LittleEndian.Uint16(data[i*4:])),
+			Y: decodeWord(binary.LittleEndian.Uint16(data[i*4+2:])),
+		}
+	}
+	return pts
+}
+
+func decodeRawPoints(data []byte) []Point {
+	n := len(data) / 16
+	if n > maxFuzzPoints {
+		n = maxFuzzPoints
+	}
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{
+			X: math.Float64frombits(binary.LittleEndian.Uint64(data[i*16:])),
+			Y: math.Float64frombits(binary.LittleEndian.Uint64(data[i*16+8:])),
+		}
+	}
+	return pts
+}
+
+func encodePoints(pts []Point) []byte {
+	out := make([]byte, 16*len(pts))
+	for i, p := range pts {
+		binary.LittleEndian.PutUint64(out[i*16:], math.Float64bits(p.X))
+		binary.LittleEndian.PutUint64(out[i*16+8:], math.Float64bits(p.Y))
+	}
+	return out
+}
+
+func finite(p Point) bool {
+	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) && !math.IsNaN(p.Y) && !math.IsInf(p.Y, 0)
+}
+
+// checkStructure verifies the invariants that hold for ANY input, however
+// degenerate: valid indices, envelope ⊆ front ⊆ input, no NaN/Inf leaking
+// into either set, a strictly decreasing convex envelope chain, and a
+// bounded elimination fraction. It returns the envelope.
+func checkStructure(t *testing.T, pts []Point) []int {
+	t.Helper()
+	env := Envelope(pts)
+	front := Front(pts)
+
+	onFront := make(map[int]bool, len(front))
+	for _, i := range front {
+		if i < 0 || i >= len(pts) {
+			t.Fatalf("front index %d out of range [0,%d)", i, len(pts))
+		}
+		if !finite(pts[i]) {
+			t.Fatalf("non-finite point %v leaked onto the front", pts[i])
+		}
+		onFront[i] = true
+	}
+	seen := make(map[int]bool, len(env))
+	for k, i := range env {
+		if !onFront[i] {
+			t.Fatalf("envelope index %d is not on the front", i)
+		}
+		if seen[i] {
+			t.Fatalf("envelope repeats index %d", i)
+		}
+		seen[i] = true
+		if k > 0 {
+			a, b := pts[env[k-1]], pts[i]
+			if !(a.X < b.X) || !(a.Y > b.Y) {
+				t.Fatalf("envelope not strictly decreasing: %v then %v", a, b)
+			}
+		}
+	}
+
+	if frac := EliminatedFraction(pts); frac < 0 || frac > 1 || (len(pts) > 0 && math.IsNaN(frac)) {
+		t.Fatalf("eliminated fraction %v outside [0,1]", frac)
+	}
+	return env
+}
+
+// FuzzParetoEnvelope drives arbitrary point sets — including NaN and ±Inf
+// coordinates — through the batch envelope and the streaming accumulator.
+func FuzzParetoEnvelope(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodePoints([]Point{{1, 1}}))
+	f.Add(encodePoints([]Point{{1, 4}, {2, 2}, {4, 1}, {3, 3}}))
+	f.Add(encodePoints([]Point{{1, 3}, {2, 2}, {3, 1}})) // collinear
+	f.Add(encodePoints([]Point{{1, 2}, {1, 2}, {1, 2}})) // duplicates
+	f.Add(encodePoints([]Point{{1, 1}, {1, 2}, {2, 1}})) // vertical + horizontal
+	f.Add(encodePoints([]Point{{math.NaN(), 1}, {1, math.Inf(1)}, {2, 2}, {math.Inf(-1), 0}}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Lattice decoding: cross products are exact here, so the streaming
+		// accumulator must reproduce the batch envelope index-for-index, and
+		// every linear scalarization must bottom out on the envelope exactly
+		// (β is a power of two, so Y + β·X is exact as well).
+		pts := decodeGridPoints(data)
+		env := checkStructure(t, pts)
+
+		var st Stream
+		for i, p := range pts {
+			st.Offer(int64(i), p)
+		}
+		ids := st.IDs()
+		if len(ids) != len(env) {
+			t.Fatalf("stream kept %d points, batch envelope %d (%v vs %v)", len(ids), len(env), ids, env)
+		}
+		for k := range ids {
+			if ids[k] != int64(env[k]) {
+				t.Fatalf("stream kept %v, batch envelope %v", ids, env)
+			}
+		}
+		if st.Offered() != int64(len(pts)) {
+			t.Fatalf("stream offered %d, fed %d", st.Offered(), len(pts))
+		}
+		if len(env) > 0 {
+			for _, beta := range []float64{0.25, 1, 4} {
+				best := ArgminLinear(pts, beta)
+				got := pts[best].Y + beta*pts[best].X
+				min := math.Inf(1)
+				for _, i := range env {
+					if v := pts[i].Y + beta*pts[i].X; v < min {
+						min = v
+					}
+				}
+				if got != min {
+					t.Fatalf("argmin at β=%g reached %v, envelope minimum %v", beta, got, min)
+				}
+			}
+		}
+
+		// Raw decoding: magnitudes out to ±1e308 overflow the cross product,
+		// where the two algorithms may round differently on near-degenerate
+		// chains — so only the structural guarantees are asserted, on each
+		// implementation independently.
+		raw := decodeRawPoints(data)
+		checkStructure(t, raw)
+		var rs Stream
+		for i, p := range raw {
+			rs.Offer(int64(i), p)
+		}
+		kept := rs.Points()
+		for _, p := range kept {
+			if !finite(p) {
+				t.Fatalf("non-finite point %v leaked into the stream", p)
+			}
+		}
+		for k := 1; k < len(kept); k++ {
+			if !(kept[k-1].X < kept[k].X) || !(kept[k-1].Y > kept[k].Y) {
+				t.Fatalf("stream chain not strictly decreasing: %v then %v", kept[k-1], kept[k])
+			}
+		}
+		if rs.Offered() != int64(len(raw)) {
+			t.Fatalf("stream offered %d, fed %d", rs.Offered(), len(raw))
+		}
+		if frac := rs.EliminatedFraction(); frac < 0 || frac > 1 {
+			t.Fatalf("stream eliminated fraction %v outside [0,1]", frac)
+		}
+	})
+}

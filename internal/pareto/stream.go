@@ -1,0 +1,127 @@
+package pareto
+
+import "sort"
+
+// Stream maintains the lower convex envelope of a stream of points in
+// O(points kept) memory — the accumulator behind the v2 DSE engine. Instead
+// of materializing a design space and calling Envelope once, callers Offer
+// points one at a time (in any order) and the stream keeps exactly the
+// current envelope vertices, evicting previously accepted points the moment
+// a newcomer renders them non-optimal.
+//
+// The invariant matches Envelope's semantics exactly: the kept set is the
+// set of points that minimize Y + β·X for some β ∈ [0, ∞) among everything
+// offered so far, with collinear interior points and coordinate duplicates
+// excluded. Because a point above the current envelope is above every later
+// envelope (envelopes only move down as points arrive), a rejection is
+// final and the result is independent of arrival order; the property suite
+// in internal/dse verifies both claims against the batch implementation on
+// randomized spaces.
+//
+// Stream is not safe for concurrent use; callers serialize Offer (the DSE
+// engine offers per-chunk under a mutex after dominance pre-pruning).
+type Stream struct {
+	pts     []Point // envelope vertices, ascending X, strictly descending Y
+	ids     []int64 // caller handles parallel to pts
+	offered int64   // every point ever offered, including invalid ones
+}
+
+// Offered returns the number of points offered so far (valid or not).
+func (s *Stream) Offered() int64 { return s.offered }
+
+// Len returns the number of points currently on the envelope.
+func (s *Stream) Len() int { return len(s.pts) }
+
+// IDs returns the handles of the kept points in ascending-X order.
+func (s *Stream) IDs() []int64 { return append([]int64(nil), s.ids...) }
+
+// Points returns the kept points in ascending-X order.
+func (s *Stream) Points() []Point { return append([]Point(nil), s.pts...) }
+
+// EliminatedFraction returns the share of offered points that are provably
+// never optimal — the streaming counterpart of EliminatedFraction.
+func (s *Stream) EliminatedFraction() float64 {
+	if s.offered == 0 {
+		return 0
+	}
+	return 1 - float64(len(s.pts))/float64(s.offered)
+}
+
+// cross returns the orientation of the triple a→b→c: positive when b lies
+// strictly below the chord a–c (a counter-clockwise turn), the same
+// predicate the batch Envelope uses.
+func cross(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// Offer presents one point to the accumulator. It reports whether the point
+// joined the envelope and returns the handles of previously accepted points
+// it evicted, so callers can release their payloads. Non-finite points are
+// counted but never accepted.
+func (s *Stream) Offer(id int64, p Point) (accepted bool, evicted []int64) {
+	s.offered++
+	if !p.valid() {
+		return false, nil
+	}
+	n := len(s.pts)
+	if n == 0 {
+		s.insert(0, id, p)
+		return true, nil
+	}
+
+	// i is the insertion position: the first vertex with X ≥ p.X.
+	i := sort.Search(n, func(k int) bool { return s.pts[k].X >= p.X })
+	switch {
+	case i < n && s.pts[i].X == p.X:
+		if s.pts[i].Y <= p.Y {
+			return false, nil // dominated, or an exact duplicate (first wins)
+		}
+	case i > 0 && s.pts[i-1].Y <= p.Y:
+		// The left neighbor has the lowest Y among vertices with X ≤ p.X
+		// (Y is strictly decreasing), so p is dominated.
+		return false, nil
+	}
+	if i > 0 && i < n && s.pts[i].X != p.X {
+		// Interior: p must lie strictly below the chord between its
+		// neighbors, otherwise it can never uniquely minimize Y + β·X.
+		if cross(s.pts[i-1], p, s.pts[i]) <= 0 {
+			return false, nil
+		}
+	}
+
+	s.insert(i, id, p)
+
+	// Evict vertices to the right that p dominates (Y is strictly
+	// decreasing along the chain, so they are contiguous) …
+	for i+1 < len(s.pts) && s.pts[i+1].Y >= p.Y {
+		evicted = append(evicted, s.remove(i+1))
+	}
+	// … then restore convexity on both sides (standard incremental-hull
+	// tangent repair around the inserted vertex).
+	for i+2 < len(s.pts) && cross(p, s.pts[i+1], s.pts[i+2]) <= 0 {
+		evicted = append(evicted, s.remove(i+1))
+	}
+	for i >= 2 && cross(s.pts[i-2], s.pts[i-1], p) <= 0 {
+		evicted = append(evicted, s.remove(i-1))
+		i--
+	}
+	return true, evicted
+}
+
+// insert places (id, p) at position i.
+func (s *Stream) insert(i int, id int64, p Point) {
+	s.pts = append(s.pts, Point{})
+	copy(s.pts[i+1:], s.pts[i:])
+	s.pts[i] = p
+	s.ids = append(s.ids, 0)
+	copy(s.ids[i+1:], s.ids[i:])
+	s.ids[i] = id
+}
+
+// remove deletes the vertex at position i and returns its handle.
+func (s *Stream) remove(i int) int64 {
+	id := s.ids[i]
+	s.pts = append(s.pts[:i], s.pts[i+1:]...)
+	s.ids = append(s.ids[:i], s.ids[i+1:]...)
+	return id
+}

@@ -1,0 +1,198 @@
+package pareto
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// offerAll feeds points into a fresh stream in the given order, tracking the
+// live-payload invariant: every accepted id stays live until evicted.
+func offerAll(t *testing.T, points []Point, order []int) (*Stream, map[int64]bool) {
+	t.Helper()
+	s := &Stream{}
+	live := make(map[int64]bool)
+	for _, i := range order {
+		accepted, evicted := s.Offer(int64(i), points[i])
+		if accepted {
+			live[int64(i)] = true
+		}
+		for _, ev := range evicted {
+			if !live[ev] {
+				t.Fatalf("evicted id %d was never live", ev)
+			}
+			delete(live, ev)
+		}
+	}
+	return s, live
+}
+
+// checkMatchesEnvelope asserts the stream's kept set equals the batch
+// Envelope of the same points, by id and coordinates.
+func checkMatchesEnvelope(t *testing.T, s *Stream, live map[int64]bool, points []Point) {
+	t.Helper()
+	want := Envelope(points)
+	got := s.IDs()
+	if len(got) != len(want) {
+		t.Fatalf("stream kept %d points, batch envelope %d: got %v want %v", len(got), len(want), got, want)
+	}
+	for k, id := range got {
+		if int64(want[k]) != id {
+			t.Fatalf("kept[%d] = id %d, batch envelope has %d", k, id, want[k])
+		}
+		if !live[id] {
+			t.Errorf("kept id %d missing from live payload set", id)
+		}
+	}
+	if len(live) != len(got) {
+		t.Errorf("live payload set has %d entries, envelope %d — eviction leaked", len(live), len(got))
+	}
+	pts := s.Points()
+	for k := 1; k < len(pts); k++ {
+		if pts[k].X <= pts[k-1].X {
+			t.Fatalf("kept points not strictly ascending in X at %d: %v", k, pts)
+		}
+		if pts[k].Y >= pts[k-1].Y {
+			t.Fatalf("kept points not strictly descending in Y at %d: %v", k, pts)
+		}
+	}
+}
+
+func TestStreamEmptyAndSingle(t *testing.T) {
+	s := &Stream{}
+	if s.Len() != 0 || s.Offered() != 0 || s.EliminatedFraction() != 0 {
+		t.Fatal("zero-value stream not empty")
+	}
+	if acc, ev := s.Offer(7, Point{1, 2}); !acc || len(ev) != 0 {
+		t.Fatalf("first point: accepted=%v evicted=%v", acc, ev)
+	}
+	if s.Len() != 1 || s.IDs()[0] != 7 {
+		t.Fatalf("unexpected state after one offer: len=%d ids=%v", s.Len(), s.IDs())
+	}
+}
+
+func TestStreamRejectsInvalid(t *testing.T) {
+	s := &Stream{}
+	for _, p := range []Point{
+		{math.NaN(), 1}, {1, math.NaN()},
+		{math.Inf(1), 1}, {1, math.Inf(-1)},
+	} {
+		if acc, _ := s.Offer(0, p); acc {
+			t.Errorf("accepted invalid point %v", p)
+		}
+	}
+	if s.Offered() != 4 {
+		t.Errorf("Offered = %d, want 4 (invalid points still count)", s.Offered())
+	}
+	if s.Len() != 0 {
+		t.Errorf("invalid points entered the envelope: %v", s.Points())
+	}
+}
+
+func TestStreamDominatedAndDuplicates(t *testing.T) {
+	s := &Stream{}
+	s.Offer(0, Point{1, 3})
+	s.Offer(1, Point{3, 1})
+	if acc, _ := s.Offer(2, Point{3, 1}); acc {
+		t.Error("exact duplicate accepted; first offer should win")
+	}
+	if acc, _ := s.Offer(3, Point{4, 2}); acc {
+		t.Error("dominated point accepted")
+	}
+	if acc, _ := s.Offer(4, Point{1, 5}); acc {
+		t.Error("point dominated at equal X accepted")
+	}
+	// A point below the current vertex at equal X replaces it.
+	if acc, ev := s.Offer(5, Point{3, 0.5}); !acc || len(ev) != 1 || ev[0] != 1 {
+		t.Errorf("lower duplicate-X point: accepted=%v evicted=%v", acc, ev)
+	}
+}
+
+func TestStreamCollinearExcluded(t *testing.T) {
+	// Middle arrives last: rejected by the chord test.
+	s := &Stream{}
+	s.Offer(0, Point{0, 2})
+	s.Offer(1, Point{2, 0})
+	if acc, _ := s.Offer(2, Point{1, 1}); acc {
+		t.Error("collinear interior point accepted")
+	}
+	// Middle arrives first: evicted by the left-convexity repair.
+	s = &Stream{}
+	s.Offer(0, Point{0, 2})
+	s.Offer(1, Point{1, 1})
+	acc, ev := s.Offer(2, Point{2, 0})
+	if !acc || len(ev) != 1 || ev[0] != 1 {
+		t.Errorf("endpoint after collinear middle: accepted=%v evicted=%v", acc, ev)
+	}
+}
+
+func TestStreamRejectionIsFinal(t *testing.T) {
+	// Once rejected, a point stays rejected even after later arrivals make
+	// the envelope tighter — the invariant order-invariance rests on.
+	s := &Stream{}
+	s.Offer(0, Point{0, 10})
+	s.Offer(1, Point{10, 0})
+	if acc, _ := s.Offer(2, Point{5, 6}); acc {
+		t.Fatal("point above chord accepted")
+	}
+	s.Offer(3, Point{5, 1}) // tightens the middle
+	if got := len(s.IDs()); got != 3 {
+		t.Fatalf("envelope size %d after tightening, want 3", got)
+	}
+}
+
+func TestStreamMatchesBatchRandom(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(200)
+		points := make([]Point, n)
+		for i := range points {
+			points[i] = Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		}
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		s, live := offerAll(t, points, order)
+		checkMatchesEnvelope(t, s, live, points)
+		if s.Offered() != int64(n) {
+			t.Fatalf("seed %d: Offered = %d, want %d", seed, s.Offered(), n)
+		}
+		wantElim := EliminatedFraction(points)
+		if got := s.EliminatedFraction(); got != wantElim {
+			t.Fatalf("seed %d: EliminatedFraction = %v, batch %v", seed, got, wantElim)
+		}
+	}
+}
+
+func TestStreamOrderInvariant(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		n := 2 + rng.Intn(200)
+		points := make([]Point, n)
+		for i := range points {
+			points[i] = Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		}
+		order := rng.Perm(n)
+		s, live := offerAll(t, points, order)
+		checkMatchesEnvelope(t, s, live, points)
+	}
+}
+
+func TestStreamDegenerateGeometries(t *testing.T) {
+	cases := map[string][]Point{
+		"all duplicates":  {{1, 1}, {1, 1}, {1, 1}},
+		"vertical line":   {{1, 5}, {1, 3}, {1, 1}, {1, 4}},
+		"horizontal line": {{1, 2}, {3, 2}, {5, 2}, {2, 2}},
+		"two points":      {{2, 1}, {1, 2}},
+		"staircase":       {{0, 3}, {1, 3}, {1, 2}, {2, 2}, {2, 1}, {3, 1}},
+	}
+	for name, points := range cases {
+		order := make([]int, len(points))
+		for i := range order {
+			order[i] = i
+		}
+		s, live := offerAll(t, points, order)
+		t.Run(name, func(t *testing.T) { checkMatchesEnvelope(t, s, live, points) })
+	}
+}

@@ -1,0 +1,79 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fuzzServer is the process-wide server the fuzz targets drive: response
+// cache off so memory stays flat across millions of executions, a small
+// knob-grid cap so a lucky mutation cannot make one execution explore a
+// million-point space.
+var (
+	fuzzSrvOnce sync.Once
+	fuzzSrv     *Server
+)
+
+func fuzzServer() *Server {
+	fuzzSrvOnce.Do(func() {
+		fuzzSrv = New(Config{CacheSize: -1, MaxGridPoints: 64, Logger: quietLogger()})
+	})
+	return fuzzSrv
+}
+
+// fuzzPost drives one fuzzer-supplied body through the full middleware stack
+// and checks the contract every response must honor, valid or not: no panic
+// (a panic would surface as the recovery middleware's 500), a JSON body, and
+// on error the uniform envelope with a matching status code.
+func fuzzPost(t *testing.T, path string, body []byte) {
+	req := httptest.NewRequest("POST", path, strings.NewReader(string(body)))
+	w := httptest.NewRecorder()
+	fuzzServer().Handler().ServeHTTP(w, req)
+
+	if w.Code >= 500 {
+		t.Fatalf("%s returned %d for body %q:\n%s", path, w.Code, body, w.Body)
+	}
+	if !json.Valid(w.Body.Bytes()) {
+		t.Fatalf("%s returned invalid JSON for body %q:\n%s", path, body, w.Body)
+	}
+	if w.Code != http.StatusOK {
+		var env errEnvelope
+		if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+			t.Fatalf("%s error response is not the envelope: %s", path, w.Body)
+		}
+		if env.Error.Status != w.Code || env.Error.Message == "" {
+			t.Fatalf("%s envelope %+v does not match status %d", path, env, w.Code)
+		}
+	}
+}
+
+func FuzzDSERequest(f *testing.F) {
+	f.Add([]byte(`{"task":"All kernels","configs":["a1","a12"]}`))
+	f.Add([]byte(`{"task":"AI (5 kernels)","set":"3d","ci_use":200,"sweep":{"lo":1,"hi":1e10,"points":5}}`))
+	f.Add([]byte(`{"task":"All kernels","knobs":{"mac_arrays":[1,8],"sram_mb":[2],"vdd_scales":[0.9],"nodes":["7nm","5nm"]}}`))
+	f.Add([]byte(`{"task":"All kernels","knobs":{"mac_arrays":[-1],"sram_mb":[1e308]}}`))
+	f.Add([]byte(`{"task":`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"task":"All kernels"} trailing`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		fuzzPost(t, "/v1/dse", body)
+	})
+}
+
+func FuzzAccountingRequest(f *testing.F) {
+	f.Add([]byte(`{"process":"7nm","fab":"coal-heavy","area_cm2":1.0,"yield":0.95}`))
+	f.Add([]byte(`{"accelerator":{"id":"a48"}}`))
+	f.Add([]byte(`{"accelerator":{"mac_arrays":16,"sram_mb":8,"is_3d":true,"mem_dies":4}}`))
+	f.Add([]byte(`{"area_cm2":-1}`))
+	f.Add([]byte(`{"area_cm2":1e308,"yield":1e-308}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		fuzzPost(t, "/v1/accounting", body)
+	})
+}

@@ -202,6 +202,18 @@ type SweepSpec struct {
 	Points int     `json:"points"`
 }
 
+// KnobRangeSpec describes a design space as cartesian knob ranges for the
+// streaming DSE engine: the product of every listed MAC-array count, SRAM
+// capacity, V_DD scale, and technology node is enumerated lazily, so grids
+// far larger than the materialized sets stay servable. vdd_scales defaults
+// to {1.0}; nodes defaults to the request's process.
+type KnobRangeSpec struct {
+	MACArrays []int     `json:"mac_arrays"`
+	SRAMMB    []float64 `json:"sram_mb"`
+	VDDScales []float64 `json:"vdd_scales,omitempty"`
+	Nodes     []string  `json:"nodes,omitempty"`
+}
+
 // DSERequest asks for a design-space exploration of a task over a set of
 // accelerator configurations.
 type DSERequest struct {
@@ -212,10 +224,14 @@ type DSERequest struct {
 
 	// Set selects a predefined space: "grid" (121 Fig. 8 configs, the
 	// default) or "3d" (the seven §VI-E designs). Configs, when non-empty,
-	// restricts the space to the named IDs instead.
-	Set     string     `json:"set,omitempty"`
-	Configs []string   `json:"configs,omitempty"`
-	Sweep   *SweepSpec `json:"sweep,omitempty"`
+	// restricts the space to the named IDs instead. Knobs switches to the
+	// streaming engine over lazily enumerated knob ranges; it excludes both
+	// set and configs, and the response then carries only the surviving
+	// ever-optimal points plus points_streamed / points_pruned totals.
+	Set     string         `json:"set,omitempty"`
+	Configs []string       `json:"configs,omitempty"`
+	Knobs   *KnobRangeSpec `json:"knobs,omitempty"`
+	Sweep   *SweepSpec     `json:"sweep,omitempty"`
 }
 
 // DSEPoint is one evaluated design in the response.
@@ -243,6 +259,10 @@ type SweepEntry struct {
 // DSEResponse is the full exploration result: every evaluated point, the
 // ever-optimal set with its elimination fraction (§VI-B), and the
 // tCDP-optimal sweep across operational time (the Fig. 8 x-axis).
+//
+// For knob-range (streaming) requests, Points holds only the surviving
+// ever-optimal designs — the engine discards the rest of the grid as it
+// streams — and PointsStreamed / PointsPruned report the totals.
 type DSEResponse struct {
 	Task               string       `json:"task"`
 	Process            string       `json:"process"`
@@ -251,6 +271,8 @@ type DSEResponse struct {
 	Points             []DSEPoint   `json:"points"`
 	EverOptimal        []string     `json:"ever_optimal"`
 	EliminatedFraction float64      `json:"eliminated_fraction"`
+	PointsStreamed     int64        `json:"points_streamed,omitempty"`
+	PointsPruned       int64        `json:"points_pruned,omitempty"`
 	Sweep              []SweepEntry `json:"sweep"`
 }
 
@@ -268,7 +290,7 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) error {
 	if req.CIUse == 0 {
 		req.CIUse = 380
 	}
-	if req.Set == "" && len(req.Configs) == 0 {
+	if req.Set == "" && len(req.Configs) == 0 && req.Knobs == nil {
 		req.Set = "grid"
 	}
 	if req.Sweep == nil {
@@ -298,14 +320,17 @@ func (s *Server) buildDSE(r *http.Request, req DSERequest) (*DSEResponse, error)
 	if req.CIUse < 0 {
 		return nil, errf(http.StatusBadRequest, "ci_use must be non-negative, got %g", req.CIUse)
 	}
-	configs, err := s.resolveConfigs(req)
-	if err != nil {
-		return nil, err
-	}
 	if req.Sweep.Lo <= 0 || req.Sweep.Hi < req.Sweep.Lo || req.Sweep.Points < 1 || req.Sweep.Points > 10000 {
 		return nil, errf(http.StatusBadRequest,
 			"sweep needs 0 < lo <= hi and 1 <= points <= 10000, got lo=%g hi=%g points=%d",
 			req.Sweep.Lo, req.Sweep.Hi, req.Sweep.Points)
+	}
+	if req.Knobs != nil {
+		return s.buildDSEStream(r, req, task, proc, fab)
+	}
+	configs, err := s.resolveConfigs(req)
+	if err != nil {
+		return nil, err
 	}
 
 	// The grid evaluation is the expensive part; it runs under a pool slot
@@ -333,18 +358,7 @@ func (s *Server) buildDSE(r *http.Request, req DSERequest) (*DSEResponse, error)
 		EliminatedFraction: space.EliminatedFraction(),
 	}
 	for _, p := range space.Points {
-		resp.Points = append(resp.Points, DSEPoint{
-			ID:             p.Config.ID,
-			MACArrays:      p.Config.MACArrays,
-			SRAMMB:         p.Config.SRAM.InMB(),
-			Is3D:           p.Config.Is3D,
-			DelayS:         p.Delay.Seconds(),
-			EnergyJ:        p.Energy.Joules(),
-			EmbodiedG:      p.Embodied.Grams(),
-			AreaCM2:        p.Area.CM2(),
-			EDPJS:          p.EDP(),
-			EmbodiedDelayG: p.EmbodiedDelay(),
-		})
+		resp.Points = append(resp.Points, dsePoint(p))
 	}
 	for _, n := range cordoba.LogSpace(req.Sweep.Lo, req.Sweep.Hi, req.Sweep.Points) {
 		opt := space.OptimalAt(n)
@@ -353,6 +367,93 @@ func (s *Server) buildDSE(r *http.Request, req DSERequest) (*DSEResponse, error)
 			OptimalID:  space.Points[opt].Config.ID,
 			TCDPGS:     space.Points[opt].TCDP(space.CIUse, n),
 			MeanTCDPGS: space.MeanTCDPAt(n),
+		})
+	}
+	return resp, nil
+}
+
+// dsePoint renders one evaluated design for the response.
+func dsePoint(p cordoba.DesignPoint) DSEPoint {
+	return DSEPoint{
+		ID:             p.Config.ID,
+		MACArrays:      p.Config.MACArrays,
+		SRAMMB:         p.Config.SRAM.InMB(),
+		Is3D:           p.Config.Is3D,
+		DelayS:         p.Delay.Seconds(),
+		EnergyJ:        p.Energy.Joules(),
+		EmbodiedG:      p.Embodied.Grams(),
+		AreaCM2:        p.Area.CM2(),
+		EDPJS:          p.EDP(),
+		EmbodiedDelayG: p.EmbodiedDelay(),
+	}
+}
+
+// buildDSEStream serves the knob-range form of POST /v1/dse through the v2
+// streaming engine: lazy grid enumeration, the server's shared shape-profile
+// memo, and an incremental convex envelope, so only the ever-optimal points
+// ever materialize.
+func (s *Server) buildDSEStream(r *http.Request, req DSERequest, task cordoba.Task, proc cordoba.Process, fab cordoba.Fab) (*DSEResponse, error) {
+	if req.Set != "" || len(req.Configs) > 0 {
+		return nil, errf(http.StatusBadRequest, "knobs excludes set and configs — give exactly one space")
+	}
+	k := req.Knobs
+	if len(k.MACArrays) == 0 || len(k.SRAMMB) == 0 {
+		return nil, errf(http.StatusBadRequest, "knobs needs non-empty mac_arrays and sram_mb")
+	}
+	g := cordoba.KnobGrid{
+		MACArrays: k.MACArrays,
+		SRAMMB:    k.SRAMMB,
+		VDDScales: k.VDDScales,
+		Nodes:     k.Nodes,
+	}
+	if len(g.Nodes) == 0 {
+		// The scalar process field names the single node to explore.
+		g.Nodes = []string{proc.Node}
+	}
+	if size := g.Size(); size > s.cfg.MaxGridPoints {
+		return nil, errf(http.StatusBadRequest,
+			"knob grid has %d points, above this server's cap of %d", size, s.cfg.MaxGridPoints)
+	}
+
+	ctx := r.Context()
+	if err := s.pool.Acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.pool.Release()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := cordoba.ExploreStreamAt(ctx, task, g, fab, cordoba.CarbonIntensity(req.CIUse),
+		cordoba.StreamOptions{Workers: s.pool.Workers(), Memo: s.memo})
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, errf(http.StatusBadRequest, "%v", err)
+	}
+	s.metrics.ObserveDSEStream(res.Total, res.Total-int64(res.Kept()))
+
+	space := res.Space
+	resp := &DSEResponse{
+		Task:               task.Name,
+		Process:            strings.Join(g.Nodes, ","),
+		Fab:                fab.Name,
+		CIUse:              req.CIUse,
+		EliminatedFraction: res.EliminatedFraction(),
+		PointsStreamed:     res.Total,
+		PointsPruned:       res.Total - int64(res.Kept()),
+	}
+	for _, p := range space.Points {
+		resp.Points = append(resp.Points, dsePoint(p))
+		resp.EverOptimal = append(resp.EverOptimal, p.Config.ID)
+	}
+	for _, n := range cordoba.LogSpace(req.Sweep.Lo, req.Sweep.Hi, req.Sweep.Points) {
+		opt := res.OptimalAt(n)
+		resp.Sweep = append(resp.Sweep, SweepEntry{
+			Inferences: n,
+			OptimalID:  space.Points[opt].Config.ID,
+			TCDPGS:     space.Points[opt].TCDP(space.CIUse, n),
+			MeanTCDPGS: res.MeanTCDPAt(n),
 		})
 	}
 	return resp, nil

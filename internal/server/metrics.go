@@ -61,6 +61,13 @@ type Metrics struct {
 	evalInflight atomic.Int64 // grid evaluations currently running
 	evalWaiting  atomic.Int64 // requests queued for a pool slot
 	poolSize     int
+
+	dseStreamed atomic.Int64 // grid points enumerated by the streaming engine
+	dsePruned   atomic.Int64 // of those, proven never-optimal and discarded
+
+	// memoStats, when set, reports the shared shape-profile memo cache
+	// (hits, misses, live entries) at exposition time.
+	memoStats func() (hits, misses int64, entries int)
 }
 
 // NewMetrics returns an empty registry; poolSize is exported as a gauge so
@@ -92,6 +99,23 @@ func (m *Metrics) CacheMiss() { m.cacheMisses.Add(1) }
 // CacheCounts returns the (hits, misses) totals.
 func (m *Metrics) CacheCounts() (hits, misses int64) {
 	return m.cacheHits.Load(), m.cacheMisses.Load()
+}
+
+// ObserveDSEStream records one streaming exploration: how many grid points
+// it enumerated and how many it proved never-optimal along the way.
+func (m *Metrics) ObserveDSEStream(streamed, pruned int64) {
+	m.dseStreamed.Add(streamed)
+	m.dsePruned.Add(pruned)
+}
+
+// DSEStreamCounts returns the (streamed, pruned) point totals.
+func (m *Metrics) DSEStreamCounts() (streamed, pruned int64) {
+	return m.dseStreamed.Load(), m.dsePruned.Load()
+}
+
+// SetMemoStats installs the memo-cache reporter sampled by WriteProm.
+func (m *Metrics) SetMemoStats(f func() (hits, misses int64, entries int)) {
+	m.memoStats = f
 }
 
 // WriteProm renders the registry in Prometheus text exposition format.
@@ -155,6 +179,26 @@ func (m *Metrics) WriteProm(w io.Writer) error {
 	p("# HELP cordobad_cache_misses_total Response-cache misses.\n")
 	p("# TYPE cordobad_cache_misses_total counter\n")
 	p("cordobad_cache_misses_total %d\n", m.cacheMisses.Load())
+
+	p("# HELP cordobad_dse_points_streamed_total Grid points enumerated by the streaming DSE engine.\n")
+	p("# TYPE cordobad_dse_points_streamed_total counter\n")
+	p("cordobad_dse_points_streamed_total %d\n", m.dseStreamed.Load())
+	p("# HELP cordobad_dse_points_pruned_total Grid points proven never-optimal and discarded while streaming.\n")
+	p("# TYPE cordobad_dse_points_pruned_total counter\n")
+	p("cordobad_dse_points_pruned_total %d\n", m.dsePruned.Load())
+
+	if m.memoStats != nil {
+		hits, misses, entries := m.memoStats()
+		p("# HELP cordobad_memo_hits_total Shape-profile memo cache hits.\n")
+		p("# TYPE cordobad_memo_hits_total counter\n")
+		p("cordobad_memo_hits_total %d\n", hits)
+		p("# HELP cordobad_memo_misses_total Shape-profile memo cache misses.\n")
+		p("# TYPE cordobad_memo_misses_total counter\n")
+		p("cordobad_memo_misses_total %d\n", misses)
+		p("# HELP cordobad_memo_entries Shape profiles currently cached.\n")
+		p("# TYPE cordobad_memo_entries gauge\n")
+		p("cordobad_memo_entries %d\n", entries)
+	}
 
 	p("# HELP cordobad_inflight_requests HTTP requests currently being served.\n")
 	p("# TYPE cordobad_inflight_requests gauge\n")

@@ -146,6 +146,14 @@ func writeError(w *statusRecorder, err error) {
 func writeJSON(w http.ResponseWriter, status int, v any) ([]byte, error) {
 	b, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
+		// A NaN or ±Inf in a response means the request's parameters
+		// overflowed the physics model (say, a 1e308 cm² die): the caller's
+		// fault, not the server's.
+		var uv *json.UnsupportedValueError
+		if errors.As(err, &uv) {
+			return nil, errf(http.StatusBadRequest,
+				"parameters produce a non-finite result (%s); values are outside the model's range", uv.Str)
+		}
 		return nil, err
 	}
 	b = append(b, '\n')

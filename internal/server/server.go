@@ -46,6 +46,8 @@ type Config struct {
 	RequestTimeout time.Duration // per-request deadline, default 60 s
 	PoolSize       int           // concurrent evaluations, default DefaultPoolSize
 	EvalWorkers    int           // goroutines per evaluation, default DefaultEvalWorkers
+	MaxGridPoints  int64         // knob-grid size cap per request, default 1<<20
+	MemoEntries    int           // shape-profile memo entries, default cordoba.DefaultMemoEntries
 	Logger         *slog.Logger  // default slog.Default()
 }
 
@@ -62,6 +64,9 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 60 * time.Second
 	}
+	if c.MaxGridPoints <= 0 {
+		c.MaxGridPoints = 1 << 20
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -76,6 +81,10 @@ type Server struct {
 	metrics *Metrics
 	cache   *Cache
 	pool    *Pool
+
+	// memo is the shared shape-profile cache of the streaming DSE engine:
+	// knob-grid requests reuse each (kernel, shape) evaluation across calls.
+	memo *cordoba.MemoCache
 
 	// configs indexes every known accelerator ID (grid + 3D) for request
 	// resolution without re-enumerating the design space per request.
@@ -103,6 +112,11 @@ func New(cfg Config) *Server {
 	pm.poolSize = s.pool.Size()
 	s.metrics = pm
 	s.cache = NewCache(cfg.CacheSize)
+	s.memo = cordoba.NewMemoCache(cfg.MemoEntries)
+	pm.SetMemoStats(func() (hits, misses int64, entries int) {
+		hits, misses = s.memo.Stats()
+		return hits, misses, s.memo.Len()
+	})
 
 	s.mux.Handle("POST /v1/accounting", s.instrument("/v1/accounting", s.handleAccounting))
 	s.mux.Handle("POST /v1/dse", s.instrument("/v1/dse", s.handleDSE))
@@ -126,6 +140,9 @@ func (s *Server) Cache() *Cache { return s.cache }
 
 // Pool exposes the evaluation worker pool.
 func (s *Server) Pool() *Pool { return s.pool }
+
+// Memo exposes the shared shape-profile cache of the streaming DSE engine.
+func (s *Server) Memo() *cordoba.MemoCache { return s.memo }
 
 // ListenAndServe serves until ctx is canceled, then shuts down gracefully:
 // the listener closes immediately, in-flight requests get grace to drain,
