@@ -17,7 +17,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/server/... ./internal/dse/... ./internal/pareto/...
+	$(GO) test -race ./internal/server/... ./internal/dse/... ./internal/pareto/... ./internal/grid/... ./internal/sched/...
 
 ci: build vet test race
 
@@ -28,14 +28,17 @@ bench:
 bench-server:
 	$(GO) test -run '^$$' -bench 'BenchmarkEvaluateParallel|BenchmarkServerDSE' -benchmem .
 
-# Guard the streaming-engine speedup: fail on a >2x ns/op regression against
-# the checked-in baseline. Regenerate after an intentional perf change with
-# `make bench-baseline` and review the diff.
+# Guard the streaming-engine and window-search speedups: fail on a >2x ns/op
+# regression against the checked-in baseline. Regenerate after an intentional
+# perf change with `make bench-baseline` and review the diff (-update merges
+# per-package runs into the shared baseline).
 bench-check:
 	$(GO) test -run '^$$' -bench BenchmarkStreamingDSE -benchtime 1x . | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json
+	$(GO) test -run '^$$' -bench BenchmarkScheduleWindow -benchtime 1x ./internal/sched | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json
 
 bench-baseline:
 	$(GO) test -run '^$$' -bench BenchmarkStreamingDSE -benchtime 1x . | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
+	$(GO) test -run '^$$' -bench BenchmarkScheduleWindow -benchtime 1x ./internal/sched | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
 
 # Ten seconds of coverage-guided fuzzing per target (one -fuzz per
 # invocation is a `go test` restriction). Seed corpora live under each
@@ -44,6 +47,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParetoEnvelope -fuzztime 10s ./internal/pareto
 	$(GO) test -run '^$$' -fuzz FuzzDSERequest -fuzztime 10s ./internal/server
 	$(GO) test -run '^$$' -fuzz FuzzAccountingRequest -fuzztime 10s ./internal/server
+	$(GO) test -run '^$$' -fuzz FuzzTraceIntegrate -fuzztime 10s ./internal/grid
 
 run-daemon:
 	$(GO) run ./cmd/cordobad -addr :8080

@@ -100,7 +100,20 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	if *update {
-		b, err := json.MarshalIndent(results, "", "  ")
+		// Merge into the existing baseline rather than overwriting it, so
+		// per-package bench runs (root DSE, sched window search) can each
+		// refresh their own entries without clobbering the others'.
+		merged := map[string]float64{}
+		if raw, err := os.ReadFile(*baselinePath); err == nil {
+			if err := json.Unmarshal(raw, &merged); err != nil {
+				fmt.Fprintln(stderr, "benchcheck: existing baseline:", err)
+				return 2
+			}
+		}
+		for name, ns := range results {
+			merged[name] = ns
+		}
+		b, err := json.MarshalIndent(merged, "", "  ")
 		if err != nil {
 			fmt.Fprintln(stderr, "benchcheck:", err)
 			return 2
@@ -109,7 +122,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "benchcheck:", err)
 			return 2
 		}
-		fmt.Fprintf(stderr, "benchcheck: wrote %d entries to %s\n", len(results), *baselinePath)
+		fmt.Fprintf(stderr, "benchcheck: wrote %d entries (%d updated) to %s\n",
+			len(merged), len(results), *baselinePath)
 		return 0
 	}
 

@@ -86,3 +86,47 @@ func TestRunUpdateThenPass(t *testing.T) {
 		t.Fatalf("empty input exited %d, want 2", code)
 	}
 }
+
+func TestRunUpdateMergesAcrossPackages(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "baseline.json")
+
+	if code := run([]string{"-baseline", base, "-update"},
+		strings.NewReader(sampleOutput), io.Discard, io.Discard); code != 0 {
+		t.Fatalf("first -update exited %d", code)
+	}
+
+	// A second package's bench run must extend the baseline, not replace it.
+	other := "BenchmarkScheduleWindow/cumulative-8 \t 100 \t 11708 ns/op\n"
+	if code := run([]string{"-baseline", base, "-update"},
+		strings.NewReader(other), io.Discard, io.Discard); code != 0 {
+		t.Fatalf("second -update exited %d", code)
+	}
+
+	raw, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"BenchmarkStreamingDSE/naive",
+		"BenchmarkScheduleWindow/cumulative",
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("merged baseline missing %q:\n%s", want, raw)
+		}
+	}
+
+	// Re-running a benchmark overwrites its own entry in place.
+	faster := strings.Replace(other, "11708 ns/op", "9000 ns/op", 1)
+	if code := run([]string{"-baseline", base, "-update"},
+		strings.NewReader(faster), io.Discard, io.Discard); code != 0 {
+		t.Fatalf("third -update exited %d", code)
+	}
+	raw, err = os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "9000") || strings.Contains(string(raw), "11708") {
+		t.Errorf("entry not refreshed in place:\n%s", raw)
+	}
+}

@@ -8,6 +8,7 @@
 // Endpoints (see internal/server and the README's "Running as a service"):
 //
 //	POST /v1/accounting   POST /v1/dse   GET /v1/experiments[/{key}]
+//	GET  /v1/traces       POST /v1/schedule
 //	GET  /v1/tasks        GET /v1/configs
 //	GET  /healthz         GET /metrics
 //

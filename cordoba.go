@@ -329,6 +329,58 @@ func DecarbonizationRamp(start, end CarbonIntensity, span Time) CITrace {
 	return grid.Ramp{Start: start, End: end, Span: span}
 }
 
+// CaliforniaDuckCI is the stylized duck-curve daily trace: clean midday
+// solar, dirty evening ramp.
+func CaliforniaDuckCI() CITrace { return grid.CaliforniaDuck() }
+
+// NamedCITraces returns the reference CI_use(t) traces cordobad serves,
+// keyed by Name().
+func NamedCITraces() []CITrace { return grid.NamedTraces() }
+
+// CITraceByName resolves a reference trace by its registry name
+// ("california-duck", "decarb-ramp", ...).
+func CITraceByName(name string) (CITrace, error) { return grid.TraceByName(name) }
+
+// ---- cumulative-trace engine ----
+
+// CumulativeCI is a precomputed prefix integral F(t) = ∫₀ᵗ CI(u)du of a
+// trace: window integrals, averages, and operational carbon in O(log n) per
+// query, exact for the closed-form trace shapes.
+type CumulativeCI = grid.Cumulative
+
+// NewCumulativeCI builds the prefix integral of a trace. The horizon bounds
+// the precomputed table for traces without a closed form (zero selects a
+// default of three years); queries beyond it stay correct but slower.
+func NewCumulativeCI(tr CITrace, horizon Time) (*CumulativeCI, error) {
+	return grid.NewCumulative(tr, horizon)
+}
+
+// AverageCIOver returns the exact time-average carbon intensity of a trace
+// over [0, life].
+func AverageCIOver(tr CITrace, life Time) (CarbonIntensity, error) {
+	return grid.AverageCI(tr, life, 1)
+}
+
+// ---- carbon-aware launch windows ----
+
+// WindowRequest describes a deferrable job: duration, power draw, deadline,
+// and candidate start-time granularity.
+type WindowRequest = sched.WindowRequest
+
+// WindowPlan is a launch-window search outcome: best, worst, and run-now
+// windows plus the savings fraction.
+type WindowPlan = sched.WindowPlan
+
+// ExecutionWindow is one candidate execution slot with its operational
+// carbon and average CI.
+type ExecutionWindow = sched.Window
+
+// FindLaunchWindow returns the lowest-carbon execution window for a job on a
+// cumulative trace, searching candidate starts up to the deadline.
+func FindLaunchWindow(cum *CumulativeCI, req WindowRequest) (WindowPlan, error) {
+	return sched.FindWindow(cum, req)
+}
+
 // TCDPUnderTrace evaluates a design's tCDP when the grid follows a
 // time-varying CI_use(t) trace over the hardware lifetime (eq. IV.8).
 func TCDPUnderTrace(d UncertainDesign, tr CITrace, life Time) (float64, error) {

@@ -152,6 +152,53 @@ func TestMurphyKnownValue(t *testing.T) {
 	near(t, "murphy(AD=1)", MurphyYield{}.Yield(1, 1), 0.39958, 1e-4)
 }
 
+// Regression: (1−e^{−AD})/AD in plain float64 cancels catastrophically as
+// AD→0 and could round above 1. The series path must keep the yield in
+// (0, 1], strictly below 1 for any positive AD, and continuous across the
+// series/expm1 switchover.
+func TestMurphyTinyADNoCancellation(t *testing.T) {
+	m := MurphyYield{}
+	prev := 1.0
+	for _, ad := range []float64{1e-18, 1e-15, 1e-12, 1e-9, 1e-6, 1e-4, 1.0000001e-4, 1e-3, 1e-2} {
+		y := m.Yield(units.Area(ad), 1)
+		if y > 1 || y <= 0 || math.IsNaN(y) {
+			t.Fatalf("AD=%g: yield %v out of (0,1]", ad, y)
+		}
+		if y > prev {
+			t.Errorf("AD=%g: yield %v increased from %v", ad, y, prev)
+		}
+		// First-order check: Y ≈ 1 − AD for small AD.
+		if want := 1 - ad; math.Abs(y-want) > 1e-8*want+ad*ad {
+			t.Errorf("AD=%g: yield %v, want ≈ %v", ad, y, want)
+		}
+		prev = y
+	}
+	// Continuity at the switchover: both branches agree to near rounding.
+	lo, hi := m.Yield(units.Area(math.Nextafter(1e-4, 0)), 1), m.Yield(units.Area(1e-4), 1)
+	if math.Abs(lo-hi) > 1e-12 {
+		t.Errorf("discontinuity at series switchover: %v vs %v", lo, hi)
+	}
+}
+
+// Regression: Pow(1+AD, −n) evaluates 1+AD first and returns exactly 1 for
+// AD below the rounding threshold even with many critical layers; the
+// Log1p path must stay strictly below 1.
+func TestBoseEinsteinTinyAD(t *testing.T) {
+	b := BoseEinsteinYield{CriticalLayers: 10}
+	// 1+AD rounds to exactly 1 for AD ≤ 1e-16, so Pow(1+AD, −n) would
+	// return 1 at the first value; n·AD is still representable below 1.
+	for _, ad := range []float64{1e-16, 1e-14, 1e-10} {
+		y := b.Yield(units.Area(ad), 1)
+		if !(y < 1) || y <= 0 {
+			t.Errorf("AD=%g: yield %v, want strictly inside (0,1)", ad, y)
+		}
+		// Y = e^{−n·log1p(AD)} ≈ 1 − n·AD for tiny AD.
+		if want := 1 - 10*ad; math.Abs(y-want) > 1e-12 {
+			t.Errorf("AD=%g: yield %v, want ≈ %v", ad, y, want)
+		}
+	}
+}
+
 func TestBoseEinsteinLayers(t *testing.T) {
 	b1 := BoseEinsteinYield{CriticalLayers: 1}
 	b5 := BoseEinsteinYield{CriticalLayers: 5}

@@ -29,8 +29,24 @@ func (MurphyYield) Yield(area units.Area, d float64) float64 {
 	if ad <= 0 {
 		return 1
 	}
-	f := (1 - math.Exp(-ad)) / ad
-	return f * f
+	var f float64
+	if ad < 1e-4 {
+		// (1−e^{−x})/x loses all significant digits as x→0 (the subtraction
+		// cancels) and can round above 1; use the Taylor series instead,
+		// accurate to < 1e-17 for x < 1e-4.
+		f = 1 - ad/2 + ad*ad/6
+	} else {
+		// Expm1 keeps the small-x difference exact where Exp would round.
+		f = -math.Expm1(-ad) / ad
+	}
+	y := f * f
+	if y > 1 {
+		y = 1
+	}
+	if y <= 0 {
+		y = math.SmallestNonzeroFloat64
+	}
+	return y
 }
 
 // PoissonYield is the Poisson model: Y = e^{−AD}.
@@ -85,7 +101,9 @@ func (b BoseEinsteinYield) Yield(area units.Area, d float64) float64 {
 	if ad <= 0 {
 		return 1
 	}
-	return math.Pow(1+ad, -float64(n))
+	// Log1p avoids the 1+ad rounding that makes Pow(1+ad, -n) return
+	// exactly 1 for tiny ad even when n is large.
+	return math.Exp(-float64(n) * math.Log1p(ad))
 }
 
 // YieldModels returns the supported models.

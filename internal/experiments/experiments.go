@@ -40,6 +40,7 @@ func All() []Experiment {
 		{"dvfs", "DVFS analysis (§III-A): ED² V_DD-independence under square-law vs modern devices", RenderDVFS},
 		{"ablation", "Ablations: sensitivity of the DSE conclusions to model constants", RenderAblations},
 		{"lifetime", "Lifetime study (§VII): tCDP-optimal hardware refresh cadence", RenderLifetime},
+		{"schedule", "Carbon-aware scheduling: lowest-CI_use launch windows per reference grid", RenderSchedule},
 	}
 }
 

@@ -44,6 +44,8 @@ func Result(key string) (any, error) {
 		return Ablations()
 	case "lifetime":
 		return Lifetime()
+	case "schedule":
+		return Schedule()
 	default:
 		return nil, fmt.Errorf("experiments: no typed result for %q", key)
 	}
@@ -184,6 +186,24 @@ func ExportCSV(key string, w io.Writer) error {
 		}
 		for i, name := range res.Configs {
 			row := []string{name, f(res.EDP[i]), f(res.EmbD[i]), strconv.FormatBool(surv[name])}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case "schedule":
+		res, err := Schedule()
+		if err != nil {
+			return err
+		}
+		header := []string{"trace", "best_start_h", "best_co2e_g", "immediate_co2e_g", "worst_co2e_g", "savings_frac"}
+		if err := cw.Write(header); err != nil {
+			return err
+		}
+		for _, r := range res.Rows {
+			row := []string{r.Trace, f(r.Plan.Best.Start.InHours()), f(r.Plan.Best.Carbon.Grams()),
+				f(r.Plan.Immediate.Carbon.Grams()), f(r.Plan.Worst.Carbon.Grams()), f(r.Plan.Savings)}
 			if err := cw.Write(row); err != nil {
 				return err
 			}

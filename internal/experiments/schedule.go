@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"cordoba/internal/grid"
+	"cordoba/internal/sched"
+	"cordoba/internal/table"
+	"cordoba/internal/units"
+)
+
+// ScheduleStudy quantifies temporal shifting: the operational carbon a
+// deferrable job saves by launching in the cleanest window each reference
+// grid offers, instead of running immediately — the CI_use(t) counterpart of
+// the spatial provisioning optimizations of §VI.
+type ScheduleStudy struct {
+	// Job parameters shared by every row.
+	Duration units.Time
+	Power    units.Power
+	Deadline units.Time
+	Rows     []ScheduleRow
+}
+
+// ScheduleRow is the launch-window outcome on one named trace.
+type ScheduleRow struct {
+	Trace string
+	Plan  sched.WindowPlan
+}
+
+// scheduleJob is the canonical deferrable job: a 2-hour, 200 W batch task
+// that must finish within 24 hours.
+func scheduleJob() sched.WindowRequest {
+	return sched.WindowRequest{
+		Duration: units.Hours(2),
+		Power:    200,
+		Deadline: units.Hours(24),
+		Step:     units.Hours(0.25),
+	}
+}
+
+// Schedule runs the launch-window search on every named reference trace.
+func Schedule() (ScheduleStudy, error) {
+	req := scheduleJob()
+	study := ScheduleStudy{Duration: req.Duration, Power: req.Power, Deadline: req.Deadline}
+	for _, tr := range grid.NamedTraces() {
+		cum, err := grid.NewCumulative(tr, req.Deadline)
+		if err != nil {
+			return ScheduleStudy{}, err
+		}
+		plan, err := sched.FindWindow(cum, req)
+		if err != nil {
+			return ScheduleStudy{}, err
+		}
+		study.Rows = append(study.Rows, ScheduleRow{Trace: tr.Name(), Plan: plan})
+	}
+	return study, nil
+}
+
+// RenderSchedule writes the scheduling study.
+func RenderSchedule(w io.Writer) error {
+	study, err := Schedule()
+	if err != nil {
+		return err
+	}
+	t := table.New(fmt.Sprintf(
+		"Carbon-aware launch windows — %s job at %s, deadline %s",
+		study.Duration, study.Power, study.Deadline),
+		"trace", "best start", "best CO2e", "immediate CO2e", "worst CO2e", "savings")
+	for _, r := range study.Rows {
+		t.AddRow(r.Trace,
+			fmt.Sprintf("%.2f h", r.Plan.Best.Start.InHours()),
+			r.Plan.Best.Carbon.String(),
+			r.Plan.Immediate.Carbon.String(),
+			r.Plan.Worst.Carbon.String(),
+			fmt.Sprintf("%.1f%%", 100*r.Plan.Savings))
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	best := study.Rows[0]
+	for _, r := range study.Rows[1:] {
+		if r.Plan.Savings > best.Plan.Savings {
+			best = r
+		}
+	}
+	_, err = fmt.Fprintf(w, "largest temporal-shifting benefit: %s (%.1f%% below run-now)\n",
+		best.Trace, 100*best.Plan.Savings)
+	return err
+}

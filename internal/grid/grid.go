@@ -100,9 +100,17 @@ func NewStep(edges []units.Time, levels []units.CarbonIntensity) (Step, error) {
 	if len(edges) != len(levels)-1 {
 		return Step{}, fmt.Errorf("grid: step trace needs len(edges) = len(levels)-1, got %d and %d", len(edges), len(levels))
 	}
-	for i := 1; i < len(edges); i++ {
-		if edges[i] <= edges[i-1] {
+	for i, e := range edges {
+		if e < 0 {
+			return Step{}, fmt.Errorf("grid: step edge %d is negative (%v)", i, e)
+		}
+		if i > 0 && e <= edges[i-1] {
 			return Step{}, fmt.Errorf("grid: step edges must be strictly increasing")
+		}
+	}
+	for i, l := range levels {
+		if l < 0 {
+			return Step{}, fmt.Errorf("grid: step level %d is negative (%v)", i, l)
 		}
 	}
 	return Step{Edges: edges, Levels: levels}, nil
@@ -178,10 +186,12 @@ func (e Empirical) CI(t units.Time) units.CarbonIntensity {
 	// Sample i covers phase i/n; interpolate toward the next (wrapping).
 	x := pos / e.Period.Seconds() * float64(n)
 	i := int(x)
-	if i >= n {
-		i = n - 1
-	}
 	frac := x - float64(i)
+	if i >= n {
+		// pos/Period rounded up to 1 at the wrap boundary: that is phase 0
+		// of the next period, not an extrapolation past the last sample.
+		i, frac = 0, 0
+	}
 	a := float64(e.Samples[i])
 	b := float64(e.Samples[(i+1)%n])
 	return units.CarbonIntensity(a + frac*(b-a))
@@ -221,10 +231,17 @@ func ConstantPower(p units.Power) PowerProfile {
 	return func(units.Time) units.Power { return p }
 }
 
-// Integrate computes eq. IV.7 over [0, life] by composite-trapezoid
-// quadrature with the given number of steps (≥1):
+// Integrate computes eq. IV.7 over [0, life]:
 //
 //	C_operational = ∫₀^life CI(t)·P(t) dt
+//
+// The quadrature is edge-aligned: [0, life] is first split at every
+// discontinuity or kink of the trace (step edges, ramp breaks, sample
+// boundaries, clamp crossings), then each smooth segment is integrated with
+// Gauss–Legendre sub-steps. Because no rule ever straddles or samples a
+// discontinuity, the result is exact (to rounding) for piecewise-polynomial
+// traces under constant power regardless of `steps`; `steps` (≥1) only sets
+// the minimum total sub-step resolution for smooth variation in CI·P.
 func Integrate(tr Trace, p PowerProfile, life units.Time, steps int) (units.Carbon, error) {
 	if life < 0 {
 		return 0, fmt.Errorf("grid: negative lifetime %v", life)
@@ -232,31 +249,48 @@ func Integrate(tr Trace, p PowerProfile, life units.Time, steps int) (units.Carb
 	if steps < 1 {
 		return 0, fmt.Errorf("grid: need at least one integration step, got %d", steps)
 	}
-	h := life.Seconds() / float64(steps)
+	if life == 0 {
+		return 0, nil
+	}
 	integrand := func(tSec float64) float64 {
 		t := units.Time(tSec)
 		// CI is g/kWh, P is W: g/kWh · W = g/kWh · J/s; dividing by
 		// J-per-kWh converts to g/s.
 		return float64(tr.CI(t)) * p(t).Watts() / units.JoulesPerKWh
 	}
-	sum := (integrand(0) + integrand(life.Seconds())) / 2
-	for i := 1; i < steps; i++ {
-		sum += integrand(float64(i) * h)
+	total := life.Seconds()
+	knots := knotGrid(tr, 0, total)
+	sum := 0.0
+	for i := 1; i < len(knots); i++ {
+		a, b := knots[i-1], knots[i]
+		// Distribute the requested resolution across segments by length,
+		// with at least one Gauss panel per segment.
+		m := int(math.Ceil(float64(steps) * (b - a) / total))
+		if m < 1 {
+			m = 1
+		}
+		h := (b - a) / float64(m)
+		for j := 0; j < m; j++ {
+			sum += glIntegrate(integrand, a+float64(j)*h, a+float64(j+1)*h)
+		}
 	}
-	return units.Carbon(sum * h), nil
+	return units.Carbon(sum), nil
 }
 
 // AverageCI returns the time-average carbon intensity of a trace over
-// [0, life], using the same quadrature as Integrate.
+// [0, life] through the cumulative-trace engine — exact for closed-form
+// trace shapes. The steps parameter is retained for call-site compatibility
+// and only validated.
 func AverageCI(tr Trace, life units.Time, steps int) (units.CarbonIntensity, error) {
 	if life <= 0 {
 		return 0, fmt.Errorf("grid: lifetime must be positive, got %v", life)
 	}
-	c, err := Integrate(tr, ConstantPower(1), life, steps)
+	if steps < 1 {
+		return 0, fmt.Errorf("grid: need at least one integration step, got %d", steps)
+	}
+	cum, err := NewCumulative(tr, life)
 	if err != nil {
 		return 0, err
 	}
-	// c is grams for 1 W over life; convert back to g/kWh.
-	kwh := units.Power(1).Over(life).InKWh()
-	return units.CarbonIntensity(c.Grams() / kwh), nil
+	return cum.AverageBetween(0, life)
 }

@@ -16,6 +16,7 @@ import (
 
 	"cordoba/internal/carbon"
 	"cordoba/internal/device"
+	"cordoba/internal/grid"
 	"cordoba/internal/units"
 )
 
@@ -36,6 +37,11 @@ type Service struct {
 	// Fab and CIUse fix the carbon accounting.
 	Fab   carbon.Fab
 	CIUse units.CarbonIntensity
+	// CITrace, when non-nil, replaces the scalar CIUse with a time-varying
+	// CI_use(t): each deployment span is charged its exact window integral
+	// through the cumulative-trace engine. A Constant trace reproduces the
+	// scalar path.
+	CITrace grid.Trace
 	// Yield for eq. IV.5.
 	Yield float64
 }
@@ -112,6 +118,14 @@ func (s Service) Evaluate(period units.Time) (Outcome, error) {
 	if period <= 0 {
 		return Outcome{}, fmt.Errorf("lifecycle: refresh period must be positive, got %v", period)
 	}
+	var cum *grid.Cumulative
+	if s.CITrace != nil {
+		var err error
+		cum, err = grid.NewCumulative(s.CITrace, s.Horizon)
+		if err != nil {
+			return Outcome{}, err
+		}
+	}
 	var out Outcome
 	var delayWeighted float64
 	for start := units.Time(0); start < s.Horizon; start += period {
@@ -126,7 +140,13 @@ func (s Service) Evaluate(period units.Time) (Outcome, error) {
 		taskDelay, taskEnergy := d.Run(s.TaskCycles)
 
 		tasks := s.TaskRate * span.Seconds()
-		out.Energy += taskEnergy * units.Energy(tasks)
+		spanEnergy := taskEnergy * units.Energy(tasks)
+		out.Energy += spanEnergy
+		if cum != nil {
+			// The deployment draws constant average power over [start, end];
+			// charge it the exact window integral of CI_use(t).
+			out.Operation += cum.OperationalCarbon(spanEnergy.DividedBy(span), start, end)
+		}
 		emb, err := proc.EmbodiedDie(s.Fab, d.Area(), s.Yield)
 		if err != nil {
 			return Outcome{}, err
@@ -135,7 +155,9 @@ func (s Service) Evaluate(period units.Time) (Outcome, error) {
 		out.Refreshes++
 		delayWeighted += taskDelay.Seconds() * span.Seconds()
 	}
-	out.Operation = s.CIUse.Of(out.Energy)
+	if cum == nil {
+		out.Operation = s.CIUse.Of(out.Energy)
+	}
 	out.MeanDelay = units.Time(delayWeighted / s.Horizon.Seconds())
 	return out, nil
 }

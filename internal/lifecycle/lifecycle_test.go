@@ -4,8 +4,48 @@ import (
 	"math"
 	"testing"
 
+	"cordoba/internal/grid"
 	"cordoba/internal/units"
 )
+
+// A Constant CITrace must reproduce the scalar CIUse path to rounding, and
+// a decarbonizing trace must charge less operational carbon than the
+// matching flat grid.
+func TestCITraceEvaluation(t *testing.T) {
+	s := DefaultService()
+	scalar, err := s.Evaluate(units.Years(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s.CITrace = grid.Constant{Intensity: s.CIUse}
+	traced, err := s.Evaluate(units.Years(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(traced.Operation.Grams()-scalar.Operation.Grams()) / scalar.Operation.Grams()
+	if rel > 1e-9 {
+		t.Errorf("constant trace operation %.9g vs scalar %.9g (rel %.3g)",
+			traced.Operation.Grams(), scalar.Operation.Grams(), rel)
+	}
+	if traced.Embodied != scalar.Embodied || traced.Energy != scalar.Energy {
+		t.Error("trace must not change energy or embodied accounting")
+	}
+
+	s.CITrace = grid.Ramp{Start: s.CIUse, End: 50, Span: s.Horizon}
+	ramped, err := s.Evaluate(units.Years(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ramped.Operation >= scalar.Operation {
+		t.Errorf("decarbonizing ramp should cut operation: %v vs %v", ramped.Operation, scalar.Operation)
+	}
+
+	s.CITrace = grid.Step{Levels: []units.CarbonIntensity{1, 2}} // malformed
+	if _, err := s.Evaluate(units.Years(2)); err == nil {
+		t.Error("malformed trace should surface an error")
+	}
+}
 
 func TestValidate(t *testing.T) {
 	good := DefaultService()

@@ -222,6 +222,13 @@ type DSERequest struct {
 	Fab     string  `json:"fab,omitempty"`     // default "coal-heavy"
 	CIUse   float64 `json:"ci_use,omitempty"`  // g/kWh, default 380 (Table III)
 
+	// CITrace names a registry trace (see GET /v1/traces) to derive the
+	// use-phase intensity from instead of the scalar ci_use: operational
+	// carbon is charged at the trace's exact time-average over trace_life_s
+	// (default one year). Mutually exclusive with ci_use.
+	CITrace    string  `json:"ci_trace,omitempty"`
+	TraceLifeS float64 `json:"trace_life_s,omitempty"`
+
 	// Set selects a predefined space: "grid" (121 Fig. 8 configs, the
 	// default) or "3d" (the seven §VI-E designs). Configs, when non-empty,
 	// restricts the space to the named IDs instead. Knobs switches to the
@@ -268,6 +275,8 @@ type DSEResponse struct {
 	Process            string       `json:"process"`
 	Fab                string       `json:"fab"`
 	CIUse              float64      `json:"ci_use_g_per_kwh"`
+	CITrace            string       `json:"ci_trace,omitempty"`
+	TraceLifeS         float64      `json:"trace_life_s,omitempty"`
 	Points             []DSEPoint   `json:"points"`
 	EverOptimal        []string     `json:"ever_optimal"`
 	EliminatedFraction float64      `json:"eliminated_fraction"`
@@ -287,8 +296,20 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) error {
 	if req.Fab == "" {
 		req.Fab = "coal-heavy"
 	}
-	if req.CIUse == 0 {
-		req.CIUse = 380
+	if req.CITrace != "" {
+		if req.CIUse != 0 {
+			return errf(http.StatusBadRequest, "ci_trace and ci_use are mutually exclusive — give one")
+		}
+		if req.TraceLifeS == 0 {
+			req.TraceLifeS = cordoba.Years(1).Seconds()
+		}
+	} else {
+		if req.TraceLifeS != 0 {
+			return errf(http.StatusBadRequest, "trace_life_s requires ci_trace")
+		}
+		if req.CIUse == 0 {
+			req.CIUse = 380
+		}
 	}
 	if req.Set == "" && len(req.Configs) == 0 && req.Knobs == nil {
 		req.Set = "grid"
@@ -319,6 +340,24 @@ func (s *Server) buildDSE(r *http.Request, req DSERequest) (*DSEResponse, error)
 	}
 	if req.CIUse < 0 {
 		return nil, errf(http.StatusBadRequest, "ci_use must be non-negative, got %g", req.CIUse)
+	}
+	if req.CITrace != "" {
+		// Resolve the named trace to its exact time-average intensity over
+		// the requested lifetime; the scalar then flows through both the
+		// materialized and streaming engines unchanged.
+		s.metrics.ObserveTraceLookup()
+		cum, ok := s.traces[req.CITrace]
+		if !ok {
+			return nil, errf(http.StatusBadRequest, "unknown trace %q (see GET /v1/traces)", req.CITrace)
+		}
+		if req.TraceLifeS <= 0 {
+			return nil, errf(http.StatusBadRequest, "trace_life_s must be positive, got %g", req.TraceLifeS)
+		}
+		avg, err := cum.AverageBetween(0, cordoba.Time(req.TraceLifeS))
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "%v", err)
+		}
+		req.CIUse = float64(avg)
 	}
 	if req.Sweep.Lo <= 0 || req.Sweep.Hi < req.Sweep.Lo || req.Sweep.Points < 1 || req.Sweep.Points > 10000 {
 		return nil, errf(http.StatusBadRequest,
@@ -354,6 +393,8 @@ func (s *Server) buildDSE(r *http.Request, req DSERequest) (*DSEResponse, error)
 		Process:            proc.Node,
 		Fab:                fab.Name,
 		CIUse:              req.CIUse,
+		CITrace:            req.CITrace,
+		TraceLifeS:         req.TraceLifeS,
 		EverOptimal:        space.IDs(space.EverOptimal()),
 		EliminatedFraction: space.EliminatedFraction(),
 	}
@@ -439,6 +480,8 @@ func (s *Server) buildDSEStream(r *http.Request, req DSERequest, task cordoba.Ta
 		Process:            strings.Join(g.Nodes, ","),
 		Fab:                fab.Name,
 		CIUse:              req.CIUse,
+		CITrace:            req.CITrace,
+		TraceLifeS:         req.TraceLifeS,
 		EliminatedFraction: res.EliminatedFraction(),
 		PointsStreamed:     res.Total,
 		PointsPruned:       res.Total - int64(res.Kept()),

@@ -65,6 +65,10 @@ type Metrics struct {
 	dseStreamed atomic.Int64 // grid points enumerated by the streaming engine
 	dsePruned   atomic.Int64 // of those, proven never-optimal and discarded
 
+	scheduleSearches atomic.Int64 // launch-window searches served
+	scheduleWindows  atomic.Int64 // candidate windows evaluated across them
+	traceLookups     atomic.Int64 // named-trace resolutions (schedule + dse)
+
 	// memoStats, when set, reports the shared shape-profile memo cache
 	// (hits, misses, live entries) at exposition time.
 	memoStats func() (hits, misses int64, entries int)
@@ -112,6 +116,24 @@ func (m *Metrics) ObserveDSEStream(streamed, pruned int64) {
 func (m *Metrics) DSEStreamCounts() (streamed, pruned int64) {
 	return m.dseStreamed.Load(), m.dsePruned.Load()
 }
+
+// ObserveSchedule records one launch-window search and the number of
+// candidate windows it evaluated.
+func (m *Metrics) ObserveSchedule(candidates int) {
+	m.scheduleSearches.Add(1)
+	m.scheduleWindows.Add(int64(candidates))
+}
+
+// ScheduleCounts returns the (searches, windows) totals.
+func (m *Metrics) ScheduleCounts() (searches, windows int64) {
+	return m.scheduleSearches.Load(), m.scheduleWindows.Load()
+}
+
+// ObserveTraceLookup records one named-trace resolution.
+func (m *Metrics) ObserveTraceLookup() { m.traceLookups.Add(1) }
+
+// TraceLookups returns the named-trace resolution total.
+func (m *Metrics) TraceLookups() int64 { return m.traceLookups.Load() }
 
 // SetMemoStats installs the memo-cache reporter sampled by WriteProm.
 func (m *Metrics) SetMemoStats(f func() (hits, misses int64, entries int)) {
@@ -186,6 +208,16 @@ func (m *Metrics) WriteProm(w io.Writer) error {
 	p("# HELP cordobad_dse_points_pruned_total Grid points proven never-optimal and discarded while streaming.\n")
 	p("# TYPE cordobad_dse_points_pruned_total counter\n")
 	p("cordobad_dse_points_pruned_total %d\n", m.dsePruned.Load())
+
+	p("# HELP cordobad_schedule_searches_total Launch-window searches served by POST /v1/schedule.\n")
+	p("# TYPE cordobad_schedule_searches_total counter\n")
+	p("cordobad_schedule_searches_total %d\n", m.scheduleSearches.Load())
+	p("# HELP cordobad_schedule_windows_total Candidate execution windows evaluated across all searches.\n")
+	p("# TYPE cordobad_schedule_windows_total counter\n")
+	p("cordobad_schedule_windows_total %d\n", m.scheduleWindows.Load())
+	p("# HELP cordobad_trace_lookups_total Named CI_use(t) trace resolutions.\n")
+	p("# TYPE cordobad_trace_lookups_total counter\n")
+	p("cordobad_trace_lookups_total %d\n", m.traceLookups.Load())
 
 	if m.memoStats != nil {
 		hits, misses, entries := m.memoStats()

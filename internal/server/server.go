@@ -21,6 +21,8 @@
 //	POST /v1/dse                 task + design space → ever-optimal set, sweep
 //	GET  /v1/experiments         experiment discovery
 //	GET  /v1/experiments/{key}   stream one experiment (json, csv, or text)
+//	GET  /v1/traces              named CI_use(t) trace registry with exact stats
+//	POST /v1/schedule            lowest-carbon launch window for a job + deadline
 //	GET  /v1/tasks               servable tasks
 //	GET  /v1/configs             accelerator design spaces
 //	GET  /healthz                liveness
@@ -89,6 +91,11 @@ type Server struct {
 	// configs indexes every known accelerator ID (grid + 3D) for request
 	// resolution without re-enumerating the design space per request.
 	configs map[string]cordoba.AcceleratorConfig
+
+	// traces holds the named CI_use(t) registry with each trace's prefix
+	// integral prebuilt, so /v1/schedule and trace-aware /v1/dse evaluate
+	// in O(log n) per window with no per-request quadrature.
+	traces map[string]*cordoba.CumulativeCI
 }
 
 // New assembles a Server from the configuration.
@@ -99,12 +106,21 @@ func New(cfg Config) *Server {
 		log:     cfg.Logger,
 		mux:     http.NewServeMux(),
 		configs: map[string]cordoba.AcceleratorConfig{},
+		traces:  map[string]*cordoba.CumulativeCI{},
 	}
 	for _, c := range cordoba.Grid() {
 		s.configs[c.ID] = c
 	}
 	for _, c := range cordoba.Stacked3D() {
 		s.configs[c.ID] = c
+	}
+	for _, tr := range cordoba.NamedCITraces() {
+		cum, err := cordoba.NewCumulativeCI(tr, 0) // default horizon
+		if err != nil {
+			// Registry traces are static and validated by their constructors.
+			panic(err)
+		}
+		s.traces[tr.Name()] = cum
 	}
 
 	pm := NewMetrics(0)
@@ -122,6 +138,8 @@ func New(cfg Config) *Server {
 	s.mux.Handle("POST /v1/dse", s.instrument("/v1/dse", s.handleDSE))
 	s.mux.Handle("GET /v1/experiments", s.instrument("/v1/experiments", s.handleExperimentsList))
 	s.mux.Handle("GET /v1/experiments/{key}", s.instrument("/v1/experiments/{key}", s.handleExperiment))
+	s.mux.Handle("GET /v1/traces", s.instrument("/v1/traces", s.handleTraces))
+	s.mux.Handle("POST /v1/schedule", s.instrument("/v1/schedule", s.handleSchedule))
 	s.mux.Handle("GET /v1/tasks", s.instrument("/v1/tasks", s.handleTasks))
 	s.mux.Handle("GET /v1/configs", s.instrument("/v1/configs", s.handleConfigs))
 	s.mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))

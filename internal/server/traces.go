@@ -1,0 +1,142 @@
+package server
+
+import (
+	"net/http"
+
+	"cordoba"
+)
+
+// ---- GET /v1/traces ----
+
+// traceInfo is one row of the trace-registry listing. The daily and annual
+// statistics come from the exact cumulative engine, so clients can pick a
+// grid without integrating anything themselves.
+type traceInfo struct {
+	Name      string  `json:"name"`
+	MeanDayG  float64 `json:"mean_ci_24h_g_per_kwh"`
+	MeanYearG float64 `json:"mean_ci_1y_g_per_kwh"`
+	MinDayG   float64 `json:"min_ci_24h_g_per_kwh"`
+	MaxDayG   float64 `json:"max_ci_24h_g_per_kwh"`
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) error {
+	out := make([]traceInfo, 0, len(s.traces))
+	for _, tr := range cordoba.NamedCITraces() {
+		cum, ok := s.traces[tr.Name()]
+		if !ok {
+			continue
+		}
+		dayMean, err := cum.AverageBetween(0, cordoba.Hours(24))
+		if err != nil {
+			return err
+		}
+		yearMean, err := cum.AverageBetween(0, cordoba.Years(1))
+		if err != nil {
+			return err
+		}
+		info := traceInfo{
+			Name:      tr.Name(),
+			MeanDayG:  float64(dayMean),
+			MeanYearG: float64(yearMean),
+		}
+		// Min/max over the first day, sampled at the trace's own resolution
+		// (15 min covers every registry shape's features).
+		lo, hi := float64(tr.CI(0)), float64(tr.CI(0))
+		for t := cordoba.Time(0); t <= cordoba.Hours(24); t += cordoba.Time(15 * 60) {
+			ci := float64(tr.CI(t))
+			if ci < lo {
+				lo = ci
+			}
+			if ci > hi {
+				hi = ci
+			}
+		}
+		info.MinDayG, info.MaxDayG = lo, hi
+		out = append(out, info)
+	}
+	_, err := writeJSON(w, http.StatusOK, out)
+	return err
+}
+
+// ---- POST /v1/schedule ----
+
+// ScheduleRequest asks for the lowest-carbon execution window for a
+// deferrable job on a named CI_use(t) trace. Times are seconds from now.
+type ScheduleRequest struct {
+	Trace     string  `json:"trace"`
+	DurationS float64 `json:"duration_s"`
+	PowerW    float64 `json:"power_w"`
+	DeadlineS float64 `json:"deadline_s"`
+	StepS     float64 `json:"step_s,omitempty"` // candidate granularity, default 900
+}
+
+// ScheduleWindow is one execution slot in the response.
+type ScheduleWindow struct {
+	StartS    float64 `json:"start_s"`
+	EndS      float64 `json:"end_s"`
+	CarbonG   float64 `json:"carbon_gco2e"`
+	AvgCIG    float64 `json:"avg_ci_g_per_kwh"`
+	StartHour float64 `json:"start_hour"` // convenience: start_s / 3600
+}
+
+// ScheduleResponse reports the search outcome.
+type ScheduleResponse struct {
+	Trace      string         `json:"trace"`
+	Best       ScheduleWindow `json:"best"`
+	Worst      ScheduleWindow `json:"worst"`
+	Immediate  ScheduleWindow `json:"immediate"`
+	Candidates int            `json:"candidates"`
+	// SavingsFraction is 1 − best/immediate carbon: what deferring saves.
+	SavingsFraction float64 `json:"savings_fraction"`
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) error {
+	var req ScheduleRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		return err
+	}
+	key, err := canonicalKey("/v1/schedule", req)
+	if err != nil {
+		return err
+	}
+	return s.respondCached(w, key, func() (any, error) { return s.buildSchedule(req) })
+}
+
+func (s *Server) buildSchedule(req ScheduleRequest) (*ScheduleResponse, error) {
+	if req.Trace == "" {
+		return nil, errf(http.StatusBadRequest, "missing trace name (see GET /v1/traces)")
+	}
+	s.metrics.ObserveTraceLookup()
+	cum, ok := s.traces[req.Trace]
+	if !ok {
+		return nil, errf(http.StatusBadRequest, "unknown trace %q (see GET /v1/traces)", req.Trace)
+	}
+	plan, err := cordoba.FindLaunchWindow(cum, cordoba.WindowRequest{
+		Duration: cordoba.Time(req.DurationS),
+		Power:    cordoba.Power(req.PowerW),
+		Deadline: cordoba.Time(req.DeadlineS),
+		Step:     cordoba.Time(req.StepS),
+	})
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "%v", err)
+	}
+	s.metrics.ObserveSchedule(plan.Candidates)
+	return &ScheduleResponse{
+		Trace:           req.Trace,
+		Best:            scheduleWindow(plan.Best),
+		Worst:           scheduleWindow(plan.Worst),
+		Immediate:       scheduleWindow(plan.Immediate),
+		Candidates:      plan.Candidates,
+		SavingsFraction: plan.Savings,
+	}, nil
+}
+
+func scheduleWindow(w cordoba.ExecutionWindow) ScheduleWindow {
+	return ScheduleWindow{
+		StartS:    w.Start.Seconds(),
+		EndS:      w.End.Seconds(),
+		CarbonG:   w.Carbon.Grams(),
+		AvgCIG:    float64(w.AverageCI),
+		StartHour: w.Start.InHours(),
+	}
+}

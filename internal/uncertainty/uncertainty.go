@@ -134,27 +134,50 @@ func LogBetas(lo, hi float64, k int) []float64 {
 // TCDPUnderTrace evaluates a design's true tCDP (eq. IV.8) when the grid's
 // carbon intensity follows the given trace over the hardware lifetime:
 // the design runs continuously at its fixed power E/D, and embodied carbon
-// is not amortized (it is paid once).
+// is not amortized (it is paid once). The steps parameter is retained for
+// call-site compatibility; evaluation goes through the exact
+// cumulative-trace engine.
 func TCDPUnderTrace(d Design, tr grid.Trace, life units.Time, steps int) (float64, error) {
-	if d.Delay <= 0 {
-		return 0, fmt.Errorf("uncertainty: design %q has non-positive delay", d.Name)
+	if steps < 1 {
+		return 0, fmt.Errorf("uncertainty: need at least one integration step, got %d", steps)
 	}
-	op, err := grid.Integrate(tr, grid.ConstantPower(d.Power()), life, steps)
+	cum, err := grid.NewCumulative(tr, life)
 	if err != nil {
 		return 0, err
 	}
+	return TCDPUnderCumulative(d, cum, life)
+}
+
+// TCDPUnderCumulative is TCDPUnderTrace against a prebuilt cumulative trace
+// — the form to use when scoring many designs under one grid.
+func TCDPUnderCumulative(d Design, cum *grid.Cumulative, life units.Time) (float64, error) {
+	if d.Delay <= 0 {
+		return 0, fmt.Errorf("uncertainty: design %q has non-positive delay", d.Name)
+	}
+	if life < 0 {
+		return 0, fmt.Errorf("uncertainty: negative lifetime %v", life)
+	}
+	op := cum.OperationalCarbon(d.Power(), 0, life)
 	return (d.Embodied + op).Grams() * d.Delay.Seconds(), nil
 }
 
 // OptimalUnderTrace returns the tCDP-optimal design index under a CI trace.
-// By the §IV-B theorem, the result is always a member of Survivors.
+// By the §IV-B theorem, the result is always a member of Survivors. The
+// trace's prefix integral is built once and shared across all designs.
 func OptimalUnderTrace(designs []Design, tr grid.Trace, life units.Time, steps int) (int, error) {
 	if len(designs) == 0 {
 		return -1, fmt.Errorf("uncertainty: no designs")
 	}
+	if steps < 1 {
+		return -1, fmt.Errorf("uncertainty: need at least one integration step, got %d", steps)
+	}
+	cum, err := grid.NewCumulative(tr, life)
+	if err != nil {
+		return -1, err
+	}
 	best, bestV := -1, math.Inf(1)
 	for i, d := range designs {
-		v, err := TCDPUnderTrace(d, tr, life, steps)
+		v, err := TCDPUnderCumulative(d, cum, life)
 		if err != nil {
 			return -1, err
 		}
