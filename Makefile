@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race ci bench bench-server bench-check bench-baseline fuzz-smoke run-daemon
+.PHONY: build test vet fmt-check race ci bench bench-server bench-check bench-baseline fuzz-smoke run-daemon
 
 build:
 	$(GO) build ./...
@@ -16,10 +16,15 @@ test:
 vet:
 	$(GO) vet ./...
 
-race:
-	$(GO) test -race ./internal/server/... ./internal/dse/... ./internal/pareto/... ./internal/grid/... ./internal/sched/...
+# Fail if any file is not gofmt-clean (gofmt -l prints offenders; grep .
+# turns any output into a non-zero exit).
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-ci: build vet test race
+race:
+	$(GO) test -race ./internal/server/... ./internal/dse/... ./internal/pareto/... ./internal/grid/... ./internal/sched/... ./internal/carbon/... ./internal/accel/...
+
+ci: build vet fmt-check test race
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -48,6 +53,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDSERequest -fuzztime 10s ./internal/server
 	$(GO) test -run '^$$' -fuzz FuzzAccountingRequest -fuzztime 10s ./internal/server
 	$(GO) test -run '^$$' -fuzz FuzzTraceIntegrate -fuzztime 10s ./internal/grid
+	$(GO) test -run '^$$' -fuzz FuzzAccountingModel -fuzztime 10s ./internal/carbon
 
 run-daemon:
 	$(GO) run ./cmd/cordobad -addr :8080

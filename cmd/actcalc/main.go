@@ -33,6 +33,7 @@ func run(w io.Writer, args []string) error {
 	areaMM2 := fs.Float64("area-mm2", 100, "die area in mm²")
 	fabName := fs.String("fab", "coal", "fab grid: coal, taiwan, korea, renewable")
 	yieldName := fs.String("yield", "murphy", "yield model: murphy, poisson, seeds, bose-einstein")
+	modelName := fs.String("model", "act", "embodied-carbon backend: act, chiplet, stacked-3d")
 	defect := fs.Float64("defect", 0.1, "defect density (per cm²)")
 	dramGB := fs.Float64("dram-gb", 0, "optional DRAM capacity (GB)")
 	nandGB := fs.Float64("nand-gb", 0, "optional NAND capacity (GB)")
@@ -52,16 +53,26 @@ func run(w io.Writer, args []string) error {
 		return err
 	}
 	fab.DefectDensity = *defect
-	model, err := yieldByName(*yieldName)
+	model, err := carbon.YieldByName(*yieldName)
+	if err != nil {
+		return err
+	}
+	backend, err := carbon.ModelByName(*modelName)
 	if err != nil {
 		return err
 	}
 	area := units.MM2(*areaMM2)
 	y := model.Yield(area, fab.DefectDensity)
-	die, err := proc.EmbodiedDie(fab, area, y)
+	bd, err := backend.EmbodiedDesign(carbon.DesignSpec{
+		Name:  "die",
+		Fab:   fab,
+		Dies:  []carbon.DieSpec{{Name: "die", Area: area, Process: proc}},
+		Yield: model,
+	})
 	if err != nil {
 		return err
 	}
+	die := bd.Total
 
 	t := table.New(fmt.Sprintf("Embodied carbon — %s die of %s in a %s fab", *node, area, fab.Name),
 		"component", "value")
@@ -71,6 +82,12 @@ func run(w io.Writer, args []string) error {
 	t.AddRow("MPA (materials)", proc.MPA.String()+"/cm²")
 	t.AddRow("carbon per area", proc.CarbonPerArea(fab).String()+"/cm²")
 	t.AddRow(fmt.Sprintf("yield (%s, D0=%.2g/cm²)", model.Name(), fab.DefectDensity), table.F(y))
+	if *modelName != "act" {
+		t.AddRow("backend", backend.Name())
+		t.AddRow("silicon", bd.Silicon.String())
+		t.AddRow("packaging", bd.Packaging.String())
+		t.AddRow("bonding/assembly scrap", bd.Bonding.String())
+	}
 	t.AddRow("die embodied (eq. IV.5)", die.String())
 
 	if gross, err := carbon.Wafer300mm.GrossDies(area); err == nil && gross >= 1 {
@@ -113,20 +130,5 @@ func fabByName(name string) (carbon.Fab, error) {
 		return carbon.FabRenewable, nil
 	default:
 		return carbon.Fab{}, fmt.Errorf("unknown fab %q", name)
-	}
-}
-
-func yieldByName(name string) (carbon.YieldModel, error) {
-	switch name {
-	case "murphy":
-		return carbon.MurphyYield{}, nil
-	case "poisson":
-		return carbon.PoissonYield{}, nil
-	case "seeds":
-		return carbon.SeedsYield{}, nil
-	case "bose-einstein":
-		return carbon.BoseEinsteinYield{CriticalLayers: 10}, nil
-	default:
-		return nil, fmt.Errorf("unknown yield model %q", name)
 	}
 }

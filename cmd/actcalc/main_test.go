@@ -3,6 +3,8 @@ package main
 import (
 	"io"
 	"testing"
+
+	"cordoba/internal/carbon"
 )
 
 func TestRunFlags(t *testing.T) {
@@ -15,9 +17,12 @@ func TestRunFlags(t *testing.T) {
 		{[]string{"-yield", "seeds"}, false},
 		{[]string{"-yield", "bose-einstein"}, false},
 		{[]string{"-dram-gb", "8", "-nand-gb", "128"}, false},
+		{[]string{"-model", "chiplet"}, false},
+		{[]string{"-model", "stacked-3d", "-area-mm2", "300"}, false},
 		{[]string{"-node", "6nm"}, true},
 		{[]string{"-fab", "mars"}, true},
 		{[]string{"-yield", "magic"}, true},
+		{[]string{"-model", "magic"}, true},
 		{[]string{"-dram-gb", "-1"}, true},
 		{[]string{"-badflag"}, true},
 	}
@@ -36,8 +41,13 @@ func TestHelpers(t *testing.T) {
 		}
 	}
 	for _, name := range []string{"murphy", "poisson", "seeds", "bose-einstein"} {
-		if _, err := yieldByName(name); err != nil {
-			t.Errorf("yieldByName(%s): %v", name, err)
+		if _, err := carbon.YieldByName(name); err != nil {
+			t.Errorf("YieldByName(%s): %v", name, err)
+		}
+	}
+	for _, name := range []string{"act", "chiplet", "stacked-3d"} {
+		if _, err := carbon.ModelByName(name); err != nil {
+			t.Errorf("ModelByName(%s): %v", name, err)
 		}
 	}
 }

@@ -146,6 +146,54 @@ func Operational(ci CarbonIntensity, e Energy) Carbon {
 	return carbon.Operational(ci, e)
 }
 
+// ---- embodied-carbon backends (carbon.Model) ----
+
+// CarbonModel prices a backend-neutral design description; implementations
+// are ACT (monolithic eq. IV.5), chiplet disaggregation, and 3D stacking.
+type CarbonModel = carbon.Model
+
+// DesignSpec is the backend-neutral die/bond/package description every
+// CarbonModel prices.
+type DesignSpec = carbon.DesignSpec
+
+// DieSpec is one die population inside a DesignSpec.
+type DieSpec = carbon.DieSpec
+
+// CarbonBreakdown is a priced design: silicon, packaging and bonding
+// components plus the per-die detail.
+type CarbonBreakdown = carbon.Breakdown
+
+// CarbonModelInfo describes a registered backend for discovery surfaces.
+type CarbonModelInfo = carbon.ModelInfo
+
+// YieldModel predicts fabrication yield from die area and defect density.
+type YieldModel = carbon.YieldModel
+
+// DefaultCarbonModel returns the ACT backend — the pipeline's historical
+// accounting, bit-identical to the pre-interface implementation.
+func DefaultCarbonModel() CarbonModel { return carbon.DefaultModel() }
+
+// CarbonModels returns every registered backend.
+func CarbonModels() []CarbonModel { return carbon.Models() }
+
+// CarbonModelByName resolves a backend by registry name ("act", "chiplet",
+// "stacked-3d"); the empty string selects ACT.
+func CarbonModelByName(name string) (CarbonModel, error) { return carbon.ModelByName(name) }
+
+// CarbonModelInfos returns name/description pairs for every backend.
+func CarbonModelInfos() []CarbonModelInfo { return carbon.ModelInfos() }
+
+// YieldModels returns the supported yield models (Murphy, Poisson, Seeds,
+// Bose–Einstein).
+func YieldModels() []YieldModel { return carbon.YieldModels() }
+
+// YieldModelNames lists the registry names YieldModelByName accepts.
+func YieldModelNames() []string { return carbon.YieldModelNames() }
+
+// YieldModelByName resolves a yield model by registry name; the empty string
+// selects Murphy.
+func YieldModelByName(name string) (YieldModel, error) { return carbon.YieldByName(name) }
+
 // CITrace is a time-varying use-phase carbon intensity CI_use(t) (§IV-B).
 type CITrace = grid.Trace
 
@@ -244,6 +292,17 @@ func ExploreParallel(task Task, configs []AcceleratorConfig, workers int) (*Desi
 // ExploreParallelAt is ExploreAt with a bounded worker fan-out.
 func ExploreParallelAt(task Task, configs []AcceleratorConfig, p Process, fab Fab, ci CarbonIntensity, workers int) (*DesignSpace, error) {
 	return dse.EvaluateParallel(task, configs, p, fab, ci, workers)
+}
+
+// ExploreAccounting selects the embodied-carbon backend and yield model of an
+// exploration; the zero value is the historical ACT/Murphy pipeline.
+type ExploreAccounting = dse.Accounting
+
+// ExploreParallelWith is ExploreParallelAt under an explicit embodied-carbon
+// accounting — the entry point for pricing the same design space through the
+// chiplet or 3D-stacking backends, or an alternative yield model.
+func ExploreParallelWith(task Task, configs []AcceleratorConfig, p Process, fab Fab, ci CarbonIntensity, workers int, acct ExploreAccounting) (*DesignSpace, error) {
+	return dse.EvaluateParallelWith(task, configs, p, fab, ci, workers, acct)
 }
 
 // LogSpace returns k log-spaced operational times over [lo, hi].

@@ -5,43 +5,73 @@ import (
 	"cordoba/internal/units"
 )
 
+// DesignSpec lowers the configuration onto the backend-neutral die/bond
+// description that carbon.Model backends price: the logic die (for 2D
+// designs including the on-die SRAM), the separately fabricated memory dies
+// of a 3D stack, and the configuration's packaging constants. The yield
+// model is left unset — callers select it (nil means Murphy).
+func (c Config) DesignSpec(p carbon.Process, fab carbon.Fab) (carbon.DesignSpec, error) {
+	if err := c.Validate(); err != nil {
+		return carbon.DesignSpec{}, err
+	}
+	spec := carbon.DesignSpec{
+		Name: c.ID,
+		Fab:  fab,
+		Dies: []carbon.DieSpec{{Name: "logic", Area: c.LogicArea(), Process: p}},
+		Packaging: carbon.Packaging{
+			PerDie:  c.Params.PackagingPerDie,
+			PerBond: c.Params.PackagingPerBond,
+		},
+	}
+	if c.Is3D {
+		spec.Stacked = true
+		spec.Dies = append(spec.Dies, carbon.DieSpec{
+			Name:    "mem",
+			Area:    c.MemDieArea(),
+			Process: p,
+			Count:   c.MemDies,
+		})
+	}
+	return spec, nil
+}
+
+// EmbodiedBreakdown prices the configuration through an embodied-carbon
+// backend and yield model, returning the full component breakdown. A nil
+// model selects ACT; a nil yield model selects Murphy — together the exact
+// pre-refactor pipeline. Selecting carbon.Stacked3DModel gives 3D configs
+// the full per-tier bonding treatment; carbon.ChipletModel disaggregates 2D
+// dies into chiplets.
+func (c Config) EmbodiedBreakdown(m carbon.Model, ym carbon.YieldModel, p carbon.Process, fab carbon.Fab) (carbon.Breakdown, error) {
+	spec, err := c.DesignSpec(p, fab)
+	if err != nil {
+		return carbon.Breakdown{}, err
+	}
+	spec.Yield = ym
+	if m == nil {
+		m = carbon.DefaultModel()
+	}
+	return m.EmbodiedDesign(spec)
+}
+
+// EmbodiedWith is EmbodiedBreakdown reduced to the total footprint.
+func (c Config) EmbodiedWith(m carbon.Model, ym carbon.YieldModel, p carbon.Process, fab carbon.Fab) (units.Carbon, error) {
+	bd, err := c.EmbodiedBreakdown(m, ym, p, fab)
+	if err != nil {
+		return 0, err
+	}
+	return bd.Total, nil
+}
+
 // Embodied computes the manufacturing footprint of the configuration using
-// eq. IV.5 with per-die Murphy yield, die placement on a 300 mm wafer, and
-// packaging/bonding overheads.
+// eq. IV.5 with per-die Murphy yield and packaging/bonding overheads — the
+// default ACT backend.
 //
 // For 2D designs there is one die; for 3D designs the logic die and each
 // memory die are fabricated (and yielded) separately — the yield advantage
 // of several small dies over one large die is part of why 3D stacking can
 // win on embodied carbon (§VI-E).
 func (c Config) Embodied(p carbon.Process, fab carbon.Fab) (units.Carbon, error) {
-	if err := c.Validate(); err != nil {
-		return 0, err
-	}
-	model := carbon.MurphyYield{}
-	dieCarbon := func(a units.Area) (units.Carbon, error) {
-		y := model.Yield(a, fab.DefectDensity)
-		return p.EmbodiedDie(fab, a, y)
-	}
-
-	total, err := dieCarbon(c.LogicArea())
-	if err != nil {
-		return 0, err
-	}
-	dice := 1
-	if c.Is3D {
-		mem, err := dieCarbon(c.MemDieArea())
-		if err != nil {
-			return 0, err
-		}
-		total += mem * units.Carbon(c.MemDies)
-		dice += c.MemDies
-	}
-	pkging := carbon.Packaging{PerDie: c.Params.PackagingPerDie, PerBond: c.Params.PackagingPerBond}
-	pkg, err := pkging.Assembly(dice)
-	if err != nil {
-		return 0, err
-	}
-	return total + pkg, nil
+	return c.EmbodiedWith(nil, nil, p, fab)
 }
 
 // EmbodiedDefault computes Embodied at the paper's anchor point: the 7 nm

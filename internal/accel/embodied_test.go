@@ -1,0 +1,147 @@
+package accel
+
+import (
+	"testing"
+
+	"cordoba/internal/carbon"
+	"cordoba/internal/units"
+)
+
+// oldEmbodied is the pre-refactor accel.Embodied, kept verbatim (same float
+// operation order) as the differential oracle: the ACT backend must reproduce
+// it bit-for-bit, not merely within tolerance.
+func oldEmbodied(c Config, p carbon.Process, fab carbon.Fab) (units.Carbon, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	model := carbon.MurphyYield{}
+	dieCarbon := func(a units.Area) (units.Carbon, error) {
+		y := model.Yield(a, fab.DefectDensity)
+		return p.EmbodiedDie(fab, a, y)
+	}
+
+	total, err := dieCarbon(c.LogicArea())
+	if err != nil {
+		return 0, err
+	}
+	dice := 1
+	if c.Is3D {
+		mem, err := dieCarbon(c.MemDieArea())
+		if err != nil {
+			return 0, err
+		}
+		total += mem * units.Carbon(c.MemDies)
+		dice += c.MemDies
+	}
+	pkging := carbon.Packaging{PerDie: c.Params.PackagingPerDie, PerBond: c.Params.PackagingPerBond}
+	pkg, err := pkging.Assembly(dice)
+	if err != nil {
+		return 0, err
+	}
+	return total + pkg, nil
+}
+
+// The refactor's headline invariant: routing the full 121-config grid and the
+// 3D designs through the carbon.Model interface must not move any embodied
+// value by even one ULP, across every process node and fab.
+func TestEmbodiedBitIdenticalToPreRefactor(t *testing.T) {
+	configs := append(Grid(), Stacked3D()...)
+	for _, p := range carbon.Processes() {
+		for _, fab := range carbon.Fabs() {
+			for _, c := range configs {
+				want, err := oldEmbodied(c, p, fab)
+				if err != nil {
+					t.Fatalf("%s/%s/%s oracle: %v", c.ID, p.Node, fab.Name, err)
+				}
+				got, err := c.Embodied(p, fab)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: %v", c.ID, p.Node, fab.Name, err)
+				}
+				if got != want {
+					t.Errorf("%s/%s/%s: Embodied = %v, pre-refactor = %v (diff %g)",
+						c.ID, p.Node, fab.Name, got, want, got.Grams()-want.Grams())
+				}
+				// Explicit ACT/Murphy selection is the same code path as
+				// the nil defaults.
+				explicit, err := c.EmbodiedWith(carbon.ACTModel{}, carbon.MurphyYield{}, p, fab)
+				if err != nil {
+					t.Fatalf("%s/%s/%s explicit: %v", c.ID, p.Node, fab.Name, err)
+				}
+				if explicit != want {
+					t.Errorf("%s/%s/%s: explicit ACT = %v, pre-refactor = %v", c.ID, p.Node, fab.Name, explicit, want)
+				}
+			}
+		}
+	}
+}
+
+func TestEmbodiedBreakdownComponents(t *testing.T) {
+	proc := carbon.Process7nm()
+	cfg := Grid()[60]
+	bd, err := cfg.EmbodiedBreakdown(nil, nil, proc, carbon.FabCoal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Model != "act" {
+		t.Errorf("default backend = %q, want act", bd.Model)
+	}
+	if bd.Total != bd.Silicon+bd.Packaging+bd.Bonding {
+		t.Errorf("breakdown does not sum: %+v", bd)
+	}
+	if len(bd.Dies) != 1 {
+		t.Errorf("2D config should have one die entry, got %d", len(bd.Dies))
+	}
+
+	stacked := Stacked3D()[3]
+	bd3, err := stacked.EmbodiedBreakdown(nil, nil, proc, carbon.FabCoal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bd3.Dies) != 2 {
+		t.Errorf("3D config should have logic+mem die entries, got %d", len(bd3.Dies))
+	}
+	if bd3.Dies[1].Count != stacked.MemDies {
+		t.Errorf("mem die count = %d, want %d", bd3.Dies[1].Count, stacked.MemDies)
+	}
+}
+
+// Alternative backends must price the same spec differently — that is the
+// point of the interface — while staying finite and positive.
+func TestEmbodiedBackendsDiverge(t *testing.T) {
+	proc := carbon.Process7nm()
+	cfg := Grid()[len(Grid())-1] // largest die: backend differences bite hardest
+	act, err := cfg.EmbodiedWith(carbon.ACTModel{}, nil, proc, carbon.FabCoal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []carbon.Model{carbon.ChipletModel{}, carbon.Stacked3DModel{}} {
+		got, err := cfg.EmbodiedWith(m, nil, proc, carbon.FabCoal)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if got <= 0 {
+			t.Errorf("%s: non-positive embodied %v", m.Name(), got)
+		}
+		if got == act {
+			t.Errorf("%s: identical to ACT (%v) — backend not actually plugged in", m.Name(), got)
+		}
+	}
+}
+
+// Yield models are the second pluggable axis: a pessimistic yield model must
+// raise the embodied footprint of a large die relative to Murphy.
+func TestEmbodiedYieldModelsOrdered(t *testing.T) {
+	proc := carbon.Process7nm()
+	cfg := Grid()[len(Grid())-1]
+	murphy, err := cfg.EmbodiedWith(nil, carbon.MurphyYield{}, proc, carbon.FabCoal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := cfg.EmbodiedWith(nil, carbon.BoseEinsteinYield{CriticalLayers: 10}, proc, carbon.FabCoal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be <= murphy {
+		t.Errorf("Bose-Einstein (%v) should exceed Murphy (%v) on a large die", be, murphy)
+	}
+}

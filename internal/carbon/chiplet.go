@@ -1,0 +1,185 @@
+package carbon
+
+import (
+	"fmt"
+	"math"
+
+	"cordoba/internal/units"
+)
+
+// PackagingTech selects the 2.5D carrier technology of a chiplet assembly.
+type PackagingTech int
+
+const (
+	// RDLFanout is an organic redistribution-layer fanout package: no
+	// silicon carrier, the cheapest integration.
+	RDLFanout PackagingTech = iota
+	// SiliconInterposer is a full-area passive silicon interposer priced
+	// like mature-node silicon.
+	SiliconInterposer
+	// EMIB uses small embedded silicon bridges under die edges only.
+	EMIB
+)
+
+// String returns the technology name.
+func (t PackagingTech) String() string {
+	switch t {
+	case RDLFanout:
+		return "rdl-fanout"
+	case SiliconInterposer:
+		return "silicon-interposer"
+	case EMIB:
+		return "emib"
+	default:
+		return fmt.Sprintf("PackagingTech(%d)", int(t))
+	}
+}
+
+// Chiplet-carrier constants, following the ECO-CHIP characterization
+// [Sudarshan et al., arXiv:2306.09434]: an organic RDL build-up carries a
+// small fixed footprint per area, a silicon interposer is priced as
+// mature-node (28 nm-class) silicon over the full package area, and EMIB
+// pays mature-node silicon only for the bridge slivers under die edges.
+const (
+	// rdlCarbonPerCM2 is the embodied footprint of organic RDL build-up
+	// layers (gCO2e per cm² of carrier).
+	rdlCarbonPerCM2 = 75.0
+	// emibBridgeFraction is the share of the carrier area occupied by
+	// embedded silicon bridges.
+	emibBridgeFraction = 0.10
+	// chipletD2DOverhead inflates each synthesized chiplet's area for
+	// die-to-die PHY and interface logic.
+	chipletD2DOverhead = 1.05
+	// defaultChipletSplit partitions a monolithic die into this many
+	// chiplets when the spec does not already enumerate them.
+	defaultChipletSplit = 4
+	// defaultBondYield is the per-chiplet attach yield.
+	defaultBondYield = 0.99
+)
+
+// carrierAreaOverhead returns the carrier-to-silicon area ratio per
+// technology: carriers extend past the dies for routing and keep-out.
+func (t PackagingTech) carrierAreaOverhead() float64 {
+	if t == EMIB {
+		return 1.05
+	}
+	return 1.10
+}
+
+// carrierCarbonPerCM2 returns the carrier's embodied footprint per cm² in
+// the given fab. Silicon carriers are fabricated on the most mature
+// registered node; organic RDL uses a fixed per-area constant.
+func (t PackagingTech) carrierCarbonPerCM2(fab Fab) units.Carbon {
+	mature := Processes()[0] // 28 nm-class carrier silicon
+	switch t {
+	case SiliconInterposer:
+		return mature.CarbonPerArea(fab)
+	case EMIB:
+		return units.Carbon(emibBridgeFraction) * mature.CarbonPerArea(fab)
+	default:
+		return rdlCarbonPerCM2
+	}
+}
+
+// ChipletModel prices an ECO-CHIP-style 2.5D chiplet disaggregation: every
+// die instance is fabricated (and yielded) separately — possibly at
+// heterogeneous nodes — then assembled side-by-side on a carrier. Small
+// chiplets yield far better than one large die, at the cost of carrier
+// carbon, per-attach packaging, and assembly-yield scrap.
+//
+// A spec holding a single monolithic die is first partitioned into Split
+// equal chiplets (each inflated by a die-to-die interface overhead); specs
+// that already enumerate several dies are priced chiplet-per-die as given.
+type ChipletModel struct {
+	// Split partitions a monolithic spec into this many chiplets;
+	// zero selects 4.
+	Split int
+	// Tech selects the carrier: RDL fanout (default), full silicon
+	// interposer, or EMIB bridges.
+	Tech PackagingTech
+	// BondYield is the per-chiplet attach yield; zero selects 0.99.
+	BondYield float64
+}
+
+// Name implements Model.
+func (ChipletModel) Name() string { return "chiplet" }
+
+// split returns the effective partition factor.
+func (m ChipletModel) split() int {
+	if m.Split <= 0 {
+		return defaultChipletSplit
+	}
+	return m.Split
+}
+
+// bondYield returns the effective per-attach yield.
+func (m ChipletModel) bondYield() float64 {
+	if m.BondYield <= 0 || m.BondYield > 1 {
+		return defaultBondYield
+	}
+	return m.BondYield
+}
+
+// chiplets lowers the spec onto the chiplet set this backend assembles:
+// either the spec's own dies, or — for a single monolithic die — a Split-way
+// uniform partition with die-to-die interface overhead.
+func (m ChipletModel) chiplets(spec DesignSpec) []DieSpec {
+	if len(spec.Dies) == 1 && spec.Dies[0].count() == 1 && m.split() > 1 {
+		d := spec.Dies[0]
+		n := m.split()
+		per := d.Area / units.Area(n) * units.Area(chipletD2DOverhead)
+		return []DieSpec{{
+			Name:    fmt.Sprintf("%s-chiplet", d.Name),
+			Area:    per,
+			Process: d.Process,
+			Count:   n,
+			Yield:   d.Yield,
+		}}
+	}
+	return spec.Dies
+}
+
+// EmbodiedDesign implements Model.
+func (m ChipletModel) EmbodiedDesign(spec DesignSpec) (Breakdown, error) {
+	if err := spec.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	dies := m.chiplets(spec)
+	bd := Breakdown{Model: m.Name(), Dies: make([]DieCarbon, 0, len(dies))}
+
+	var totalArea units.Area
+	attached := 0
+	for _, d := range dies {
+		y := spec.dieYield(d)
+		e, err := d.Process.EmbodiedDie(spec.Fab, d.Area, y)
+		if err != nil {
+			return Breakdown{}, fmt.Errorf("carbon: design %q chiplet %q: %w", spec.Name, d.Name, err)
+		}
+		count := d.count()
+		batch := e * units.Carbon(count)
+		bd.Silicon += batch
+		bd.Dies = append(bd.Dies, DieCarbon{Name: d.Name, Area: d.Area, Count: count, Yield: y, Carbon: batch})
+		totalArea += d.Area * units.Area(count)
+		attached += count
+	}
+
+	// Carrier: priced per area of the (over-sized) package substrate.
+	carrierArea := totalArea * units.Area(m.Tech.carrierAreaOverhead())
+	carrier := m.Tech.carrierCarbonPerCM2(spec.Fab) * units.Carbon(carrierArea.CM2())
+
+	// Conventional assembly constants: one package plus per-attach bonds.
+	pkg, err := spec.Packaging.Assembly(attached)
+	if err != nil {
+		return Breakdown{}, fmt.Errorf("carbon: design %q: %w", spec.Name, err)
+	}
+	bd.Packaging = pkg + carrier
+
+	// Assembly-yield scrap: a failed attach wastes the whole assembly
+	// (known-good-die testing keeps fabrication loss per chiplet, but
+	// bonding loss is per assembly).
+	asmYield := math.Pow(m.bondYield(), float64(attached))
+	bd.Bonding = units.Carbon((bd.Silicon.Grams() + carrier.Grams()) * (1/asmYield - 1))
+
+	bd.Total = bd.Silicon + bd.Packaging + bd.Bonding
+	return bd, nil
+}

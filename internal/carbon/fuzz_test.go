@@ -1,0 +1,116 @@
+package carbon
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"cordoba/internal/units"
+)
+
+// fuzzDesign is the wire form FuzzAccountingModel decodes: a free-form
+// description of a design plus the backend and yield model to price it with.
+// Unknown names exercise the registry error paths; the numeric fields are
+// folded into sane ranges so the target spends its budget on the dispatch,
+// partitioning and breakdown logic instead of float overflow.
+type fuzzDesign struct {
+	Model   string  `json:"model"`
+	Yield   string  `json:"yield"`
+	Fab     string  `json:"fab"`
+	PerDie  float64 `json:"per_die"`
+	PerBond float64 `json:"per_bond"`
+	Stacked bool    `json:"stacked"`
+	Dies    []struct {
+		Node    string  `json:"node"`
+		AreaCM2 float64 `json:"area_cm2"`
+		Count   int     `json:"count"`
+		Yield   float64 `json:"yield"`
+	} `json:"dies"`
+}
+
+// foldArea maps an arbitrary float into [0, 64) cm² — big enough to stress
+// every yield model, small enough to keep totals finite.
+func foldArea(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 1
+	}
+	return math.Mod(math.Abs(v), 64)
+}
+
+// FuzzAccountingModel drives arbitrary design specs through every registered
+// embodied-carbon backend. The contract, valid spec or not: no panic, and a
+// nil error implies a finite non-negative total whose components sum, with
+// every resolved die yield in (0, 1].
+func FuzzAccountingModel(f *testing.F) {
+	f.Add(`{"model":"act","fab":"coal-heavy","dies":[{"node":"7nm","area_cm2":2.25}]}`)
+	f.Add(`{"model":"chiplet","yield":"murphy","dies":[{"node":"7nm","area_cm2":6.1}],"per_die":50,"per_bond":5}`)
+	f.Add(`{"model":"stacked-3d","yield":"bose-einstein","stacked":true,` +
+		`"dies":[{"node":"7nm","area_cm2":1.5},{"node":"10nm","area_cm2":0.8,"count":4}]}`)
+	f.Add(`{"model":"chiplet","dies":[{"node":"5nm","area_cm2":3,"yield":0.5},{"node":"28nm","area_cm2":0.4,"count":2}]}`)
+	f.Add(`{"model":"magic","yield":"optimism","fab":"mars","dies":[{"node":"1nm","area_cm2":-1,"count":-3,"yield":1.5}]}`)
+	f.Add(`{"model":"stacked-3d","dies":[]}`)
+	f.Add(`not json`)
+	f.Fuzz(func(t *testing.T, body string) {
+		var fd fuzzDesign
+		if err := json.Unmarshal([]byte(body), &fd); err != nil {
+			return // malformed JSON is the decoder's problem, not the backends'
+		}
+		m, err := ModelByName(fd.Model)
+		if err != nil {
+			return
+		}
+		ym, _ := YieldByName(fd.Yield) // nil on unknown → spec default (Murphy)
+		fab := FabCoal
+		if f, err := FabByName(fd.Fab); err == nil {
+			fab = f
+		}
+		spec := DesignSpec{
+			Name:    "fuzz",
+			Fab:     fab,
+			Yield:   ym,
+			Stacked: fd.Stacked,
+			Packaging: Packaging{
+				PerDie:  units.Carbon(foldArea(fd.PerDie)),
+				PerBond: units.Carbon(foldArea(fd.PerBond)),
+			},
+		}
+		for _, d := range fd.Dies {
+			proc := Process7nm()
+			if p, err := ProcessByName(d.Node); err == nil {
+				proc = p
+			}
+			count := d.Count
+			if count > 64 {
+				count = count % 64
+			}
+			spec.Dies = append(spec.Dies, DieSpec{
+				Name:    "die",
+				Area:    units.Area(foldArea(d.AreaCM2)),
+				Process: proc,
+				Count:   count,
+				Yield:   d.Yield,
+			})
+		}
+
+		bd, err := m.EmbodiedDesign(spec)
+		if err != nil {
+			return // rejected specs only need to not panic
+		}
+		total := bd.Total.Grams()
+		if math.IsNaN(total) || math.IsInf(total, 0) || total < 0 {
+			t.Fatalf("%s: degenerate total %v for %+v", m.Name(), total, spec)
+		}
+		sum := bd.Silicon.Grams() + bd.Packaging.Grams() + bd.Bonding.Grams()
+		if diff := math.Abs(total - sum); diff > 1e-9*math.Max(total, 1) {
+			t.Fatalf("%s: components %v do not sum to total %v", m.Name(), sum, total)
+		}
+		if bd.Silicon < 0 || bd.Packaging < 0 || bd.Bonding < 0 {
+			t.Fatalf("%s: negative component in %+v", m.Name(), bd)
+		}
+		for _, d := range bd.Dies {
+			if !(d.Yield > 0 && d.Yield <= 1) {
+				t.Fatalf("%s: die yield %v out of (0,1] for %+v", m.Name(), d.Yield, spec)
+			}
+		}
+	})
+}

@@ -1,0 +1,232 @@
+package carbon
+
+import (
+	"fmt"
+
+	"cordoba/internal/units"
+)
+
+// DieSpec describes one die (or a batch of identical dies) inside a design:
+// its silicon area, the technology node it is fabricated on, how many copies
+// the design uses, and — optionally — a fixed fabrication yield that
+// overrides the design's yield model (lifecycle studies pin yield to a
+// scalar; everything else derives it from area and defect density).
+type DieSpec struct {
+	Name    string
+	Area    units.Area
+	Process Process
+
+	// Count is the number of identical instances; zero means one.
+	Count int
+
+	// Yield, when in (0, 1], fixes the fabrication yield of this die.
+	// Zero derives it from the design's YieldModel and the fab's defect
+	// density.
+	Yield float64
+}
+
+// count returns the effective instance count.
+func (d DieSpec) count() int {
+	if d.Count == 0 {
+		return 1
+	}
+	return d.Count
+}
+
+// DesignSpec is the backend-neutral description of a packaged silicon design
+// that every carbon.Model prices: the fab, the dies (with areas, nodes and
+// counts), the yield model used for dies without a fixed yield, and the
+// assembly constants. accel.Config, soc.SoC and lifecycle.Service all lower
+// themselves onto this form, so backends are interchangeable at every call
+// site.
+type DesignSpec struct {
+	Name string
+	Fab  Fab
+
+	// Dies lists the design's dies bottom-up (for stacked designs the
+	// first entry is the base tier).
+	Dies []DieSpec
+
+	// Yield selects the yield model for dies without a fixed yield.
+	// Nil selects Murphy — the pipeline's historical default.
+	Yield YieldModel
+
+	// Packaging prices conventional assembly (per-package and per-bond
+	// constants); backends add their own carrier/bonding terms on top.
+	Packaging Packaging
+
+	// Stacked marks the dies as vertical tiers of one 3D stack. Backends
+	// that synthesize their own die partitioning (chiplet splits, tier
+	// splits) leave stacked specs as-is.
+	Stacked bool
+}
+
+// yieldModel returns the spec's yield model, defaulting to Murphy.
+func (s DesignSpec) yieldModel() YieldModel {
+	if s.Yield == nil {
+		return MurphyYield{}
+	}
+	return s.Yield
+}
+
+// dieYield resolves one die's fabrication yield: the fixed override when
+// set, otherwise the design's yield model at the die's area.
+func (s DesignSpec) dieYield(d DieSpec) float64 {
+	if d.Yield != 0 {
+		return d.Yield
+	}
+	return s.yieldModel().Yield(d.Area, s.Fab.DefectDensity)
+}
+
+// Validate checks the spec is well-formed enough to price.
+func (s DesignSpec) Validate() error {
+	if len(s.Dies) == 0 {
+		return fmt.Errorf("carbon: design %q has no dies", s.Name)
+	}
+	for i, d := range s.Dies {
+		if d.Count < 0 {
+			return fmt.Errorf("carbon: design %q die %d: negative count %d", s.Name, i, d.Count)
+		}
+		if d.Yield < 0 || d.Yield > 1 {
+			return fmt.Errorf("carbon: design %q die %d: fixed yield must be in (0,1], got %v", s.Name, i, d.Yield)
+		}
+		if d.Area < 0 {
+			return fmt.Errorf("carbon: design %q die %d: negative area %v", s.Name, i, d.Area)
+		}
+	}
+	return nil
+}
+
+// DieCarbon is one die entry of a Breakdown: the resolved yield and the
+// embodied carbon of all Count instances.
+type DieCarbon struct {
+	Name   string
+	Area   units.Area
+	Count  int
+	Yield  float64
+	Carbon units.Carbon
+}
+
+// Breakdown decomposes a backend's embodied-carbon estimate. Total is
+// authoritative; the components show where it comes from. ACT folds all
+// assembly into Packaging; the chiplet and 3D backends report their
+// carrier/bond-loss/bonding-energy terms under Bonding.
+type Breakdown struct {
+	Model string
+
+	// Silicon is the yield-derated fabrication footprint of all dies.
+	Silicon units.Carbon
+	// Packaging covers assembly: package substrate, bumping, carriers.
+	Packaging units.Carbon
+	// Bonding covers inter-die integration beyond conventional assembly:
+	// assembly-yield scrap, TSV/hybrid-bonding energy, interposer loss.
+	Bonding units.Carbon
+
+	Total units.Carbon
+
+	Dies []DieCarbon
+}
+
+// Model is a pluggable embodied-carbon backend: it prices a DesignSpec into
+// a Breakdown. The registry (Models, ModelByName) exposes the built-in
+// backends; consumers select one by name through the DSE grid, the facade,
+// and cordobad's model request field.
+type Model interface {
+	// Name identifies the backend in the registry ("act", "chiplet",
+	// "stacked-3d").
+	Name() string
+	// EmbodiedDesign prices the design.
+	EmbodiedDesign(spec DesignSpec) (Breakdown, error)
+}
+
+// ACTModel is the default backend: the ACT monolithic/stacked-die math of
+// eq. IV.5 exactly as the pre-refactor pipeline computed it — per-die yield
+// derating, Count-weighted die footprints, and conventional packaging via
+// Packaging.Assembly. It is bit-identical to the historical accel.Embodied
+// and lifecycle paths (the differential tests in internal/accel hold it to
+// that).
+type ACTModel struct{}
+
+// Name implements Model.
+func (ACTModel) Name() string { return "act" }
+
+// EmbodiedDesign implements Model.
+//
+// The float operations deliberately mirror the historical accel.Embodied
+// loop — first die added to zero, batch dies weighted by a single
+// multiplication, packaging added last — so existing golden results do not
+// move by even one ULP.
+func (ACTModel) EmbodiedDesign(spec DesignSpec) (Breakdown, error) {
+	if err := spec.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	bd := Breakdown{Model: "act", Dies: make([]DieCarbon, 0, len(spec.Dies))}
+	dice := 0
+	for _, d := range spec.Dies {
+		y := spec.dieYield(d)
+		e, err := d.Process.EmbodiedDie(spec.Fab, d.Area, y)
+		if err != nil {
+			return Breakdown{}, fmt.Errorf("carbon: design %q die %q: %w", spec.Name, d.Name, err)
+		}
+		count := d.count()
+		batch := e * units.Carbon(count)
+		bd.Silicon += batch
+		bd.Dies = append(bd.Dies, DieCarbon{Name: d.Name, Area: d.Area, Count: count, Yield: y, Carbon: batch})
+		dice += count
+	}
+	pkg, err := spec.Packaging.Assembly(dice)
+	if err != nil {
+		return Breakdown{}, fmt.Errorf("carbon: design %q: %w", spec.Name, err)
+	}
+	bd.Packaging = pkg
+	bd.Total = bd.Silicon + bd.Packaging
+	return bd, nil
+}
+
+// DefaultModel returns the backend the pipeline uses when none is selected.
+func DefaultModel() Model { return ACTModel{} }
+
+// Models returns the registered embodied-carbon backends. Zero values select
+// each backend's documented defaults.
+func Models() []Model {
+	return []Model{ACTModel{}, ChipletModel{}, Stacked3DModel{}}
+}
+
+// ModelByName resolves a backend by registry name. The empty string selects
+// the default (ACT) backend.
+func ModelByName(name string) (Model, error) {
+	switch name {
+	case "", "act":
+		return ACTModel{}, nil
+	case "chiplet":
+		return ChipletModel{}, nil
+	case "stacked-3d":
+		return Stacked3DModel{}, nil
+	}
+	return nil, fmt.Errorf("carbon: unknown embodied-carbon model %q (try one of %v)", name, ModelNames())
+}
+
+// ModelNames lists the registry names.
+func ModelNames() []string {
+	models := Models()
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.Name()
+	}
+	return names
+}
+
+// ModelInfo describes one backend for discovery listings (GET /v1/models).
+type ModelInfo struct {
+	Name        string
+	Description string
+}
+
+// ModelInfos returns the registry with one-line descriptions.
+func ModelInfos() []ModelInfo {
+	return []ModelInfo{
+		{"act", "ACT monolithic/stacked-die accounting (eq. IV.5): per-die yield, Count-weighted dies, conventional packaging"},
+		{"chiplet", "ECO-CHIP-style 2.5D disaggregation: per-chiplet yield at possibly heterogeneous nodes plus RDL/interposer/EMIB carrier carbon and assembly-yield scrap"},
+		{"stacked-3d", "3D-Carbon-style die stacking: per-tier yield, hybrid-bonding interface yield loss, and bonding energy at the fab grid's intensity"},
+	}
+}

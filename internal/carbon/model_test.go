@@ -1,0 +1,273 @@
+package carbon
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cordoba/internal/units"
+)
+
+func monoSpec(area units.Area) DesignSpec {
+	return DesignSpec{
+		Name: "mono",
+		Fab:  FabCoal,
+		Dies: []DieSpec{{Name: "die", Area: area, Process: Process7nm()}},
+	}
+}
+
+func TestModelRegistry(t *testing.T) {
+	if got := DefaultModel().Name(); got != "act" {
+		t.Fatalf("default model = %q, want act", got)
+	}
+	names := ModelNames()
+	if len(names) < 3 {
+		t.Fatalf("registry lists %d backends, want >= 3", len(names))
+	}
+	for _, name := range names {
+		m, err := ModelByName(name)
+		if err != nil {
+			t.Fatalf("ModelByName(%q): %v", name, err)
+		}
+		if m.Name() != name {
+			t.Errorf("ModelByName(%q).Name() = %q", name, m.Name())
+		}
+	}
+	if m, err := ModelByName(""); err != nil || m.Name() != "act" {
+		t.Errorf("empty name should select act, got %v, %v", m, err)
+	}
+	if _, err := ModelByName("magic"); err == nil {
+		t.Error("unknown model should error")
+	} else if !strings.Contains(err.Error(), "act") {
+		t.Errorf("error should suggest registry names: %v", err)
+	}
+	infos := ModelInfos()
+	if len(infos) != len(names) {
+		t.Fatalf("ModelInfos has %d entries, registry has %d", len(infos), len(names))
+	}
+	for i, info := range infos {
+		if info.Name != names[i] {
+			t.Errorf("info %d name = %q, registry = %q", i, info.Name, names[i])
+		}
+		if info.Description == "" {
+			t.Errorf("%s: empty description", info.Name)
+		}
+	}
+}
+
+func TestACTModelMatchesEmbodiedDie(t *testing.T) {
+	// A single unpackaged die through the ACT backend must equal the raw
+	// eq. IV.5 helper exactly.
+	area := units.Area(2.25)
+	spec := monoSpec(area)
+	bd, err := ACTModel{}.EmbodiedDesign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := MurphyYield{}.Yield(area, FabCoal.DefectDensity)
+	want, err := Process7nm().EmbodiedDie(FabCoal, area, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Total != want {
+		t.Errorf("ACT single die = %v, EmbodiedDie = %v", bd.Total, want)
+	}
+	if bd.Bonding != 0 {
+		t.Errorf("ACT reports bonding carbon %v, want 0", bd.Bonding)
+	}
+	if len(bd.Dies) != 1 || bd.Dies[0].Yield != y {
+		t.Errorf("die entry = %+v, want yield %v", bd.Dies, y)
+	}
+}
+
+func TestACTModelFixedYieldOverride(t *testing.T) {
+	spec := monoSpec(2)
+	spec.Dies[0].Yield = 0.5
+	bd, err := ACTModel{}.EmbodiedDesign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Process7nm().EmbodiedDie(FabCoal, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Total != want {
+		t.Errorf("fixed yield 0.5: got %v want %v", bd.Total, want)
+	}
+}
+
+func TestDesignSpecValidation(t *testing.T) {
+	for name, spec := range map[string]DesignSpec{
+		"no dies":        {Name: "x", Fab: FabCoal},
+		"negative count": {Name: "x", Fab: FabCoal, Dies: []DieSpec{{Area: 1, Process: Process7nm(), Count: -1}}},
+		"bad yield":      {Name: "x", Fab: FabCoal, Dies: []DieSpec{{Area: 1, Process: Process7nm(), Yield: 1.5}}},
+		"negative area":  {Name: "x", Fab: FabCoal, Dies: []DieSpec{{Area: -1, Process: Process7nm()}}},
+	} {
+		for _, m := range Models() {
+			if _, err := m.EmbodiedDesign(spec); err == nil {
+				t.Errorf("%s/%s: invalid spec accepted", m.Name(), name)
+			}
+		}
+	}
+}
+
+// Splitting a big monolithic die into chiplets must cut the silicon term —
+// the whole yield argument for disaggregation — while charging carrier and
+// assembly scrap under Bonding/Packaging.
+func TestChipletModelDisaggregates(t *testing.T) {
+	spec := monoSpec(6) // 6 cm²: yield pain is severe
+	act, err := ACTModel{}.EmbodiedDesign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := ChipletModel{Split: 4}.EmbodiedDesign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Silicon >= act.Silicon {
+		t.Errorf("4-way split silicon %v should beat monolithic %v", ch.Silicon, act.Silicon)
+	}
+	if ch.Bonding <= 0 {
+		t.Errorf("chiplet assembly scrap should be positive, got %v", ch.Bonding)
+	}
+	if len(ch.Dies) != 1 || ch.Dies[0].Count != 4 {
+		t.Errorf("expected one 4-count chiplet entry, got %+v", ch.Dies)
+	}
+	near(t, "chiplet area", ch.Dies[0].Area.CM2(), 6.0/4*1.05, 1e-12)
+	if got := ch.Total; got != ch.Silicon+ch.Packaging+ch.Bonding {
+		t.Errorf("components do not sum: %+v", ch)
+	}
+}
+
+// Multi-die specs are priced chiplet-per-die as given, not re-partitioned.
+func TestChipletModelKeepsExplicitDies(t *testing.T) {
+	spec := DesignSpec{
+		Name: "hetero",
+		Fab:  FabCoal,
+		Dies: []DieSpec{
+			{Name: "logic", Area: 1.0, Process: Process7nm()},
+			{Name: "io", Area: 0.5, Process: Processes()[0]}, // mature node
+		},
+	}
+	bd, err := ChipletModel{}.EmbodiedDesign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bd.Dies) != 2 {
+		t.Fatalf("expected the spec's own 2 dies, got %+v", bd.Dies)
+	}
+	if bd.Dies[0].Name != "logic" || bd.Dies[1].Name != "io" {
+		t.Errorf("die names changed: %+v", bd.Dies)
+	}
+}
+
+func TestChipletCarrierTechOrdering(t *testing.T) {
+	spec := monoSpec(4)
+	var totals []float64
+	for _, tech := range []PackagingTech{RDLFanout, EMIB, SiliconInterposer} {
+		bd, err := ChipletModel{Tech: tech}.EmbodiedDesign(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", tech, err)
+		}
+		totals = append(totals, bd.Total.Grams())
+	}
+	// A full silicon interposer is the most expensive carrier; EMIB's
+	// bridge slivers cost a tenth of it.
+	if !(totals[2] > totals[1]) {
+		t.Errorf("interposer (%v) should exceed EMIB (%v)", totals[2], totals[1])
+	}
+}
+
+func TestStacked3DModelSplitsTiers(t *testing.T) {
+	spec := monoSpec(4)
+	bd, err := Stacked3DModel{Tiers: 2}.EmbodiedDesign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bd.Dies) != 1 || bd.Dies[0].Count != 2 {
+		t.Fatalf("expected one 2-count tier entry, got %+v", bd.Dies)
+	}
+	near(t, "tier area", bd.Dies[0].Area.CM2(), 4.0/2*1.08, 1e-12)
+	if bd.Bonding <= 0 {
+		t.Errorf("stacking must charge bonding carbon, got %v", bd.Bonding)
+	}
+	// Bonding = interface-yield scrap + per-interface bond energy.
+	scrap := bd.Silicon.Grams() * (1/0.99 - 1)
+	energy := FabCoal.CI.Of(units.KWh(0.05 * bd.Dies[0].Area.CM2())).Grams()
+	near(t, "bonding", bd.Bonding.Grams(), scrap+energy, 1e-12)
+}
+
+// A spec that already enumerates a stack (Stacked flag) is bonded as given —
+// this is the path 3D accel configs take.
+func TestStacked3DModelHonorsStackedSpec(t *testing.T) {
+	spec := DesignSpec{
+		Name:    "stack",
+		Fab:     FabCoal,
+		Stacked: true,
+		Dies: []DieSpec{
+			{Name: "logic", Area: 1.0, Process: Process7nm()},
+			{Name: "mem", Area: 0.8, Process: Process7nm(), Count: 3},
+		},
+	}
+	bd, err := Stacked3DModel{}.EmbodiedDesign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bd.Dies) != 2 {
+		t.Fatalf("stacked spec re-partitioned: %+v", bd.Dies)
+	}
+	// 4 tiers → 3 bonded interfaces, each overlapping 0.8 cm².
+	energy := FabCoal.CI.Of(units.KWh(0.05 * 0.8 * 3)).Grams()
+	scrap := bd.Silicon.Grams() * (1/math.Pow(0.99, 3) - 1)
+	near(t, "bonding", bd.Bonding.Grams(), scrap+energy, 1e-12)
+}
+
+// More tiers trade silicon (smaller dies yield better) against bonding risk;
+// the totals must stay finite, positive, and self-consistent everywhere.
+func TestBackendsSelfConsistent(t *testing.T) {
+	areas := []units.Area{0.1, 1, 3, 6}
+	for _, m := range Models() {
+		for _, a := range areas {
+			bd, err := m.EmbodiedDesign(monoSpec(a))
+			if err != nil {
+				t.Fatalf("%s/%v: %v", m.Name(), a, err)
+			}
+			if bd.Model != m.Name() {
+				t.Errorf("%s: breakdown labelled %q", m.Name(), bd.Model)
+			}
+			total := bd.Total.Grams()
+			if math.IsNaN(total) || math.IsInf(total, 0) || total <= 0 {
+				t.Errorf("%s/%v: degenerate total %v", m.Name(), a, total)
+			}
+			near(t, m.Name()+" sum", total,
+				bd.Silicon.Grams()+bd.Packaging.Grams()+bd.Bonding.Grams(), 1e-12)
+			for _, d := range bd.Dies {
+				if d.Yield <= 0 || d.Yield > 1 {
+					t.Errorf("%s/%v: die yield %v out of range", m.Name(), a, d.Yield)
+				}
+			}
+		}
+	}
+}
+
+func TestYieldRegistry(t *testing.T) {
+	names := YieldModelNames()
+	if len(names) != 4 {
+		t.Fatalf("yield registry = %v, want 4 entries", names)
+	}
+	for _, name := range names {
+		ym, err := YieldByName(name)
+		if err != nil {
+			t.Fatalf("YieldByName(%q): %v", name, err)
+		}
+		if y := ym.Yield(1.0, 0.1); y <= 0 || y > 1 {
+			t.Errorf("%s: yield(1cm², 0.1/cm²) = %v out of range", name, y)
+		}
+	}
+	if ym, err := YieldByName(""); err != nil || ym.Name() != "murphy" {
+		t.Errorf("empty name should select murphy, got %v, %v", ym, err)
+	}
+	if _, err := YieldByName("optimism"); err == nil {
+		t.Error("unknown yield model should error")
+	}
+}

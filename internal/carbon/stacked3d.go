@@ -1,0 +1,151 @@
+package carbon
+
+import (
+	"fmt"
+	"math"
+
+	"cordoba/internal/units"
+)
+
+// 3D-stacking constants, following the 3D-Carbon characterization
+// [Zhao et al., arXiv:2307.08060]: hybrid bonding spends fab energy per
+// bonded interface area and each interface carries a yield risk that scraps
+// the whole stack.
+const (
+	// defaultTiers is the tier count a monolithic die is split into when
+	// the spec does not already enumerate a stack.
+	defaultTiers = 2
+	// defaultInterfaceYield is the per-bonding-interface yield.
+	defaultInterfaceYield = 0.99
+	// defaultBondEnergyKWhPerCM2 is the hybrid-bonding fab energy per cm²
+	// of bonded interface (wafer thinning, TSV reveal, anneal).
+	defaultBondEnergyKWhPerCM2 = 0.05
+	// defaultTSVOverhead inflates each synthesized tier's area for the
+	// TSV field (matches accel's TSVAreaOverhead calibration).
+	defaultTSVOverhead = 0.08
+)
+
+// Stacked3DModel prices a 3D-Carbon-style die stack: tiers are fabricated
+// (and yielded) separately, then hybrid-bonded vertically. Each bonding
+// interface pays fab energy proportional to the bonded area and carries a
+// yield risk that scraps the whole stack's silicon.
+//
+// Specs that already enumerate a stack (Stacked, or several die entries —
+// e.g. a 3D accel.Config's logic + memory dies) are priced tier-per-die as
+// given; a single monolithic die is first split into Tiers equal tiers,
+// each inflated by the TSV area overhead.
+type Stacked3DModel struct {
+	// Tiers splits a monolithic spec into this many tiers; zero selects 2.
+	Tiers int
+	// InterfaceYield is the per-bonding-interface yield; zero selects 0.99.
+	InterfaceYield float64
+	// BondEnergyKWhPerCM2 is the hybrid-bonding energy per cm² of bonded
+	// interface; zero selects 0.05 kWh/cm².
+	BondEnergyKWhPerCM2 float64
+	// TSVOverhead is the per-tier area overhead when splitting a
+	// monolithic die; zero selects 0.08.
+	TSVOverhead float64
+}
+
+// Name implements Model.
+func (Stacked3DModel) Name() string { return "stacked-3d" }
+
+func (m Stacked3DModel) tiers() int {
+	if m.Tiers <= 0 {
+		return defaultTiers
+	}
+	return m.Tiers
+}
+
+func (m Stacked3DModel) interfaceYield() float64 {
+	if m.InterfaceYield <= 0 || m.InterfaceYield > 1 {
+		return defaultInterfaceYield
+	}
+	return m.InterfaceYield
+}
+
+func (m Stacked3DModel) bondEnergy() float64 {
+	if m.BondEnergyKWhPerCM2 <= 0 {
+		return defaultBondEnergyKWhPerCM2
+	}
+	return m.BondEnergyKWhPerCM2
+}
+
+func (m Stacked3DModel) tsvOverhead() float64 {
+	if m.TSVOverhead <= 0 {
+		return defaultTSVOverhead
+	}
+	return m.TSVOverhead
+}
+
+// tierSpecs lowers the spec onto the stack this backend bonds: the spec's
+// own dies when it already describes a stack, otherwise a Tiers-way uniform
+// split of the single die with TSV overhead.
+func (m Stacked3DModel) tierSpecs(spec DesignSpec) []DieSpec {
+	if !spec.Stacked && len(spec.Dies) == 1 && spec.Dies[0].count() == 1 && m.tiers() > 1 {
+		d := spec.Dies[0]
+		n := m.tiers()
+		per := d.Area / units.Area(n) * units.Area(1+m.tsvOverhead())
+		return []DieSpec{{
+			Name:    fmt.Sprintf("%s-tier", d.Name),
+			Area:    per,
+			Process: d.Process,
+			Count:   n,
+			Yield:   d.Yield,
+		}}
+	}
+	return spec.Dies
+}
+
+// EmbodiedDesign implements Model.
+func (m Stacked3DModel) EmbodiedDesign(spec DesignSpec) (Breakdown, error) {
+	if err := spec.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	dies := m.tierSpecs(spec)
+	bd := Breakdown{Model: m.Name(), Dies: make([]DieCarbon, 0, len(dies))}
+
+	// Flatten the stack bottom-up so bonded-interface areas pair adjacent
+	// tiers.
+	var tierAreas []units.Area
+	for _, d := range dies {
+		y := spec.dieYield(d)
+		e, err := d.Process.EmbodiedDie(spec.Fab, d.Area, y)
+		if err != nil {
+			return Breakdown{}, fmt.Errorf("carbon: design %q tier %q: %w", spec.Name, d.Name, err)
+		}
+		count := d.count()
+		batch := e * units.Carbon(count)
+		bd.Silicon += batch
+		bd.Dies = append(bd.Dies, DieCarbon{Name: d.Name, Area: d.Area, Count: count, Yield: y, Carbon: batch})
+		for i := 0; i < count; i++ {
+			tierAreas = append(tierAreas, d.Area)
+		}
+	}
+
+	pkg, err := spec.Packaging.Assembly(len(tierAreas))
+	if err != nil {
+		return Breakdown{}, fmt.Errorf("carbon: design %q: %w", spec.Name, err)
+	}
+	bd.Packaging = pkg
+
+	// Bonding energy: each interface pays hybrid-bonding fab energy over
+	// the overlapped (smaller) tier area, charged at the fab grid's CI.
+	var bondCarbon units.Carbon
+	for i := 1; i < len(tierAreas); i++ {
+		overlap := tierAreas[i]
+		if tierAreas[i-1] < overlap {
+			overlap = tierAreas[i-1]
+		}
+		bondCarbon += spec.Fab.CI.Of(units.KWh(m.bondEnergy() * overlap.CM2()))
+	}
+
+	// Interface-yield scrap: one bad bond scraps the whole stack.
+	interfaces := len(tierAreas) - 1
+	stackYield := math.Pow(m.interfaceYield(), float64(interfaces))
+	loss := units.Carbon(bd.Silicon.Grams() * (1/stackYield - 1))
+
+	bd.Bonding = loss + bondCarbon
+	bd.Total = bd.Silicon + bd.Packaging + bd.Bonding
+	return bd, nil
+}

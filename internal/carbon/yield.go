@@ -111,6 +111,28 @@ func YieldModels() []YieldModel {
 	return []YieldModel{MurphyYield{}, PoissonYield{}, SeedsYield{}, BoseEinsteinYield{CriticalLayers: 10}}
 }
 
+// YieldModelNames lists the registry names YieldByName accepts.
+func YieldModelNames() []string {
+	return []string{"murphy", "poisson", "seeds", "bose-einstein"}
+}
+
+// YieldByName resolves a yield model by registry name. The empty string
+// selects Murphy — the pipeline's historical default. Bose–Einstein uses the
+// standard 10 critical layers.
+func YieldByName(name string) (YieldModel, error) {
+	switch name {
+	case "", "murphy":
+		return MurphyYield{}, nil
+	case "poisson":
+		return PoissonYield{}, nil
+	case "seeds":
+		return SeedsYield{}, nil
+	case "bose-einstein":
+		return BoseEinsteinYield{CriticalLayers: 10}, nil
+	}
+	return nil, fmt.Errorf("carbon: unknown yield model %q (try one of %v)", name, YieldModelNames())
+}
+
 // Wafer describes a round wafer for die placement.
 type Wafer struct {
 	// Diameter in centimetres (300 mm wafer = 30 cm).

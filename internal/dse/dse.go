@@ -37,6 +37,20 @@ type Point struct {
 	Energy   units.Energy // task energy per inference incl. leakage (eq. IV.4)
 	Embodied units.Carbon // manufacturing footprint, C_emb (eq. IV.5)
 	Area     units.Area   // total silicon area
+
+	// Model names the embodied-carbon backend that priced the point when
+	// one was explicitly selected (an Accounting model or a grid Models
+	// knob); empty for the default ACT path.
+	Model string
+}
+
+// Accounting selects the embodied-carbon backend of an exploration: the
+// pricing model and the yield model it derates dies with. The zero value is
+// the historical pipeline — ACT with Murphy yield — and evaluates
+// bit-identically to the pre-refactor engine.
+type Accounting struct {
+	Model carbon.Model      // nil selects ACT
+	Yield carbon.YieldModel // nil selects Murphy
 }
 
 // EDP returns the point's energy-delay product.
@@ -76,6 +90,13 @@ type Space struct {
 // with the given process/fab. ci is the use-phase carbon intensity applied
 // during operational-time sweeps.
 func Evaluate(task workload.Task, configs []accel.Config, p carbon.Process, fab carbon.Fab, ci units.CarbonIntensity) (*Space, error) {
+	return EvaluateWith(task, configs, p, fab, ci, Accounting{})
+}
+
+// EvaluateWith is Evaluate under an explicit embodied-carbon accounting: the
+// backend (ACT, chiplet, 3D-stacking) and yield model pricing every design.
+// The zero-value accounting reproduces Evaluate bit for bit.
+func EvaluateWith(task workload.Task, configs []accel.Config, p carbon.Process, fab carbon.Fab, ci units.CarbonIntensity, acct Accounting) (*Space, error) {
 	if len(configs) == 0 {
 		return nil, fmt.Errorf("dse: empty design space for task %q", task.Name)
 	}
@@ -84,21 +105,11 @@ func Evaluate(task workload.Task, configs []accel.Config, p carbon.Process, fab 
 	}
 	s := &Space{Task: task, CIUse: ci, Points: make([]Point, 0, len(configs))}
 	for _, c := range configs {
-		cost, err := workload.Evaluate(task, c)
+		pt, err := evalPointAcct(task, c, p, fab, acct)
 		if err != nil {
 			return nil, err
 		}
-		emb, err := c.Embodied(p, fab)
-		if err != nil {
-			return nil, err
-		}
-		s.Points = append(s.Points, Point{
-			Config:   c,
-			Delay:    cost.Delay,
-			Energy:   cost.Energy,
-			Embodied: emb,
-			Area:     c.TotalArea(),
-		})
+		s.Points = append(s.Points, pt)
 	}
 	return s, nil
 }
@@ -114,6 +125,12 @@ func EvaluateDefault(task workload.Task, configs []accel.Config) (*Space, error)
 // stay in configuration order); use it for large design spaces or many
 // tasks. workers < 1 selects a sensible default.
 func EvaluateParallel(task workload.Task, configs []accel.Config, p carbon.Process, fab carbon.Fab, ci units.CarbonIntensity, workers int) (*Space, error) {
+	return EvaluateParallelWith(task, configs, p, fab, ci, workers, Accounting{})
+}
+
+// EvaluateParallelWith is EvaluateParallel under an explicit embodied-carbon
+// accounting; the zero value reproduces EvaluateParallel exactly.
+func EvaluateParallelWith(task workload.Task, configs []accel.Config, p carbon.Process, fab carbon.Fab, ci units.CarbonIntensity, workers int, acct Accounting) (*Space, error) {
 	if len(configs) == 0 {
 		return nil, fmt.Errorf("dse: empty design space for task %q", task.Name)
 	}
@@ -139,24 +156,12 @@ func EvaluateParallel(task workload.Task, configs []accel.Config, p carbon.Proce
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				c := configs[i]
-				cost, err := workload.Evaluate(task, c)
+				pt, err := evalPointAcct(task, configs[i], p, fab, acct)
 				if err != nil {
 					errOnce.Do(func() { firstErr = err })
 					continue
 				}
-				emb, err := c.Embodied(p, fab)
-				if err != nil {
-					errOnce.Do(func() { firstErr = err })
-					continue
-				}
-				s.Points[i] = Point{
-					Config:   c,
-					Delay:    cost.Delay,
-					Energy:   cost.Energy,
-					Embodied: emb,
-					Area:     c.TotalArea(),
-				}
+				s.Points[i] = pt
 			}
 		}()
 	}

@@ -35,6 +35,11 @@ type Grid struct {
 	SRAMMB    []float64 // activation-SRAM axis in MB; required
 	VDDScales []float64 // V_DD as a fraction of nominal; default {1.0}
 	Nodes     []string  // technology nodes by name; default {"7nm"}
+	// Models lists embodied-carbon backends by carbon.ModelByName name
+	// ("act", "chiplet", "stacked-3d"), turning the accounting model itself
+	// into a sweep axis. Empty keeps the default ACT pipeline and leaves
+	// Point.Model blank, exactly as before the knob existed.
+	Models []string
 }
 
 // maxGridBits bounds Size() so index arithmetic cannot overflow; real grids
@@ -56,17 +61,26 @@ func (g Grid) normalized() Grid {
 // defaults are applied.
 func (g Grid) Size() int64 {
 	g = g.normalized()
+	models := int64(len(g.Models))
+	if models == 0 {
+		models = 1
+	}
 	return int64(len(g.MACArrays)) * int64(len(g.SRAMMB)) *
-		int64(len(g.VDDScales)) * int64(len(g.Nodes))
+		int64(len(g.VDDScales)) * int64(len(g.Nodes)) * models
 }
 
-// gridCell is one compiled (V_DD scale, node) combination: the parameter
-// ratios relative to the nominal 7 nm calibration point, plus the node's
-// embodied-carbon process.
+// gridCell is one compiled (V_DD scale, node, model) combination: the
+// parameter ratios relative to the nominal 7 nm calibration point, the node's
+// embodied-carbon process, and the accounting backend pricing the cell.
 type gridCell struct {
 	vddScale float64
 	node     string
 	process  carbon.Process
+
+	// model prices the cell's embodied carbon; nil means the default ACT
+	// pipeline (no Models axis requested) and keeps Point.Model blank.
+	model     carbon.Model
+	modelName string
 
 	clockR  float64 // max-clock ratio vs nominal 7 nm
 	energyR float64 // dynamic energy per cycle ratio
@@ -110,7 +124,27 @@ func (g Grid) compile() (*compiledGrid, error) {
 	refLeak := ref.LeakagePower().Watts()
 	refArea := ref.Area().CM2()
 
-	cg := &compiledGrid{g: g, cells: make([]gridCell, 0, len(g.VDDScales)*len(g.Nodes))}
+	// An empty Models axis compiles to one unlabeled cell slot per
+	// (V_DD, node) with a nil model — the pre-knob enumeration, cell for
+	// cell. Named models are validated here and attached innermost so all
+	// backends of one (V_DD, node) pair stay contiguous.
+	type modelSlot struct {
+		m    carbon.Model
+		name string
+	}
+	slots := []modelSlot{{}}
+	if len(g.Models) > 0 {
+		slots = slots[:0]
+		for _, name := range g.Models {
+			m, err := carbon.ModelByName(name)
+			if err != nil {
+				return nil, fmt.Errorf("dse: grid: %w", err)
+			}
+			slots = append(slots, modelSlot{m: m, name: m.Name()})
+		}
+	}
+
+	cg := &compiledGrid{g: g, cells: make([]gridCell, 0, len(g.VDDScales)*len(g.Nodes)*len(slots))}
 	for _, vs := range g.VDDScales {
 		if vs <= 0 {
 			return nil, fmt.Errorf("dse: grid V_DD scale must be positive, got %v", vs)
@@ -128,15 +162,19 @@ func (g Grid) compile() (*compiledGrid, error) {
 			if err := d.Validate(); err != nil {
 				return nil, fmt.Errorf("dse: grid: node %s at %.2f·V_DD: %w", name, vs, err)
 			}
-			cg.cells = append(cg.cells, gridCell{
-				vddScale: vs,
-				node:     name,
-				process:  proc,
-				clockR:   d.MaxClock().Hertz() / refClock,
-				energyR:  d.DynamicEnergyPerCycle().Joules() / refEnergy,
-				leakR:    d.LeakagePower().Watts() / refLeak,
-				areaR:    d.Area().CM2() / refArea,
-			})
+			for _, slot := range slots {
+				cg.cells = append(cg.cells, gridCell{
+					vddScale:  vs,
+					node:      name,
+					process:   proc,
+					model:     slot.m,
+					modelName: slot.name,
+					clockR:    d.MaxClock().Hertz() / refClock,
+					energyR:   d.DynamicEnergyPerCycle().Joules() / refEnergy,
+					leakR:     d.LeakagePower().Watts() / refLeak,
+					areaR:     d.Area().CM2() / refArea,
+				})
+			}
 		}
 	}
 	return cg, nil
@@ -157,15 +195,16 @@ func (cg *compiledGrid) shapeConfig(si int) accel.Config {
 }
 
 // at returns configuration i (shape-major: i = shape·cells + cell) with its
-// node's embodied process. IDs are "k1" … "kN" in enumeration order.
-func (cg *compiledGrid) at(i int64) (accel.Config, carbon.Process) {
+// compiled cell — the node's embodied process plus the accounting model.
+// IDs are "k1" … "kN" in enumeration order.
+func (cg *compiledGrid) at(i int64) (accel.Config, gridCell) {
 	cells := int64(len(cg.cells))
 	si, ci := int(i/cells), int(i%cells)
 	cell := cg.cells[ci]
 	c := cg.shapeConfig(si)
 	c.ID = "k" + strconv.FormatInt(i+1, 10)
 	applyCell(&c, cell)
-	return c, cell.process
+	return c, cell
 }
 
 // applyCell rescales the simulator parameters to a grid cell. Clock and
@@ -198,7 +237,8 @@ func (g Grid) Materialize() ([]accel.Config, []carbon.Process, error) {
 	configs := make([]accel.Config, n)
 	procs := make([]carbon.Process, n)
 	for i := int64(0); i < n; i++ {
-		configs[i], procs[i] = cg.at(i)
+		c, cell := cg.at(i)
+		configs[i], procs[i] = c, cell.process
 	}
 	return configs, procs, nil
 }
@@ -212,13 +252,15 @@ func EvaluateGrid(task workload.Task, g Grid, fab carbon.Fab, ci units.CarbonInt
 	if ci < 0 {
 		return nil, fmt.Errorf("dse: negative CI_use %v", ci)
 	}
-	configs, procs, err := g.Materialize()
+	cg, err := g.compile()
 	if err != nil {
 		return nil, err
 	}
-	s := &Space{Task: task, CIUse: ci, Points: make([]Point, 0, len(configs))}
-	for i, c := range configs {
-		pt, err := evalPoint(task, c, procs[i], fab)
+	n := cg.size()
+	s := &Space{Task: task, CIUse: ci, Points: make([]Point, 0, n)}
+	for i := int64(0); i < n; i++ {
+		c, cell := cg.at(i)
+		pt, err := evalPointAcct(task, c, cell.process, fab, Accounting{Model: cell.model})
 		if err != nil {
 			return nil, err
 		}

@@ -18,21 +18,32 @@ import (
 // evalPoint evaluates one configuration the way Evaluate does: task cost via
 // the direct simulator path, embodied carbon via the given process/fab.
 func evalPoint(task workload.Task, c accel.Config, p carbon.Process, fab carbon.Fab) (Point, error) {
+	return evalPointAcct(task, c, p, fab, Accounting{})
+}
+
+// evalPointAcct is evalPoint with an explicit embodied-carbon accounting. The
+// zero-value accounting routes through the default ACT/Murphy pipeline and is
+// bit-identical to the historical inline computation.
+func evalPointAcct(task workload.Task, c accel.Config, p carbon.Process, fab carbon.Fab, acct Accounting) (Point, error) {
 	cost, err := workload.Evaluate(task, c)
 	if err != nil {
 		return Point{}, err
 	}
-	emb, err := c.Embodied(p, fab)
+	emb, err := c.EmbodiedWith(acct.Model, acct.Yield, p, fab)
 	if err != nil {
 		return Point{}, err
 	}
-	return Point{
+	pt := Point{
 		Config:   c,
 		Delay:    cost.Delay,
 		Energy:   cost.Energy,
 		Embodied: emb,
 		Area:     c.TotalArea(),
-	}, nil
+	}
+	if acct.Model != nil {
+		pt.Model = acct.Model.Name()
+	}
+	return pt, nil
 }
 
 // StreamOptions tunes the streaming engine.
@@ -43,6 +54,9 @@ type StreamOptions struct {
 	// lives for this run only. Pass the server's cache to reuse profiles
 	// across requests.
 	Memo *MemoCache
+	// Yield selects the yield model every cell's embodied carbon is derated
+	// with; nil selects Murphy, the historical default.
+	Yield carbon.YieldModel
 }
 
 // StreamResult is the outcome of a streaming exploration: the surviving
@@ -297,8 +311,8 @@ func EvaluateStreamTasks(ctx context.Context, tasks []workload.Task, g Grid, fab
 				}
 				base := int64(si) * cells
 				for off := int64(0); off < cells; off++ {
-					cfg, proc := cg.at(base + off)
-					emb, err := cfg.Embodied(proc, fab)
+					cfg, cell := cg.at(base + off)
+					emb, err := cfg.EmbodiedWith(cell.model, opt.Yield, cell.process, fab)
 					if err != nil {
 						fail(err)
 						ok = false
@@ -324,6 +338,7 @@ func EvaluateStreamTasks(ctx context.Context, tasks []workload.Task, g Grid, fab
 							Energy:   cost.Energy,
 							Embodied: emb,
 							Area:     area,
+							Model:    cell.modelName,
 						})
 					}
 					if !ok {

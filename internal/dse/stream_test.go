@@ -57,8 +57,8 @@ func TestGridSizeAndIndexing(t *testing.T) {
 	// Per-cell processes follow the node axis.
 	_, p0 := cg.at(0)
 	_, p1 := cg.at(1)
-	if p0.Node != "7nm" || p1.Node != "5nm" {
-		t.Fatalf("cell processes: got %q, %q, want 7nm, 5nm", p0.Node, p1.Node)
+	if p0.process.Node != "7nm" || p1.process.Node != "5nm" {
+		t.Fatalf("cell processes: got %q, %q, want 7nm, 5nm", p0.process.Node, p1.process.Node)
 	}
 }
 

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"cordoba/internal/accel"
+	"cordoba/internal/carbon"
+	"cordoba/internal/table"
+)
+
+// ChipletRow is one (yield model, integration) cell of the chiplet study.
+type ChipletRow struct {
+	Yield        string  // yield model name
+	Design       string  // monolithic, 2-chiplet, 4-chiplet
+	Chiplets     int     // dies after disaggregation
+	SiliconG     float64 // die fabrication carbon (gCO2e)
+	PackagingG   float64 // package + carrier carbon (gCO2e)
+	BondingG     float64 // assembly-yield scrap (gCO2e)
+	TotalG       float64 // total embodied (gCO2e)
+	VsMonolithic float64 // total / monolithic total under the same yield model
+}
+
+// ChipletResult is the chiplet experiment: the largest Fig. 8 accelerator
+// priced monolithically (ACT backend) and as 2-/4-chiplet disaggregations
+// (ECO-CHIP-style backend) under every yield model. Big dies yield poorly, so
+// splitting buys silicon back at the price of a carrier and assembly scrap —
+// the crossover the carbon.Model interface makes explorable.
+type ChipletResult struct {
+	ConfigID   string
+	MACArrays  int
+	SRAMMB     float64
+	DieAreaCM2 float64 // monolithic logic-die area
+	Process    string
+	Fab        string
+	Rows       []ChipletRow
+}
+
+// Chiplet runs the study at the paper's anchor (7 nm, coal-heavy fab) on the
+// largest grid configuration — the die where yield losses bite hardest.
+func Chiplet() (ChipletResult, error) {
+	grid := accel.Grid()
+	cfg := grid[len(grid)-1]
+	proc := carbon.Process7nm()
+	fab := carbon.FabCoal
+	res := ChipletResult{
+		ConfigID:   cfg.ID,
+		MACArrays:  cfg.MACArrays,
+		SRAMMB:     cfg.SRAM.InMB(),
+		DieAreaCM2: cfg.LogicArea().CM2(),
+		Process:    proc.Node,
+		Fab:        fab.Name,
+	}
+	designs := []struct {
+		name     string
+		chiplets int
+		model    carbon.Model
+	}{
+		{"monolithic", 1, carbon.ACTModel{}},
+		{"2-chiplet", 2, carbon.ChipletModel{Split: 2}},
+		{"4-chiplet", 4, carbon.ChipletModel{Split: 4}},
+	}
+	for _, ym := range carbon.YieldModels() {
+		var mono float64
+		for _, d := range designs {
+			bd, err := cfg.EmbodiedBreakdown(d.model, ym, proc, fab)
+			if err != nil {
+				return ChipletResult{}, err
+			}
+			if d.chiplets == 1 {
+				mono = bd.Total.Grams()
+			}
+			res.Rows = append(res.Rows, ChipletRow{
+				Yield:        ym.Name(),
+				Design:       d.name,
+				Chiplets:     d.chiplets,
+				SiliconG:     bd.Silicon.Grams(),
+				PackagingG:   bd.Packaging.Grams(),
+				BondingG:     bd.Bonding.Grams(),
+				TotalG:       bd.Total.Grams(),
+				VsMonolithic: bd.Total.Grams() / mono,
+			})
+		}
+	}
+	return res, nil
+}
+
+// RenderChiplet writes the chiplet study.
+func RenderChiplet(w io.Writer) error {
+	res, err := Chiplet()
+	if err != nil {
+		return err
+	}
+	t := table.New(fmt.Sprintf(
+		"Chiplet study — %s (%d MAC arrays, %.0f MB SRAM), %.3g cm² logic die, %s in a %s fab",
+		res.ConfigID, res.MACArrays, res.SRAMMB, res.DieAreaCM2, res.Process, res.Fab),
+		"yield model", "design", "silicon (g)", "packaging (g)", "bonding (g)", "total (g)", "vs monolithic")
+	for _, r := range res.Rows {
+		t.AddRow(r.Yield, r.Design,
+			table.F(r.SiliconG), table.F(r.PackagingG), table.F(r.BondingG),
+			table.F(r.TotalG), table.F(r.VsMonolithic)+"×")
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w,
+		"vs monolithic < 1: disaggregation saves embodied carbon — smaller dies yield better than one large die.")
+	return err
+}

@@ -41,6 +41,7 @@ func All() []Experiment {
 		{"ablation", "Ablations: sensitivity of the DSE conclusions to model constants", RenderAblations},
 		{"lifetime", "Lifetime study (§VII): tCDP-optimal hardware refresh cadence", RenderLifetime},
 		{"schedule", "Carbon-aware scheduling: lowest-CI_use launch windows per reference grid", RenderSchedule},
+		{"chiplet", "Chiplet study: monolithic vs 2-/4-chiplet disaggregation across yield models", RenderChiplet},
 	}
 }
 

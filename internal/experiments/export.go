@@ -46,6 +46,8 @@ func Result(key string) (any, error) {
 		return Lifetime()
 	case "schedule":
 		return Schedule()
+	case "chiplet":
+		return Chiplet()
 	default:
 		return nil, fmt.Errorf("experiments: no typed result for %q", key)
 	}
@@ -204,6 +206,24 @@ func ExportCSV(key string, w io.Writer) error {
 		for _, r := range res.Rows {
 			row := []string{r.Trace, f(r.Plan.Best.Start.InHours()), f(r.Plan.Best.Carbon.Grams()),
 				f(r.Plan.Immediate.Carbon.Grams()), f(r.Plan.Worst.Carbon.Grams()), f(r.Plan.Savings)}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case "chiplet":
+		res, err := Chiplet()
+		if err != nil {
+			return err
+		}
+		header := []string{"yield", "design", "chiplets", "silicon_g", "packaging_g", "bonding_g", "total_g", "vs_monolithic"}
+		if err := cw.Write(header); err != nil {
+			return err
+		}
+		for _, r := range res.Rows {
+			row := []string{r.Yield, r.Design, strconv.Itoa(r.Chiplets),
+				f(r.SiliconG), f(r.PackagingG), f(r.BondingG), f(r.TotalG), f(r.VsMonolithic)}
 			if err := cw.Write(row); err != nil {
 				return err
 			}

@@ -44,6 +44,10 @@ type Service struct {
 	CITrace grid.Trace
 	// Yield for eq. IV.5.
 	Yield float64
+	// Model selects the embodied-carbon backend that prices each
+	// replacement chip; nil selects ACT (the historical scalar path —
+	// bit-identical to pricing the die directly with eq. IV.5).
+	Model carbon.Model
 }
 
 // DefaultService returns a datacenter-flavoured service: a 50 M-gate chip
@@ -147,7 +151,7 @@ func (s Service) Evaluate(period units.Time) (Outcome, error) {
 			// charge it the exact window integral of CI_use(t).
 			out.Operation += cum.OperationalCarbon(spanEnergy.DividedBy(span), start, end)
 		}
-		emb, err := proc.EmbodiedDie(s.Fab, d.Area(), s.Yield)
+		emb, err := s.replacementEmbodied(proc, d.Area())
 		if err != nil {
 			return Outcome{}, err
 		}
@@ -160,6 +164,27 @@ func (s Service) Evaluate(period units.Time) (Outcome, error) {
 	}
 	out.MeanDelay = units.Time(delayWeighted / s.Horizon.Seconds())
 	return out, nil
+}
+
+// replacementEmbodied prices one replacement chip through the service's
+// embodied-carbon backend. The chip is a single die with the service's fixed
+// yield; the ACT default reproduces proc.EmbodiedDie(fab, area, yield)
+// exactly, while the chiplet/3D backends reprice every refresh under their
+// integration models.
+func (s Service) replacementEmbodied(proc carbon.Process, area units.Area) (units.Carbon, error) {
+	model := s.Model
+	if model == nil {
+		model = carbon.DefaultModel()
+	}
+	bd, err := model.EmbodiedDesign(carbon.DesignSpec{
+		Name: "refresh-chip",
+		Fab:  s.Fab,
+		Dies: []carbon.DieSpec{{Name: "chip", Area: area, Process: proc, Yield: s.Yield}},
+	})
+	if err != nil {
+		return 0, err
+	}
+	return bd.Total, nil
 }
 
 // PolicyResult pairs a refresh period with its outcome.

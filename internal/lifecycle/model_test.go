@@ -1,0 +1,59 @@
+package lifecycle
+
+import (
+	"testing"
+
+	"cordoba/internal/carbon"
+	"cordoba/internal/device"
+	"cordoba/internal/units"
+)
+
+// The nil-Model default must reproduce the historical scalar path exactly:
+// each replacement chip priced straight through eq. IV.5 with the service's
+// fixed yield.
+func TestReplacementEmbodiedDefaultIsEqIV5(t *testing.T) {
+	s := DefaultService()
+	out, err := s.Evaluate(units.Years(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want units.Carbon
+	for start := units.Time(0); start < s.Horizon; start += units.Years(2) {
+		node, proc := s.nodeAt(start)
+		d := device.NewDesign(node)
+		d.Gates = s.Gates
+		e, err := proc.EmbodiedDie(s.Fab, d.Area(), s.Yield)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += e
+	}
+	if out.Embodied != want {
+		t.Errorf("default backend embodied = %v, direct eq. IV.5 = %v", out.Embodied, want)
+	}
+}
+
+// Swapping the backend repricess every refresh: the chiplet model must move
+// the embodied term (and only the embodied term).
+func TestServiceModelSwapsBackend(t *testing.T) {
+	s := DefaultService()
+	base, err := s.Evaluate(units.Years(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Model = carbon.ChipletModel{}
+	chiplet, err := s.Evaluate(units.Years(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chiplet.Embodied == base.Embodied {
+		t.Error("chiplet backend did not change the embodied footprint")
+	}
+	if chiplet.Embodied <= 0 {
+		t.Errorf("degenerate chiplet embodied %v", chiplet.Embodied)
+	}
+	if chiplet.Energy != base.Energy || chiplet.Operation != base.Operation ||
+		chiplet.MeanDelay != base.MeanDelay || chiplet.Refreshes != base.Refreshes {
+		t.Error("backend choice must only affect the embodied term")
+	}
+}

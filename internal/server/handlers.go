@@ -72,14 +72,60 @@ type AccelSpec struct {
 	MemDies   int     `json:"mem_dies,omitempty"`
 }
 
-// AccountingRequest asks for the ACT embodied carbon (eq. IV.5) of either a
-// bare die (area + yield) or an accelerator configuration (full model with
-// Murphy yield, die placement, and packaging).
+// YieldSpec is the polymorphic "yield" field: a JSON number fixes the die
+// yield directly (the historical form); a JSON string names a yield model —
+// murphy, poisson, seeds, or bose-einstein — that derives yield from die area
+// and the fab's defect density.
+type YieldSpec struct {
+	Value float64 // set when the request gave a number
+	Model string  // set when the request gave a model name
+}
+
+// UnmarshalJSON accepts a number or a string.
+func (y *YieldSpec) UnmarshalJSON(b []byte) error {
+	s := strings.TrimSpace(string(b))
+	if s == "null" {
+		*y = YieldSpec{}
+		return nil
+	}
+	if strings.HasPrefix(s, `"`) {
+		var name string
+		if err := json.Unmarshal(b, &name); err != nil {
+			return err
+		}
+		*y = YieldSpec{Model: name}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return fmt.Errorf("yield must be a number or a yield-model name: %v", err)
+	}
+	*y = YieldSpec{Value: v}
+	return nil
+}
+
+// MarshalJSON renders the form the request used — needed for the canonical
+// cache key.
+func (y YieldSpec) MarshalJSON() ([]byte, error) {
+	if y.Model != "" {
+		return json.Marshal(y.Model)
+	}
+	return json.Marshal(y.Value)
+}
+
+func (y YieldSpec) isZero() bool { return y.Model == "" && y.Value == 0 }
+
+// AccountingRequest asks for the embodied carbon (eq. IV.5) of either a bare
+// die (area + yield) or an accelerator configuration (full model with die
+// placement and packaging). model selects the pricing backend ("act" default,
+// "chiplet", "stacked-3d"); yield is either a fixed fraction or a yield-model
+// name.
 type AccountingRequest struct {
-	Process string  `json:"process,omitempty"` // node name, default "7nm"
-	Fab     string  `json:"fab,omitempty"`     // fab name, default "coal-heavy"
-	AreaCM2 float64 `json:"area_cm2,omitempty"`
-	Yield   float64 `json:"yield,omitempty"` // default 1.0 (die mode only)
+	Process string    `json:"process,omitempty"` // node name, default "7nm"
+	Fab     string    `json:"fab,omitempty"`     // fab name, default "coal-heavy"
+	AreaCM2 float64   `json:"area_cm2,omitempty"`
+	Yield   YieldSpec `json:"yield,omitempty"` // number or model name; default 1.0 (die mode only)
+	Model   string    `json:"model,omitempty"` // embodied-carbon backend, default "act"
 
 	Accelerator *AccelSpec `json:"accelerator,omitempty"`
 }
@@ -91,11 +137,16 @@ type AccountingResponse struct {
 	Fab         string  `json:"fab"`
 	FabCI       float64 `json:"fab_ci_g_per_kwh"`
 	AreaCM2     float64 `json:"area_cm2"`
-	Yield       float64 `json:"yield,omitempty"` // die mode only
+	Yield       float64 `json:"yield,omitempty"`       // die mode only (resolved)
+	YieldModel  string  `json:"yield_model,omitempty"` // when yield named a model
+	Model       string  `json:"model,omitempty"`       // when a backend was selected
 	ConfigID    string  `json:"config_id,omitempty"`
 	EmbodiedG   float64 `json:"embodied_gco2e"`
 	EmbodiedKG  float64 `json:"embodied_kgco2e"`
-	PerAreaG    float64 `json:"gco2e_per_cm2"` // before yield derating
+	SiliconG    float64 `json:"silicon_gco2e,omitempty"`   // backend breakdown
+	PackagingG  float64 `json:"packaging_gco2e,omitempty"` // backend breakdown
+	BondingG    float64 `json:"bonding_gco2e,omitempty"`   // backend breakdown
+	PerAreaG    float64 `json:"gco2e_per_cm2"`             // before yield derating
 	Description string  `json:"description"`
 }
 
@@ -110,8 +161,8 @@ func (s *Server) handleAccounting(w http.ResponseWriter, r *http.Request) error 
 	if req.Fab == "" {
 		req.Fab = "coal-heavy"
 	}
-	if req.Accelerator == nil && req.Yield == 0 {
-		req.Yield = 1.0
+	if req.Accelerator == nil && req.Yield.isZero() {
+		req.Yield.Value = 1.0
 	}
 
 	key, err := canonicalKey("/v1/accounting", req)
@@ -130,11 +181,25 @@ func (s *Server) buildAccounting(req AccountingRequest) (*AccountingResponse, er
 	if err != nil {
 		return nil, errf(http.StatusBadRequest, "%v", err)
 	}
+	var model cordoba.CarbonModel
+	if req.Model != "" {
+		if model, err = cordoba.CarbonModelByName(req.Model); err != nil {
+			return nil, errf(http.StatusBadRequest, "%v (see GET /v1/models)", err)
+		}
+	}
+	var ym cordoba.YieldModel
+	if req.Yield.Model != "" {
+		if ym, err = cordoba.YieldModelByName(req.Yield.Model); err != nil {
+			return nil, errf(http.StatusBadRequest, "%v (see GET /v1/models)", err)
+		}
+	}
 	resp := &AccountingResponse{
-		Process:  proc.Node,
-		Fab:      fab.Name,
-		FabCI:    float64(fab.CI),
-		PerAreaG: proc.CarbonPerArea(fab).Grams(),
+		Process:    proc.Node,
+		Fab:        fab.Name,
+		FabCI:      float64(fab.CI),
+		PerAreaG:   proc.CarbonPerArea(fab).Grams(),
+		Model:      req.Model,
+		YieldModel: req.Yield.Model,
 	}
 
 	switch {
@@ -143,25 +208,54 @@ func (s *Server) buildAccounting(req AccountingRequest) (*AccountingResponse, er
 		if err != nil {
 			return nil, err
 		}
-		emb, err := cfg.Embodied(proc, fab)
+		bd, err := cfg.EmbodiedBreakdown(model, ym, proc, fab)
 		if err != nil {
 			return nil, errf(http.StatusBadRequest, "%v", err)
 		}
 		resp.ConfigID = cfg.ID
 		resp.AreaCM2 = cfg.TotalArea().CM2()
-		resp.EmbodiedG = emb.Grams()
+		resp.EmbodiedG = bd.Total.Grams()
+		if req.Model != "" {
+			resp.SiliconG = bd.Silicon.Grams()
+			resp.PackagingG = bd.Packaging.Grams()
+			resp.BondingG = bd.Bonding.Grams()
+		}
 		resp.Description = fmt.Sprintf(
 			"accelerator %s (%d MAC arrays, %.0f MB SRAM) incl. yield and packaging",
 			cfg.ID, cfg.MACArrays, cfg.SRAM.InMB())
+		s.metrics.ObserveModelEvals(bd.Model, 1)
 	case req.AreaCM2 > 0:
-		emb, err := cordoba.EmbodiedDie(proc, fab, cordoba.Area(req.AreaCM2), req.Yield)
-		if err != nil {
-			return nil, errf(http.StatusBadRequest, "%v", err)
+		area := cordoba.Area(req.AreaCM2)
+		y := req.Yield.Value
+		if ym != nil {
+			y = ym.Yield(area, fab.DefectDensity)
+		}
+		if model == nil {
+			// Historical scalar path: eq. IV.5 directly.
+			emb, err := cordoba.EmbodiedDie(proc, fab, area, y)
+			if err != nil {
+				return nil, errf(http.StatusBadRequest, "%v", err)
+			}
+			resp.EmbodiedG = emb.Grams()
+			s.metrics.ObserveModelEvals("act", 1)
+		} else {
+			bd, err := model.EmbodiedDesign(cordoba.DesignSpec{
+				Name: "die",
+				Fab:  fab,
+				Dies: []cordoba.DieSpec{{Name: "die", Area: area, Process: proc, Yield: y}},
+			})
+			if err != nil {
+				return nil, errf(http.StatusBadRequest, "%v", err)
+			}
+			resp.EmbodiedG = bd.Total.Grams()
+			resp.SiliconG = bd.Silicon.Grams()
+			resp.PackagingG = bd.Packaging.Grams()
+			resp.BondingG = bd.Bonding.Grams()
+			s.metrics.ObserveModelEvals(bd.Model, 1)
 		}
 		resp.AreaCM2 = req.AreaCM2
-		resp.Yield = req.Yield
-		resp.EmbodiedG = emb.Grams()
-		resp.Description = fmt.Sprintf("bare die of %.3g cm² at yield %.3g", req.AreaCM2, req.Yield)
+		resp.Yield = y
+		resp.Description = fmt.Sprintf("bare die of %.3g cm² at yield %.3g", req.AreaCM2, y)
 	default:
 		return nil, errf(http.StatusBadRequest,
 			"request needs either area_cm2 > 0 or an accelerator spec")
@@ -212,6 +306,9 @@ type KnobRangeSpec struct {
 	SRAMMB    []float64 `json:"sram_mb"`
 	VDDScales []float64 `json:"vdd_scales,omitempty"`
 	Nodes     []string  `json:"nodes,omitempty"`
+	// Models turns the embodied-carbon backend into a sweep axis: every
+	// listed backend prices every cell. Defaults to the request's model.
+	Models []string `json:"models,omitempty"`
 }
 
 // DSERequest asks for a design-space exploration of a task over a set of
@@ -221,6 +318,12 @@ type DSERequest struct {
 	Process string  `json:"process,omitempty"` // default "7nm"
 	Fab     string  `json:"fab,omitempty"`     // default "coal-heavy"
 	CIUse   float64 `json:"ci_use,omitempty"`  // g/kWh, default 380 (Table III)
+
+	// Model selects the embodied-carbon backend pricing every design ("act"
+	// default, "chiplet", "stacked-3d"); Yield selects the yield model
+	// ("murphy" default, "poisson", "seeds", "bose-einstein").
+	Model string `json:"model,omitempty"`
+	Yield string `json:"yield,omitempty"`
 
 	// CITrace names a registry trace (see GET /v1/traces) to derive the
 	// use-phase intensity from instead of the scalar ci_use: operational
@@ -247,6 +350,7 @@ type DSEPoint struct {
 	MACArrays      int     `json:"mac_arrays"`
 	SRAMMB         float64 `json:"sram_mb"`
 	Is3D           bool    `json:"is_3d,omitempty"`
+	Model          string  `json:"model,omitempty"` // backend that priced the point
 	DelayS         float64 `json:"delay_s"`
 	EnergyJ        float64 `json:"energy_j"`
 	EmbodiedG      float64 `json:"embodied_gco2e"`
@@ -274,6 +378,8 @@ type DSEResponse struct {
 	Task               string       `json:"task"`
 	Process            string       `json:"process"`
 	Fab                string       `json:"fab"`
+	Model              string       `json:"model,omitempty"` // requested backend
+	Yield              string       `json:"yield,omitempty"` // requested yield model
 	CIUse              float64      `json:"ci_use_g_per_kwh"`
 	CITrace            string       `json:"ci_trace,omitempty"`
 	TraceLifeS         float64      `json:"trace_life_s,omitempty"`
@@ -364,8 +470,12 @@ func (s *Server) buildDSE(r *http.Request, req DSERequest) (*DSEResponse, error)
 			"sweep needs 0 < lo <= hi and 1 <= points <= 10000, got lo=%g hi=%g points=%d",
 			req.Sweep.Lo, req.Sweep.Hi, req.Sweep.Points)
 	}
+	acct, err := s.resolveAccounting(req)
+	if err != nil {
+		return nil, err
+	}
 	if req.Knobs != nil {
-		return s.buildDSEStream(r, req, task, proc, fab)
+		return s.buildDSEStream(r, req, task, proc, fab, acct)
 	}
 	configs, err := s.resolveConfigs(req)
 	if err != nil {
@@ -382,16 +492,23 @@ func (s *Server) buildDSE(r *http.Request, req DSERequest) (*DSEResponse, error)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	space, err := cordoba.ExploreParallelAt(task, configs, proc, fab,
-		cordoba.CarbonIntensity(req.CIUse), s.pool.Workers())
+	space, err := cordoba.ExploreParallelWith(task, configs, proc, fab,
+		cordoba.CarbonIntensity(req.CIUse), s.pool.Workers(), acct)
 	if err != nil {
 		return nil, errf(http.StatusBadRequest, "%v", err)
 	}
+	modelName := req.Model
+	if modelName == "" {
+		modelName = "act"
+	}
+	s.metrics.ObserveModelEvals(modelName, int64(len(configs)))
 
 	resp := &DSEResponse{
 		Task:               task.Name,
 		Process:            proc.Node,
 		Fab:                fab.Name,
+		Model:              req.Model,
+		Yield:              req.Yield,
 		CIUse:              req.CIUse,
 		CITrace:            req.CITrace,
 		TraceLifeS:         req.TraceLifeS,
@@ -413,6 +530,28 @@ func (s *Server) buildDSE(r *http.Request, req DSERequest) (*DSEResponse, error)
 	return resp, nil
 }
 
+// resolveAccounting validates a request's model/yield selections into a dse
+// accounting; the zero value (empty fields) keeps the default ACT/Murphy
+// pipeline and leaves responses exactly as before the fields existed.
+func (s *Server) resolveAccounting(req DSERequest) (cordoba.ExploreAccounting, error) {
+	var acct cordoba.ExploreAccounting
+	if req.Model != "" {
+		m, err := cordoba.CarbonModelByName(req.Model)
+		if err != nil {
+			return acct, errf(http.StatusBadRequest, "%v (see GET /v1/models)", err)
+		}
+		acct.Model = m
+	}
+	if req.Yield != "" {
+		ym, err := cordoba.YieldModelByName(req.Yield)
+		if err != nil {
+			return acct, errf(http.StatusBadRequest, "%v (see GET /v1/models)", err)
+		}
+		acct.Yield = ym
+	}
+	return acct, nil
+}
+
 // dsePoint renders one evaluated design for the response.
 func dsePoint(p cordoba.DesignPoint) DSEPoint {
 	return DSEPoint{
@@ -420,6 +559,7 @@ func dsePoint(p cordoba.DesignPoint) DSEPoint {
 		MACArrays:      p.Config.MACArrays,
 		SRAMMB:         p.Config.SRAM.InMB(),
 		Is3D:           p.Config.Is3D,
+		Model:          p.Model,
 		DelayS:         p.Delay.Seconds(),
 		EnergyJ:        p.Energy.Joules(),
 		EmbodiedG:      p.Embodied.Grams(),
@@ -433,7 +573,7 @@ func dsePoint(p cordoba.DesignPoint) DSEPoint {
 // streaming engine: lazy grid enumeration, the server's shared shape-profile
 // memo, and an incremental convex envelope, so only the ever-optimal points
 // ever materialize.
-func (s *Server) buildDSEStream(r *http.Request, req DSERequest, task cordoba.Task, proc cordoba.Process, fab cordoba.Fab) (*DSEResponse, error) {
+func (s *Server) buildDSEStream(r *http.Request, req DSERequest, task cordoba.Task, proc cordoba.Process, fab cordoba.Fab, acct cordoba.ExploreAccounting) (*DSEResponse, error) {
 	if req.Set != "" || len(req.Configs) > 0 {
 		return nil, errf(http.StatusBadRequest, "knobs excludes set and configs — give exactly one space")
 	}
@@ -441,15 +581,28 @@ func (s *Server) buildDSEStream(r *http.Request, req DSERequest, task cordoba.Ta
 	if len(k.MACArrays) == 0 || len(k.SRAMMB) == 0 {
 		return nil, errf(http.StatusBadRequest, "knobs needs non-empty mac_arrays and sram_mb")
 	}
+	if len(k.Models) > 0 && req.Model != "" {
+		return nil, errf(http.StatusBadRequest, "give either model or knobs.models, not both")
+	}
+	for _, name := range k.Models {
+		if _, err := cordoba.CarbonModelByName(name); err != nil {
+			return nil, errf(http.StatusBadRequest, "%v (see GET /v1/models)", err)
+		}
+	}
 	g := cordoba.KnobGrid{
 		MACArrays: k.MACArrays,
 		SRAMMB:    k.SRAMMB,
 		VDDScales: k.VDDScales,
 		Nodes:     k.Nodes,
+		Models:    k.Models,
 	}
 	if len(g.Nodes) == 0 {
 		// The scalar process field names the single node to explore.
 		g.Nodes = []string{proc.Node}
+	}
+	if len(g.Models) == 0 && req.Model != "" {
+		// The scalar model field names the single backend to price with.
+		g.Models = []string{req.Model}
 	}
 	if size := g.Size(); size > s.cfg.MaxGridPoints {
 		return nil, errf(http.StatusBadRequest,
@@ -465,7 +618,7 @@ func (s *Server) buildDSEStream(r *http.Request, req DSERequest, task cordoba.Ta
 		return nil, err
 	}
 	res, err := cordoba.ExploreStreamAt(ctx, task, g, fab, cordoba.CarbonIntensity(req.CIUse),
-		cordoba.StreamOptions{Workers: s.pool.Workers(), Memo: s.memo})
+		cordoba.StreamOptions{Workers: s.pool.Workers(), Memo: s.memo, Yield: acct.Yield})
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
@@ -473,12 +626,23 @@ func (s *Server) buildDSEStream(r *http.Request, req DSERequest, task cordoba.Ta
 		return nil, errf(http.StatusBadRequest, "%v", err)
 	}
 	s.metrics.ObserveDSEStream(res.Total, res.Total-int64(res.Kept()))
+	// The grid is a full cartesian product, so each backend priced an equal
+	// share of the streamed points.
+	if len(g.Models) == 0 {
+		s.metrics.ObserveModelEvals("act", res.Total)
+	} else {
+		for _, name := range g.Models {
+			s.metrics.ObserveModelEvals(name, res.Total/int64(len(g.Models)))
+		}
+	}
 
 	space := res.Space
 	resp := &DSEResponse{
 		Task:               task.Name,
 		Process:            strings.Join(g.Nodes, ","),
 		Fab:                fab.Name,
+		Model:              req.Model,
+		Yield:              req.Yield,
 		CIUse:              req.CIUse,
 		CITrace:            req.CITrace,
 		TraceLifeS:         req.TraceLifeS,
@@ -649,6 +813,29 @@ func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) error {
 		})
 	}
 	_, err := writeJSON(w, http.StatusOK, out)
+	return err
+}
+
+// ---- GET /v1/models ----
+
+// modelInfo describes one embodied-carbon backend.
+type modelInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// modelsResponse lists the selectable accounting backends and yield models.
+type modelsResponse struct {
+	Models      []modelInfo `json:"models"`
+	YieldModels []string    `json:"yield_models"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) error {
+	resp := modelsResponse{YieldModels: cordoba.YieldModelNames()}
+	for _, mi := range cordoba.CarbonModelInfos() {
+		resp.Models = append(resp.Models, modelInfo{Name: mi.Name, Description: mi.Description})
+	}
+	_, err := writeJSON(w, http.StatusOK, resp)
 	return err
 }
 

@@ -65,6 +65,8 @@ type Metrics struct {
 	dseStreamed atomic.Int64 // grid points enumerated by the streaming engine
 	dsePruned   atomic.Int64 // of those, proven never-optimal and discarded
 
+	modelEvals sync.Map // string backend name → *atomic.Int64 design evaluations
+
 	scheduleSearches atomic.Int64 // launch-window searches served
 	scheduleWindows  atomic.Int64 // candidate windows evaluated across them
 	traceLookups     atomic.Int64 // named-trace resolutions (schedule + dse)
@@ -115,6 +117,29 @@ func (m *Metrics) ObserveDSEStream(streamed, pruned int64) {
 // DSEStreamCounts returns the (streamed, pruned) point totals.
 func (m *Metrics) DSEStreamCounts() (streamed, pruned int64) {
 	return m.dseStreamed.Load(), m.dsePruned.Load()
+}
+
+// ObserveModelEvals records n design evaluations priced by the named
+// embodied-carbon backend ("act", "chiplet", "stacked-3d").
+func (m *Metrics) ObserveModelEvals(model string, n int64) {
+	if model == "" {
+		model = "act"
+	}
+	v, ok := m.modelEvals.Load(model)
+	if !ok {
+		v, _ = m.modelEvals.LoadOrStore(model, new(atomic.Int64))
+	}
+	v.(*atomic.Int64).Add(n)
+}
+
+// ModelEvalCounts returns per-backend evaluation totals.
+func (m *Metrics) ModelEvalCounts() map[string]int64 {
+	out := map[string]int64{}
+	m.modelEvals.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	return out
 }
 
 // ObserveSchedule records one launch-window search and the number of
@@ -208,6 +233,18 @@ func (m *Metrics) WriteProm(w io.Writer) error {
 	p("# HELP cordobad_dse_points_pruned_total Grid points proven never-optimal and discarded while streaming.\n")
 	p("# TYPE cordobad_dse_points_pruned_total counter\n")
 	p("cordobad_dse_points_pruned_total %d\n", m.dsePruned.Load())
+
+	evals := m.ModelEvalCounts()
+	models := make([]string, 0, len(evals))
+	for name := range evals {
+		models = append(models, name)
+	}
+	sort.Strings(models)
+	p("# HELP cordobad_model_evaluations_total Design evaluations by embodied-carbon backend.\n")
+	p("# TYPE cordobad_model_evaluations_total counter\n")
+	for _, name := range models {
+		p("cordobad_model_evaluations_total{model=%q} %d\n", name, evals[name])
+	}
 
 	p("# HELP cordobad_schedule_searches_total Launch-window searches served by POST /v1/schedule.\n")
 	p("# TYPE cordobad_schedule_searches_total counter\n")

@@ -1,0 +1,239 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"cordoba"
+)
+
+func TestModelsEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := do(t, s, "GET", "/v1/models", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("models = %d: %s", w.Code, w.Body)
+	}
+	resp := decodeBody[modelsResponse](t, w)
+	if len(resp.Models) < 3 {
+		t.Fatalf("listed %d backends, want >= 3", len(resp.Models))
+	}
+	names := map[string]bool{}
+	for _, m := range resp.Models {
+		names[m.Name] = true
+		if m.Description == "" {
+			t.Errorf("%s: empty description", m.Name)
+		}
+	}
+	for _, want := range []string{"act", "chiplet", "stacked-3d"} {
+		if !names[want] {
+			t.Errorf("backend %q missing from %v", want, resp.Models)
+		}
+	}
+	if fmt.Sprint(resp.YieldModels) != fmt.Sprint(cordoba.YieldModelNames()) {
+		t.Errorf("yield_models = %v, want %v", resp.YieldModels, cordoba.YieldModelNames())
+	}
+}
+
+// A string-valued yield selects a yield model in die mode: the area-derived
+// Murphy yield must reproduce the same request with the resolved number.
+func TestAccountingNamedYield(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := do(t, s, "POST", "/v1/accounting",
+		`{"process":"7nm","fab":"coal-heavy","area_cm2":2.0,"yield":"murphy"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("accounting = %d: %s", w.Code, w.Body)
+	}
+	resp := decodeBody[AccountingResponse](t, w)
+	if resp.YieldModel != "murphy" {
+		t.Fatalf("yield_model = %q, want murphy", resp.YieldModel)
+	}
+	ym, err := cordoba.YieldModelByName("murphy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := ym.Yield(2.0, cordoba.FabCoal.DefectDensity)
+	if math.Abs(resp.Yield-y) > 1e-12 {
+		t.Fatalf("resolved yield = %g, want %g", resp.Yield, y)
+	}
+	want, err := cordoba.EmbodiedDie(cordoba.Process7nm(), cordoba.FabCoal, 2.0, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(resp.EmbodiedG-want.Grams()) > 1e-9 {
+		t.Fatalf("embodied = %g, want %g", resp.EmbodiedG, want.Grams())
+	}
+}
+
+// Selecting a backend on an accelerator request prices it through that
+// backend and surfaces the component breakdown.
+func TestAccountingModelBackend(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := do(t, s, "POST", "/v1/accounting", `{"accelerator":{"id":"a121"},"model":"chiplet"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("accounting = %d: %s", w.Code, w.Body)
+	}
+	resp := decodeBody[AccountingResponse](t, w)
+	if resp.Model != "chiplet" {
+		t.Fatalf("model = %q, want chiplet", resp.Model)
+	}
+
+	cfg, err := cordoba.AcceleratorByID("a121")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := cordoba.CarbonModelByName("chiplet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := cfg.EmbodiedBreakdown(m, nil, cordoba.Process7nm(), cordoba.FabCoal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(resp.EmbodiedG-bd.Total.Grams()) > 1e-9 {
+		t.Fatalf("embodied = %g, want %g", resp.EmbodiedG, bd.Total.Grams())
+	}
+	if math.Abs(resp.SiliconG-bd.Silicon.Grams()) > 1e-9 ||
+		math.Abs(resp.PackagingG-bd.Packaging.Grams()) > 1e-9 ||
+		math.Abs(resp.BondingG-bd.Bonding.Grams()) > 1e-9 {
+		t.Fatalf("breakdown = %g/%g/%g, want %g/%g/%g", resp.SiliconG, resp.PackagingG, resp.BondingG,
+			bd.Silicon.Grams(), bd.Packaging.Grams(), bd.Bonding.Grams())
+	}
+	if sum := resp.SiliconG + resp.PackagingG + resp.BondingG; math.Abs(sum-resp.EmbodiedG) > 1e-9 {
+		t.Fatalf("components sum to %g, total %g", sum, resp.EmbodiedG)
+	}
+
+	// The default request is unchanged by the feature: no model, no breakdown.
+	w2 := do(t, s, "POST", "/v1/accounting", `{"accelerator":{"id":"a121"}}`)
+	plain := decodeBody[AccountingResponse](t, w2)
+	if plain.Model != "" || plain.SiliconG != 0 {
+		t.Fatalf("default accounting grew backend fields: %+v", plain)
+	}
+}
+
+func TestModelErrorPaths(t *testing.T) {
+	s := newTestServer(t, Config{})
+	tests := []struct {
+		name    string
+		path    string
+		body    string
+		wantMsg string
+	}{
+		{"unknown model", "/v1/accounting", `{"area_cm2":1,"yield":0.9,"model":"magic"}`, `unknown embodied-carbon model "magic"`},
+		{"unknown yield model", "/v1/accounting", `{"area_cm2":1,"yield":"optimism"}`, `unknown yield model "optimism"`},
+		{"bad yield type", "/v1/accounting", `{"area_cm2":1,"yield":[1]}`, "yield"},
+		{"dse unknown model", "/v1/dse", `{"task":"All kernels","model":"magic"}`, `unknown embodied-carbon model "magic"`},
+		{"dse unknown yield", "/v1/dse", `{"task":"All kernels","yield":"optimism"}`, `unknown yield model "optimism"`},
+		{"dse model and models axis", "/v1/dse",
+			`{"task":"All kernels","model":"act","knobs":{"mac_arrays":[1],"sram_mb":[2],"models":["chiplet"]}}`,
+			"not both"},
+		{"dse unknown models axis entry", "/v1/dse",
+			`{"task":"All kernels","knobs":{"mac_arrays":[1],"sram_mb":[2],"models":["magic"]}}`,
+			`unknown embodied-carbon model "magic"`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			w := do(t, s, "POST", tt.path, tt.body)
+			if w.Code != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400 (body %s)", w.Code, w.Body)
+			}
+			env := decodeBody[errEnvelope](t, w)
+			if env.Error.Status != http.StatusBadRequest {
+				t.Fatalf("envelope status = %d", env.Error.Status)
+			}
+			if !strings.Contains(env.Error.Message, tt.wantMsg) {
+				t.Fatalf("message %q does not contain %q", env.Error.Message, tt.wantMsg)
+			}
+		})
+	}
+}
+
+// The same design space priced under two backends yields distinct Pareto
+// fronts — the acceptance bar for the model knob actually reaching the DSE.
+func TestDSEDistinctFrontsAcrossBackends(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := func(model string) string {
+		return `{"task":"AI (5 kernels)","set":"grid","model":"` + model + `"}`
+	}
+	wACT := do(t, s, "POST", "/v1/dse", body("act"))
+	wCh := do(t, s, "POST", "/v1/dse", body("chiplet"))
+	if wACT.Code != http.StatusOK || wCh.Code != http.StatusOK {
+		t.Fatalf("dse = %d / %d: %s %s", wACT.Code, wCh.Code, wACT.Body, wCh.Body)
+	}
+	act := decodeBody[DSEResponse](t, wACT)
+	ch := decodeBody[DSEResponse](t, wCh)
+	if act.Model != "act" || ch.Model != "chiplet" {
+		t.Fatalf("model echo = %q / %q", act.Model, ch.Model)
+	}
+	for _, p := range ch.Points {
+		if p.Model != "chiplet" {
+			t.Fatalf("point %s labelled %q, want chiplet", p.ID, p.Model)
+		}
+	}
+
+	// Embodied carbon must move between backends…
+	embodied := func(resp DSEResponse) map[string]float64 {
+		m := map[string]float64{}
+		for _, p := range resp.Points {
+			m[p.ID] = p.EmbodiedG
+		}
+		return m
+	}
+	ea, ec := embodied(act), embodied(ch)
+	moved := 0
+	for id, g := range ea {
+		if ec[id] != g {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("chiplet backend left every embodied value unchanged")
+	}
+	// …and with it the front: the ever-optimal set or its coordinates differ.
+	if fmt.Sprint(act.EverOptimal) == fmt.Sprint(ch.EverOptimal) {
+		distinct := false
+		for _, id := range act.EverOptimal {
+			if ea[id] != ec[id] {
+				distinct = true
+				break
+			}
+		}
+		if !distinct {
+			t.Fatal("fronts identical under both backends")
+		}
+	}
+}
+
+// The knob-grid models axis streams one front across backends, and the
+// per-backend evaluation counter lands in /metrics.
+func TestDSEModelsAxisAndMetrics(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := `{"task":"AI (5 kernels)",` +
+		`"knobs":{"mac_arrays":[16,256],"sram_mb":[8,192],"models":["act","chiplet"]}}`
+	w := do(t, s, "POST", "/v1/dse", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("dse = %d: %s", w.Code, w.Body)
+	}
+	resp := decodeBody[DSEResponse](t, w)
+	if resp.PointsStreamed != 8 {
+		t.Fatalf("points_streamed = %d, want 2*2*2 = 8", resp.PointsStreamed)
+	}
+	for _, p := range resp.Points {
+		if p.Model != "act" && p.Model != "chiplet" {
+			t.Fatalf("survivor %s labelled %q", p.ID, p.Model)
+		}
+	}
+
+	mw := do(t, s, "GET", "/metrics", "")
+	metrics := mw.Body.String()
+	for _, want := range []string{
+		`cordobad_model_evaluations_total{model="act"} 4`,
+		`cordobad_model_evaluations_total{model="chiplet"} 4`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}

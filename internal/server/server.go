@@ -25,6 +25,7 @@
 //	POST /v1/schedule            lowest-carbon launch window for a job + deadline
 //	GET  /v1/tasks               servable tasks
 //	GET  /v1/configs             accelerator design spaces
+//	GET  /v1/models              embodied-carbon backends and yield models
 //	GET  /healthz                liveness
 //	GET  /metrics                Prometheus text exposition
 package server
@@ -142,6 +143,7 @@ func New(cfg Config) *Server {
 	s.mux.Handle("POST /v1/schedule", s.instrument("/v1/schedule", s.handleSchedule))
 	s.mux.Handle("GET /v1/tasks", s.instrument("/v1/tasks", s.handleTasks))
 	s.mux.Handle("GET /v1/configs", s.instrument("/v1/configs", s.handleConfigs))
+	s.mux.Handle("GET /v1/models", s.instrument("/v1/models", s.handleModels))
 	s.mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	return s

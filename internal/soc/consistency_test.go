@@ -1,0 +1,57 @@
+package soc
+
+import (
+	"math"
+	"testing"
+
+	"cordoba/internal/carbon"
+)
+
+// The Table V per-core embodied literals (895.89 / 447.945 gCO2e) must stay
+// consistent with what the ACT backend derives for the same die at the
+// paper's anchor point — otherwise internal/soc silently drifts from
+// internal/carbon when either side is recalibrated.
+func TestTableVCoresMatchACTDerivation(t *testing.T) {
+	s := Quest2()
+	gold, silver, err := s.DeriveCoreEmbodied(nil) // nil selects ACT
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tol = 0.10 // Table V rounds its inputs; hold to 10%
+	if rel := math.Abs(gold.Grams()-s.GoldEmbodied.Grams()) / s.GoldEmbodied.Grams(); rel > tol {
+		t.Errorf("derived gold core = %.2f g, Table V = %.2f g (off by %.1f%%)",
+			gold.Grams(), s.GoldEmbodied.Grams(), 100*rel)
+	}
+	if rel := math.Abs(silver.Grams()-s.SilverEmbodied.Grams()) / s.SilverEmbodied.Grams(); rel > tol {
+		t.Errorf("derived silver core = %.2f g, Table V = %.2f g (off by %.1f%%)",
+			silver.Grams(), s.SilverEmbodied.Grams(), 100*rel)
+	}
+	// The silver/gold area ratio is exactly 1/2, so the derived constants
+	// must preserve Table V's silver = gold/2 relation exactly.
+	if got, want := silver.Grams(), gold.Grams()/2; math.Abs(got-want) > 1e-9*want {
+		t.Errorf("derived silver %v != derived gold/2 %v", got, want)
+	}
+}
+
+func TestWithDerivedCores(t *testing.T) {
+	s := Quest2()
+	derived, err := s.WithDerivedCores(carbon.ChipletModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if derived.GoldEmbodied == s.GoldEmbodied {
+		t.Error("chiplet backend should move the per-core constants")
+	}
+	if derived.GoldEmbodied <= 0 || derived.SilverEmbodied <= 0 {
+		t.Errorf("degenerate derived cores: %v / %v", derived.GoldEmbodied, derived.SilverEmbodied)
+	}
+	// Everything else is untouched.
+	if derived.Power != s.Power || derived.TaskDelay != s.TaskDelay {
+		t.Error("WithDerivedCores must only change the embodied constants")
+	}
+	// The provisioning pipeline still runs on the derived platform.
+	base := derived.Embodied(Provision{Gold: 4, Silver: 4})
+	if base <= 0 {
+		t.Errorf("derived 8-core embodied = %v", base)
+	}
+}
