@@ -1,0 +1,69 @@
+package api
+
+import "fmt"
+
+// Error codes carried in ErrorBody.Code: stable, machine-readable
+// identifiers clients can branch on without parsing messages.
+const (
+	// CodeInvalidRequest marks malformed or semantically invalid requests
+	// (HTTP 400).
+	CodeInvalidRequest = "invalid_request"
+	// CodeNotFound marks unknown routes and unknown resource IDs (404).
+	CodeNotFound = "not_found"
+	// CodePayloadTooLarge marks bodies beyond the server's limit (413).
+	CodePayloadTooLarge = "payload_too_large"
+	// CodeTimeout marks requests that exceeded the server's deadline (504).
+	CodeTimeout = "timeout"
+	// CodeClientClosed marks requests the client abandoned (499).
+	CodeClientClosed = "client_closed"
+	// CodeQueueFull marks job submissions rejected by admission control
+	// (429); the response carries a Retry-After header.
+	CodeQueueFull = "queue_full"
+	// CodeNotReady marks result fetches for jobs that have not finished
+	// (409).
+	CodeNotReady = "not_ready"
+	// CodeJobFailed marks result fetches for jobs that ended in failure
+	// (409); the message carries the job's error.
+	CodeJobFailed = "job_failed"
+	// CodeJobCanceled marks result fetches for canceled jobs (409).
+	CodeJobCanceled = "job_canceled"
+	// CodeInternal marks server-side faults (500).
+	CodeInternal = "internal"
+)
+
+// ErrorEnvelope is the JSON body every endpoint returns on failure.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// ErrorBody pairs the HTTP status with a machine-readable code and a human
+// message.
+type ErrorBody struct {
+	Status  int    `json:"status"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Err converts the envelope into an error value (used by the client).
+func (e ErrorEnvelope) Err() error {
+	return &Error{Status: e.Error.Status, Code: e.Error.Code, Message: e.Error.Message}
+}
+
+// Error is the typed error the client package returns for non-2xx
+// responses.
+type Error struct {
+	Status int
+	Code   string
+	// Message is the server's human-readable explanation.
+	Message string
+	// RetryAfterS is the parsed Retry-After hint in seconds, when the
+	// response carried one (429 queue_full does).
+	RetryAfterS float64
+}
+
+func (e *Error) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("api: %d %s: %s", e.Status, e.Code, e.Message)
+	}
+	return fmt.Sprintf("api: %d: %s", e.Status, e.Message)
+}

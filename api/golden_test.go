@@ -1,0 +1,213 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden wire-format files")
+
+// goldenCases marshals one fully-populated value of every wire type. Changing
+// a field name, tag, or omitempty behavior changes the rendered JSON and
+// fails the comparison below — run with -update only when a format change is
+// deliberate, and treat the diff as an API-compatibility review.
+func goldenCases() map[string]any {
+	t0 := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	t1 := t0.Add(3 * time.Second)
+	t2 := t0.Add(90 * time.Second)
+	return map[string]any{
+		"accounting_request": AccountingRequest{
+			Process: "7nm", Fab: "coal-heavy", AreaCM2: 1.5,
+			Yield: YieldSpec{Model: "murphy"}, Model: "act",
+			Accelerator: &AccelSpec{ID: "a64", MACArrays: 64, SRAMMB: 16, Is3D: true, MemDies: 2},
+		},
+		"accounting_request_numeric_yield": AccountingRequest{
+			AreaCM2: 1.5, Yield: YieldSpec{Value: 0.875},
+		},
+		"accounting_response": AccountingResponse{
+			Process: "7nm", Fab: "coal-heavy", FabCI: 820, AreaCM2: 1.5,
+			Yield: 0.875, YieldModel: "murphy", Model: "act", ConfigID: "a64",
+			EmbodiedG: 1234.5, EmbodiedKG: 1.2345, SiliconG: 1000, PackagingG: 200,
+			BondingG: 34.5, PerAreaG: 823, Description: "ACT-style embodied model",
+		},
+		"dse_request": DSERequest{
+			Task: "All kernels", Process: "7nm", Fab: "coal-heavy", CIUse: 380,
+			Model: "act", Yield: "murphy", CITrace: "solar-heavy", TraceLifeS: 3.1536e7,
+			Knobs: &KnobRangeSpec{
+				MACArrays: []int{16, 32}, SRAMMB: []float64{4, 8},
+				VDDScales: []float64{1, 0.9}, Nodes: []string{"7nm", "5nm"},
+				Models: []string{"act", "chiplet"},
+			},
+			Sweep: &SweepSpec{Lo: 1, Hi: 1e12, Points: 13},
+		},
+		"dse_response": DSEResponse{
+			Task: "All kernels", Process: "7nm", Fab: "coal-heavy", Model: "act",
+			Yield: "murphy", CIUse: 380, CITrace: "solar-heavy", TraceLifeS: 3.1536e7,
+			Points: []DSEPoint{{
+				ID: "a64", MACArrays: 64, SRAMMB: 16, Is3D: true, Model: "act",
+				DelayS: 0.25, EnergyJ: 1.5, EmbodiedG: 900, AreaCM2: 1.2,
+				EDPJS: 0.375, EmbodiedDelayG: 225,
+			}},
+			EverOptimal: []string{"a64"}, EliminatedFraction: 0.9917,
+			PointsStreamed: 480, PointsPruned: 479,
+			Sweep: []SweepEntry{{Inferences: 1e6, OptimalID: "a64", TCDPGS: 42.5, MeanTCDPGS: 61.25}},
+		},
+		"schedule_request": ScheduleRequest{
+			Trace: "solar-heavy", DurationS: 3600, PowerW: 350, DeadlineS: 86400, StepS: 900,
+		},
+		"schedule_response": ScheduleResponse{
+			Trace: "solar-heavy",
+			Best:  ScheduleWindow{StartS: 43200, EndS: 46800, CarbonG: 10.5, AvgCIG: 30, StartHour: 12},
+			Worst: ScheduleWindow{StartS: 0, EndS: 3600, CarbonG: 287, AvgCIG: 820, StartHour: 0},
+			Immediate: ScheduleWindow{
+				StartS: 0, EndS: 3600, CarbonG: 287, AvgCIG: 820, StartHour: 0,
+			},
+			Candidates: 93, SavingsFraction: 0.9634,
+		},
+		"trace_info": TraceInfo{
+			Name: "solar-heavy", MeanDayG: 410, MeanYearG: 405, MinDayG: 30, MaxDayG: 820,
+		},
+		"experiment_info": ExperimentInfo{Key: "fig8", Title: "Fig. 8 sweep", Formats: []string{"json", "csv"}},
+		"task_info": TaskInfo{
+			Name: "All kernels", Kernels: map[string]float64{"conv1": 3, "fc2": 1}, TotalCalls: 4,
+		},
+		"config_info": ConfigInfo{
+			ID: "s3", MACArrays: 64, TotalMACs: 16384, SRAMMB: 16, Is3D: true, MemDies: 2, AreaCM2: 1.9,
+		},
+		"models_response": ModelsResponse{
+			Models:      []ModelInfo{{Name: "act", Description: "ACT-style model"}},
+			YieldModels: []string{"murphy", "poisson"},
+		},
+		"error_envelope": ErrorEnvelope{Error: ErrorBody{
+			Status: 429, Code: CodeQueueFull, Message: "job queue is full (depth 16)",
+		}},
+		"job_status": JobStatus{
+			ID: "j0123456789ab", Kind: "dse", State: JobRunning,
+			Progress: JobProgress{
+				GridPoints: 480, Streamed: 240, Pruned: 236, Kept: 4,
+				ShapesDone: 60, ShapesTotal: 120, ElapsedS: 3.5, ETAS: 3.5,
+			},
+			CreatedAt: t0, StartedAt: &t1, Resumes: 1, Checkpointed: true,
+		},
+		"job_status_terminal": JobStatus{
+			ID: "jfedcba987654", Kind: "dse", State: JobFailed,
+			Error:     `unknown task "bogus" (see GET /v1/tasks)`,
+			CreatedAt: t0, StartedAt: &t1, FinishedAt: &t2,
+		},
+		"job_list": JobList{Jobs: []JobStatus{{
+			ID: "j0123456789ab", Kind: "dse", State: JobQueued, CreatedAt: t0,
+		}}},
+	}
+}
+
+// TestGoldenWireFormat locks the exact rendered JSON of every wire type.
+func TestGoldenWireFormat(t *testing.T) {
+	for name, v := range goldenCases() {
+		t.Run(name, func(t *testing.T) {
+			got, err := json.MarshalIndent(v, "", "  ")
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", name+".golden.json")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run: go test ./api -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("wire format drifted from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenRoundTrip re-decodes each golden file into its Go type and
+// re-marshals, proving decode(encode(x)) is lossless for the wire contract.
+func TestGoldenRoundTrip(t *testing.T) {
+	for name, v := range goldenCases() {
+		t.Run(name, func(t *testing.T) {
+			first, err := json.Marshal(v)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			fresh := newSameType(v)
+			if err := json.Unmarshal(first, fresh); err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			second, err := json.Marshal(fresh)
+			if err != nil {
+				t.Fatalf("re-marshal: %v", err)
+			}
+			if !bytes.Equal(first, second) {
+				t.Errorf("round trip not lossless\nfirst:  %s\nsecond: %s", first, second)
+			}
+		})
+	}
+}
+
+// newSameType returns a pointer to a fresh zero value of v's dynamic type.
+func newSameType(v any) any {
+	switch v.(type) {
+	case AccountingRequest:
+		return new(AccountingRequest)
+	case AccountingResponse:
+		return new(AccountingResponse)
+	case DSERequest:
+		return new(DSERequest)
+	case DSEResponse:
+		return new(DSEResponse)
+	case ScheduleRequest:
+		return new(ScheduleRequest)
+	case ScheduleResponse:
+		return new(ScheduleResponse)
+	case TraceInfo:
+		return new(TraceInfo)
+	case ExperimentInfo:
+		return new(ExperimentInfo)
+	case TaskInfo:
+		return new(TaskInfo)
+	case ConfigInfo:
+		return new(ConfigInfo)
+	case ModelsResponse:
+		return new(ModelsResponse)
+	case ErrorEnvelope:
+		return new(ErrorEnvelope)
+	case JobStatus:
+		return new(JobStatus)
+	case JobList:
+		return new(JobList)
+	default:
+		panic("add the type to newSameType")
+	}
+}
+
+// TestYieldSpecForms pins the polymorphic yield field's accepted inputs.
+func TestYieldSpecForms(t *testing.T) {
+	var y YieldSpec
+	if err := json.Unmarshal([]byte(`0.9`), &y); err != nil || y.Value != 0.9 || y.Model != "" {
+		t.Fatalf("number form: %+v, err %v", y, err)
+	}
+	if err := json.Unmarshal([]byte(`"poisson"`), &y); err != nil || y.Model != "poisson" {
+		t.Fatalf("string form: %+v, err %v", y, err)
+	}
+	if err := json.Unmarshal([]byte(`null`), &y); err != nil || !y.IsZero() {
+		t.Fatalf("null form: %+v, err %v", y, err)
+	}
+	if err := json.Unmarshal([]byte(`[1]`), &y); err == nil {
+		t.Fatal("array form should be rejected")
+	}
+}

@@ -1,0 +1,67 @@
+package api
+
+import "time"
+
+// JobState is a job's lifecycle state as rendered on the wire.
+type JobState string
+
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobSucceeded JobState = "succeeded"
+	JobFailed    JobState = "failed"
+	JobCanceled  JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobSucceeded || s == JobFailed || s == JobCanceled
+}
+
+// JobProgress is the live view of a running exploration.
+type JobProgress struct {
+	// GridPoints is the total number of configurations the job will
+	// evaluate, when known up front (knob-range explorations know it).
+	GridPoints int64 `json:"grid_points,omitempty"`
+	// Streamed, Pruned and Kept mirror the streaming engine's counters:
+	// points evaluated, points eliminated, and current survivors.
+	Streamed int64 `json:"streamed"`
+	Pruned   int64 `json:"pruned"`
+	Kept     int   `json:"kept"`
+	// ShapesDone / ShapesTotal is the engine's coarse work cursor; the
+	// ratio is the job's completion fraction.
+	ShapesDone  int `json:"shapes_done"`
+	ShapesTotal int `json:"shapes_total"`
+	// ElapsedS is seconds since the job started running (0 while queued).
+	ElapsedS float64 `json:"elapsed_s"`
+	// ETAS extrapolates the remaining seconds from progress so far; 0 when
+	// unknown (not started, or nothing measured yet).
+	ETAS float64 `json:"eta_s,omitempty"`
+}
+
+// JobStatus is the wire form of one job (GET /v1/jobs/{id} and the
+// submission response).
+type JobStatus struct {
+	ID    string   `json:"id"`
+	Kind  string   `json:"kind"`
+	State JobState `json:"state"`
+	// Error carries the failure message for failed jobs.
+	Error    string      `json:"error,omitempty"`
+	Progress JobProgress `json:"progress"`
+
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+
+	// Resumes counts checkpoint restarts (crash recovery / redeploys).
+	Resumes int `json:"resumes"`
+	// Checkpointed reports whether a resumable checkpoint exists.
+	Checkpointed bool `json:"checkpointed"`
+	// HasResult reports whether GET /v1/jobs/{id}/result will succeed.
+	HasResult bool `json:"has_result"`
+}
+
+// JobList is the GET /v1/jobs response, newest first.
+type JobList struct {
+	Jobs []JobStatus `json:"jobs"`
+}

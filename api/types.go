@@ -1,0 +1,298 @@
+// Package api holds cordobad's public wire types: every request and response
+// body the daemon speaks, plus the error envelope and machine-readable error
+// codes. The server aliases these types internally and the client package
+// builds on them, so the JSON contract lives in exactly one place; the
+// golden-marshal tests in this package lock the rendered format against
+// accidental breakage.
+//
+// The package depends only on the standard library and is importable by any
+// Go consumer of the service.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// ---- POST /v1/accounting ----
+
+// AccelSpec selects an accelerator either by grid/3D ID or by explicit
+// (MAC arrays, SRAM) knobs.
+type AccelSpec struct {
+	ID        string  `json:"id,omitempty"`
+	MACArrays int     `json:"mac_arrays,omitempty"`
+	SRAMMB    float64 `json:"sram_mb,omitempty"`
+	Is3D      bool    `json:"is_3d,omitempty"`
+	MemDies   int     `json:"mem_dies,omitempty"`
+}
+
+// YieldSpec is the polymorphic "yield" field: a JSON number fixes the die
+// yield directly (the historical form); a JSON string names a yield model —
+// murphy, poisson, seeds, or bose-einstein — that derives yield from die area
+// and the fab's defect density.
+type YieldSpec struct {
+	Value float64 // set when the request gave a number
+	Model string  // set when the request gave a model name
+}
+
+// UnmarshalJSON accepts a number or a string.
+func (y *YieldSpec) UnmarshalJSON(b []byte) error {
+	s := strings.TrimSpace(string(b))
+	if s == "null" {
+		*y = YieldSpec{}
+		return nil
+	}
+	if strings.HasPrefix(s, `"`) {
+		var name string
+		if err := json.Unmarshal(b, &name); err != nil {
+			return err
+		}
+		*y = YieldSpec{Model: name}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return fmt.Errorf("yield must be a number or a yield-model name: %v", err)
+	}
+	*y = YieldSpec{Value: v}
+	return nil
+}
+
+// MarshalJSON renders the form the request used — needed for the server's
+// canonical cache key.
+func (y YieldSpec) MarshalJSON() ([]byte, error) {
+	if y.Model != "" {
+		return json.Marshal(y.Model)
+	}
+	return json.Marshal(y.Value)
+}
+
+// IsZero reports whether the field was absent from the request.
+func (y YieldSpec) IsZero() bool { return y.Model == "" && y.Value == 0 }
+
+// AccountingRequest asks for the embodied carbon (eq. IV.5) of either a bare
+// die (area + yield) or an accelerator configuration (full model with die
+// placement and packaging). Model selects the pricing backend ("act" default,
+// "chiplet", "stacked-3d"); Yield is either a fixed fraction or a yield-model
+// name.
+type AccountingRequest struct {
+	Process string    `json:"process,omitempty"` // node name, default "7nm"
+	Fab     string    `json:"fab,omitempty"`     // fab name, default "coal-heavy"
+	AreaCM2 float64   `json:"area_cm2,omitempty"`
+	Yield   YieldSpec `json:"yield,omitempty"` // number or model name; default 1.0 (die mode only)
+	Model   string    `json:"model,omitempty"` // embodied-carbon backend, default "act"
+
+	Accelerator *AccelSpec `json:"accelerator,omitempty"`
+}
+
+// AccountingResponse reports the embodied footprint and echoes the resolved
+// accounting parameters.
+type AccountingResponse struct {
+	Process     string  `json:"process"`
+	Fab         string  `json:"fab"`
+	FabCI       float64 `json:"fab_ci_g_per_kwh"`
+	AreaCM2     float64 `json:"area_cm2"`
+	Yield       float64 `json:"yield,omitempty"`       // die mode only (resolved)
+	YieldModel  string  `json:"yield_model,omitempty"` // when yield named a model
+	Model       string  `json:"model,omitempty"`       // when a backend was selected
+	ConfigID    string  `json:"config_id,omitempty"`
+	EmbodiedG   float64 `json:"embodied_gco2e"`
+	EmbodiedKG  float64 `json:"embodied_kgco2e"`
+	SiliconG    float64 `json:"silicon_gco2e,omitempty"`   // backend breakdown
+	PackagingG  float64 `json:"packaging_gco2e,omitempty"` // backend breakdown
+	BondingG    float64 `json:"bonding_gco2e,omitempty"`   // backend breakdown
+	PerAreaG    float64 `json:"gco2e_per_cm2"`             // before yield derating
+	Description string  `json:"description"`
+}
+
+// ---- POST /v1/dse ----
+
+// SweepSpec selects the operational-time sweep: points log-spaced
+// inference counts over [lo, hi].
+type SweepSpec struct {
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+	Points int     `json:"points"`
+}
+
+// KnobRangeSpec describes a design space as cartesian knob ranges for the
+// streaming DSE engine: the product of every listed MAC-array count, SRAM
+// capacity, V_DD scale, and technology node is enumerated lazily, so grids
+// far larger than the materialized sets stay servable. vdd_scales defaults
+// to {1.0}; nodes defaults to the request's process.
+type KnobRangeSpec struct {
+	MACArrays []int     `json:"mac_arrays"`
+	SRAMMB    []float64 `json:"sram_mb"`
+	VDDScales []float64 `json:"vdd_scales,omitempty"`
+	Nodes     []string  `json:"nodes,omitempty"`
+	// Models turns the embodied-carbon backend into a sweep axis: every
+	// listed backend prices every cell. Defaults to the request's model.
+	Models []string `json:"models,omitempty"`
+}
+
+// DSERequest asks for a design-space exploration of a task over a set of
+// accelerator configurations. The same body drives both the synchronous
+// POST /v1/dse and asynchronous POST /v1/jobs forms.
+type DSERequest struct {
+	Task    string  `json:"task"`
+	Process string  `json:"process,omitempty"` // default "7nm"
+	Fab     string  `json:"fab,omitempty"`     // default "coal-heavy"
+	CIUse   float64 `json:"ci_use,omitempty"`  // g/kWh, default 380 (Table III)
+
+	// Model selects the embodied-carbon backend pricing every design ("act"
+	// default, "chiplet", "stacked-3d"); Yield selects the yield model
+	// ("murphy" default, "poisson", "seeds", "bose-einstein").
+	Model string `json:"model,omitempty"`
+	Yield string `json:"yield,omitempty"`
+
+	// CITrace names a registry trace (see GET /v1/traces) to derive the
+	// use-phase intensity from instead of the scalar ci_use: operational
+	// carbon is charged at the trace's exact time-average over trace_life_s
+	// (default one year). Mutually exclusive with ci_use.
+	CITrace    string  `json:"ci_trace,omitempty"`
+	TraceLifeS float64 `json:"trace_life_s,omitempty"`
+
+	// Set selects a predefined space: "grid" (121 Fig. 8 configs, the
+	// default) or "3d" (the seven §VI-E designs). Configs, when non-empty,
+	// restricts the space to the named IDs instead. Knobs switches to the
+	// streaming engine over lazily enumerated knob ranges. The three fields
+	// are mutually exclusive; the response to a knobs request carries only
+	// the surviving ever-optimal points plus points_streamed /
+	// points_pruned totals.
+	Set     string         `json:"set,omitempty"`
+	Configs []string       `json:"configs,omitempty"`
+	Knobs   *KnobRangeSpec `json:"knobs,omitempty"`
+	Sweep   *SweepSpec     `json:"sweep,omitempty"`
+}
+
+// DSEPoint is one evaluated design in the response.
+type DSEPoint struct {
+	ID             string  `json:"id"`
+	MACArrays      int     `json:"mac_arrays"`
+	SRAMMB         float64 `json:"sram_mb"`
+	Is3D           bool    `json:"is_3d,omitempty"`
+	Model          string  `json:"model,omitempty"` // backend that priced the point
+	DelayS         float64 `json:"delay_s"`
+	EnergyJ        float64 `json:"energy_j"`
+	EmbodiedG      float64 `json:"embodied_gco2e"`
+	AreaCM2        float64 `json:"area_cm2"`
+	EDPJS          float64 `json:"edp_js"`
+	EmbodiedDelayG float64 `json:"embodied_delay_gs"`
+}
+
+// SweepEntry is the tCDP optimum at one operational time.
+type SweepEntry struct {
+	Inferences float64 `json:"inferences"`
+	OptimalID  string  `json:"optimal_id"`
+	TCDPGS     float64 `json:"tcdp_gs"`
+	MeanTCDPGS float64 `json:"mean_tcdp_gs"`
+}
+
+// DSEResponse is the full exploration result: every evaluated point, the
+// ever-optimal set with its elimination fraction (§VI-B), and the
+// tCDP-optimal sweep across operational time (the Fig. 8 x-axis).
+//
+// For knob-range (streaming) requests, Points holds only the surviving
+// ever-optimal designs — the engine discards the rest of the grid as it
+// streams — and PointsStreamed / PointsPruned report the totals.
+type DSEResponse struct {
+	Task               string       `json:"task"`
+	Process            string       `json:"process"`
+	Fab                string       `json:"fab"`
+	Model              string       `json:"model,omitempty"` // requested backend
+	Yield              string       `json:"yield,omitempty"` // requested yield model
+	CIUse              float64      `json:"ci_use_g_per_kwh"`
+	CITrace            string       `json:"ci_trace,omitempty"`
+	TraceLifeS         float64      `json:"trace_life_s,omitempty"`
+	Points             []DSEPoint   `json:"points"`
+	EverOptimal        []string     `json:"ever_optimal"`
+	EliminatedFraction float64      `json:"eliminated_fraction"`
+	PointsStreamed     int64        `json:"points_streamed,omitempty"`
+	PointsPruned       int64        `json:"points_pruned,omitempty"`
+	Sweep              []SweepEntry `json:"sweep"`
+}
+
+// ---- GET /v1/traces ----
+
+// TraceInfo is one row of the trace-registry listing. The daily and annual
+// statistics come from the exact cumulative engine, so clients can pick a
+// grid without integrating anything themselves.
+type TraceInfo struct {
+	Name      string  `json:"name"`
+	MeanDayG  float64 `json:"mean_ci_24h_g_per_kwh"`
+	MeanYearG float64 `json:"mean_ci_1y_g_per_kwh"`
+	MinDayG   float64 `json:"min_ci_24h_g_per_kwh"`
+	MaxDayG   float64 `json:"max_ci_24h_g_per_kwh"`
+}
+
+// ---- POST /v1/schedule ----
+
+// ScheduleRequest asks for the lowest-carbon execution window for a
+// deferrable job on a named CI_use(t) trace. Times are seconds from now.
+type ScheduleRequest struct {
+	Trace     string  `json:"trace"`
+	DurationS float64 `json:"duration_s"`
+	PowerW    float64 `json:"power_w"`
+	DeadlineS float64 `json:"deadline_s"`
+	StepS     float64 `json:"step_s,omitempty"` // candidate granularity, default 900
+}
+
+// ScheduleWindow is one execution slot in the response.
+type ScheduleWindow struct {
+	StartS    float64 `json:"start_s"`
+	EndS      float64 `json:"end_s"`
+	CarbonG   float64 `json:"carbon_gco2e"`
+	AvgCIG    float64 `json:"avg_ci_g_per_kwh"`
+	StartHour float64 `json:"start_hour"` // convenience: start_s / 3600
+}
+
+// ScheduleResponse reports the search outcome.
+type ScheduleResponse struct {
+	Trace      string         `json:"trace"`
+	Best       ScheduleWindow `json:"best"`
+	Worst      ScheduleWindow `json:"worst"`
+	Immediate  ScheduleWindow `json:"immediate"`
+	Candidates int            `json:"candidates"`
+	// SavingsFraction is 1 − best/immediate carbon: what deferring saves.
+	SavingsFraction float64 `json:"savings_fraction"`
+}
+
+// ---- discovery endpoints ----
+
+// ExperimentInfo is one row of the GET /v1/experiments listing.
+type ExperimentInfo struct {
+	Key     string   `json:"key"`
+	Title   string   `json:"title"`
+	Formats []string `json:"formats"`
+}
+
+// TaskInfo describes one servable task (GET /v1/tasks).
+type TaskInfo struct {
+	Name       string             `json:"name"`
+	Kernels    map[string]float64 `json:"kernels"`
+	TotalCalls float64            `json:"total_calls"`
+}
+
+// ConfigInfo describes one accelerator configuration (GET /v1/configs).
+type ConfigInfo struct {
+	ID        string  `json:"id"`
+	MACArrays int     `json:"mac_arrays"`
+	TotalMACs int     `json:"total_macs"`
+	SRAMMB    float64 `json:"sram_mb"`
+	Is3D      bool    `json:"is_3d,omitempty"`
+	MemDies   int     `json:"mem_dies,omitempty"`
+	AreaCM2   float64 `json:"area_cm2"`
+}
+
+// ModelInfo describes one embodied-carbon backend (GET /v1/models).
+type ModelInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// ModelsResponse lists the selectable accounting backends and yield models.
+type ModelsResponse struct {
+	Models      []ModelInfo `json:"models"`
+	YieldModels []string    `json:"yield_models"`
+}

@@ -1,0 +1,292 @@
+// Package client is the typed Go client for cordobad's JSON API. It builds
+// on the wire types in cordoba/api, so requests and responses are exactly
+// the structures the server marshals, and non-2xx responses surface as
+// *api.Error values with the machine-readable code preserved.
+//
+// Every call takes a context and respects its deadline. Submissions rejected
+// by admission control (429 queue_full) and transient 503s are retried with
+// capped exponential backoff, honoring the server's Retry-After hint.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"cordoba/api"
+)
+
+// Client talks to one cordobad instance.
+type Client struct {
+	baseURL string
+	hc      *http.Client
+
+	maxRetries int
+	retryBase  time.Duration
+	retryCap   time.Duration
+	poll       time.Duration
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetry tunes the backoff on 429/503: up to max retries, delays growing
+// from base and capped at cap. max = 0 disables retrying.
+func WithRetry(max int, base, cap time.Duration) Option {
+	return func(c *Client) { c.maxRetries, c.retryBase, c.retryCap = max, base, cap }
+}
+
+// WithPollInterval sets how often WaitJob samples job status.
+func WithPollInterval(d time.Duration) Option { return func(c *Client) { c.poll = d } }
+
+// New returns a client for the daemon at baseURL (e.g. "http://localhost:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		baseURL:    strings.TrimRight(baseURL, "/"),
+		hc:         http.DefaultClient,
+		maxRetries: 4,
+		retryBase:  100 * time.Millisecond,
+		retryCap:   2 * time.Second,
+		poll:       25 * time.Millisecond,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// ---- synchronous endpoints ----
+
+// Accounting prices a die or accelerator (POST /v1/accounting).
+func (c *Client) Accounting(ctx context.Context, req api.AccountingRequest) (*api.AccountingResponse, error) {
+	var out api.AccountingResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/accounting", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DSE runs a synchronous design-space exploration (POST /v1/dse). For large
+// knob grids prefer SubmitJob, which survives restarts via checkpoints.
+func (c *Client) DSE(ctx context.Context, req api.DSERequest) (*api.DSEResponse, error) {
+	var out api.DSEResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/dse", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Schedule finds the lowest-carbon launch window (POST /v1/schedule).
+func (c *Client) Schedule(ctx context.Context, req api.ScheduleRequest) (*api.ScheduleResponse, error) {
+	var out api.ScheduleResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/schedule", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Tasks lists the servable workloads (GET /v1/tasks).
+func (c *Client) Tasks(ctx context.Context) ([]api.TaskInfo, error) {
+	var out []api.TaskInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/tasks", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Models lists the embodied-carbon backends and yield models (GET /v1/models).
+func (c *Client) Models(ctx context.Context) (*api.ModelsResponse, error) {
+	var out api.ModelsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/models", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ---- async jobs ----
+
+// SubmitJob queues a DSE request for asynchronous execution (POST /v1/jobs).
+// A full queue is retried with backoff; after the retries are exhausted the
+// *api.Error carries code queue_full and the parsed Retry-After hint.
+func (c *Client) SubmitJob(ctx context.Context, req api.DSERequest) (api.JobStatus, error) {
+	var out api.JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &out)
+	return out, err
+}
+
+// JobStatus fetches one job's live status (GET /v1/jobs/{id}).
+func (c *Client) JobStatus(ctx context.Context, id string) (api.JobStatus, error) {
+	var out api.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out)
+	return out, err
+}
+
+// ListJobs lists jobs newest first (GET /v1/jobs).
+func (c *Client) ListJobs(ctx context.Context) ([]api.JobStatus, error) {
+	var out api.JobList
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// CancelJob cancels a queued or running job (DELETE /v1/jobs/{id}).
+func (c *Client) CancelJob(ctx context.Context, id string) (api.JobStatus, error) {
+	var out api.JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &out)
+	return out, err
+}
+
+// JobResult fetches a succeeded job's exploration result
+// (GET /v1/jobs/{id}/result). Unfinished, failed, or canceled jobs return an
+// *api.Error with code not_ready, job_failed, or job_canceled.
+func (c *Client) JobResult(ctx context.Context, id string) (*api.DSEResponse, error) {
+	var out api.DSEResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitJob polls until the job reaches a terminal state or ctx expires. The
+// returned status may be failed or canceled — inspect State; transport and
+// context errors are the only non-nil error cases.
+func (c *Client) WaitJob(ctx context.Context, id string) (api.JobStatus, error) {
+	t := time.NewTicker(c.poll)
+	defer t.Stop()
+	for {
+		st, err := c.JobStatus(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}
+
+// RunJob is the convenience composition submit → wait → result. A job that
+// ends failed or canceled returns the terminal status with an *api.Error
+// from the result endpoint.
+func (c *Client) RunJob(ctx context.Context, req api.DSERequest) (*api.DSEResponse, api.JobStatus, error) {
+	st, err := c.SubmitJob(ctx, req)
+	if err != nil {
+		return nil, st, err
+	}
+	if st, err = c.WaitJob(ctx, st.ID); err != nil {
+		return nil, st, err
+	}
+	res, err := c.JobResult(ctx, st.ID)
+	return res, st, err
+}
+
+// ---- transport ----
+
+// do executes one API call with marshaling, typed error decoding, and
+// backoff on 429/503.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		var rdr io.Reader
+		if in != nil {
+			rdr = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, rdr)
+		if err != nil {
+			return err
+		}
+		if in != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			if out == nil {
+				return nil
+			}
+			return json.Unmarshal(b, out)
+		}
+
+		apiErr := decodeError(resp, b)
+		if !retryable(resp.StatusCode) || attempt >= c.maxRetries {
+			return apiErr
+		}
+		delay := c.backoff(attempt, apiErr.RetryAfterS)
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		}
+	}
+}
+
+// retryable: queue_full admissions and transient unavailability. Everything
+// else (4xx validation, 404s, 409s) is the caller's to handle.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// backoff picks the next delay: the server's Retry-After hint when it gave
+// one, else retryBase doubled per attempt; both capped at retryCap.
+func (c *Client) backoff(attempt int, retryAfterS float64) time.Duration {
+	d := c.retryBase << attempt
+	if retryAfterS > 0 {
+		d = time.Duration(retryAfterS * float64(time.Second))
+	}
+	if d > c.retryCap {
+		d = c.retryCap
+	}
+	if d <= 0 {
+		d = c.retryBase
+	}
+	return d
+}
+
+// decodeError turns a non-2xx response into a *api.Error, falling back to
+// the raw body when it isn't a JSON envelope.
+func decodeError(resp *http.Response, body []byte) *api.Error {
+	out := &api.Error{Status: resp.StatusCode}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if s, err := strconv.ParseFloat(ra, 64); err == nil && s > 0 {
+			out.RetryAfterS = s
+		}
+	}
+	var env api.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Error.Status != 0 {
+		out.Code = env.Error.Code
+		out.Message = env.Error.Message
+		return out
+	}
+	out.Message = fmt.Sprintf("%s (%s)", http.StatusText(resp.StatusCode), bytes.TrimSpace(body))
+	return out
+}

@@ -1,0 +1,208 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"cordoba/api"
+	"cordoba/internal/server"
+)
+
+// newPair spins up a real cordobad handler behind httptest and a client
+// pointed at it — the full client↔server round-trip surface.
+func newPair(t *testing.T, cfg server.Config, opts ...Option) (*Client, *server.Server) {
+	t.Helper()
+	cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	srv := server.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		_ = srv.Close()
+	})
+	return New(ts.URL, opts...), srv
+}
+
+func TestAccountingRoundTrip(t *testing.T) {
+	c, _ := newPair(t, server.Config{})
+	resp, err := c.Accounting(context.Background(), api.AccountingRequest{
+		AreaCM2: 1.2, Yield: api.YieldSpec{Model: "murphy"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.EmbodiedG <= 0 || resp.YieldModel != "murphy" {
+		t.Fatalf("accounting response = %+v", resp)
+	}
+}
+
+func TestDSERoundTrip(t *testing.T) {
+	c, _ := newPair(t, server.Config{})
+	req := api.DSERequest{
+		Task:  "All kernels",
+		Knobs: &api.KnobRangeSpec{MACArrays: []int{1, 2}, SRAMMB: []float64{1, 2}},
+	}
+	resp, err := c.DSE(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.PointsStreamed != 4 || len(resp.EverOptimal) == 0 {
+		t.Fatalf("dse response = %+v", resp)
+	}
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	c, _ := newPair(t, server.Config{})
+	resp, err := c.Schedule(context.Background(), api.ScheduleRequest{
+		Trace: "solar-diurnal", DurationS: 3600, PowerW: 300, DeadlineS: 86400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Best.CarbonG <= 0 || resp.Best.CarbonG > resp.Worst.CarbonG {
+		t.Fatalf("schedule response = %+v", resp)
+	}
+}
+
+func TestDiscoveryRoundTrip(t *testing.T) {
+	c, _ := newPair(t, server.Config{})
+	tasks, err := c.Tasks(context.Background())
+	if err != nil || len(tasks) == 0 {
+		t.Fatalf("tasks = %v, err %v", tasks, err)
+	}
+	models, err := c.Models(context.Background())
+	if err != nil || len(models.Models) == 0 || len(models.YieldModels) == 0 {
+		t.Fatalf("models = %+v, err %v", models, err)
+	}
+}
+
+// TestJobRoundTrip drives the full async lifecycle through the typed client
+// and checks the result matches the synchronous endpoint structurally.
+func TestJobRoundTrip(t *testing.T) {
+	c, _ := newPair(t, server.Config{})
+	ctx := context.Background()
+	req := api.DSERequest{
+		Task:  "All kernels",
+		Knobs: &api.KnobRangeSpec{MACArrays: []int{1, 2}, SRAMMB: []float64{1, 2}},
+	}
+
+	res, st, err := c.RunJob(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.JobSucceeded || !st.HasResult {
+		t.Fatalf("terminal status = %+v", st)
+	}
+
+	sync, err := c.DSE(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, sync) {
+		t.Fatalf("async result differs from sync:\nasync: %+v\nsync:  %+v", res, sync)
+	}
+
+	jobs, err := c.ListJobs(ctx)
+	if err != nil || len(jobs) != 1 || jobs[0].ID != st.ID {
+		t.Fatalf("list = %+v, err %v", jobs, err)
+	}
+}
+
+// TestTypedErrors: non-2xx responses decode into *api.Error with the
+// machine-readable code.
+func TestTypedErrors(t *testing.T) {
+	c, _ := newPair(t, server.Config{})
+	ctx := context.Background()
+
+	_, err := c.DSE(ctx, api.DSERequest{Task: "bogus"})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest || apiErr.Code != api.CodeInvalidRequest {
+		t.Fatalf("bad-task error = %v", err)
+	}
+
+	_, err = c.JobStatus(ctx, "nope")
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound || apiErr.Code != api.CodeNotFound {
+		t.Fatalf("unknown-job error = %v", err)
+	}
+}
+
+// TestBackoffOn429: the client retries queue_full with the Retry-After hint
+// and succeeds once capacity frees up.
+func TestBackoffOn429(t *testing.T) {
+	var hits int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		if hits <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":{"status":429,"code":"queue_full","message":"job queue is full"}}`))
+			return
+		}
+		w.Write([]byte(`{"id":"j1","kind":"dse","state":"queued","progress":{"streamed":0,"pruned":0,"kept":0,"shapes_done":0,"shapes_total":0,"elapsed_s":0},"created_at":"2026-08-05T00:00:00Z","resumes":0,"checkpointed":false,"has_result":false}`))
+	}))
+	defer ts.Close()
+
+	// Cap far below the 1s hint so the test stays fast while proving the
+	// hint is read and clamped.
+	c := New(ts.URL, WithRetry(4, time.Millisecond, 5*time.Millisecond))
+	st, err := c.SubmitJob(context.Background(), api.DSERequest{Task: "All kernels"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits != 3 || st.ID != "j1" {
+		t.Fatalf("hits = %d, status = %+v", hits, st)
+	}
+}
+
+// TestBackoffExhausted: after max retries the typed queue_full error is
+// returned with the parsed Retry-After hint.
+func TestBackoffExhausted(t *testing.T) {
+	var hits int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":{"status":429,"code":"queue_full","message":"job queue is full"}}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetry(2, time.Millisecond, 2*time.Millisecond))
+	_, err := c.SubmitJob(context.Background(), api.DSERequest{Task: "All kernels"})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeQueueFull || apiErr.RetryAfterS != 1 {
+		t.Fatalf("err = %v", err)
+	}
+	if hits != 3 { // initial try + 2 retries
+		t.Fatalf("hits = %d, want 3", hits)
+	}
+}
+
+// TestBackoffRespectsContext: a canceled context interrupts the wait between
+// retries rather than sleeping it out.
+func TestBackoffRespectsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":{"status":429,"code":"queue_full","message":"full"}}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetry(4, time.Second, time.Hour))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.SubmitJob(ctx, api.DSERequest{Task: "All kernels"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("backoff ignored the context for %v", elapsed)
+	}
+}

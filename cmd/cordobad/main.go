@@ -8,6 +8,7 @@
 // Endpoints (see internal/server and the README's "Running as a service"):
 //
 //	POST /v1/accounting   POST /v1/dse   GET /v1/experiments[/{key}]
+//	POST /v1/jobs         GET  /v1/jobs[/{id}[/result]]   DELETE /v1/jobs/{id}
 //	GET  /v1/traces       POST /v1/schedule
 //	GET  /v1/tasks        GET /v1/configs
 //	GET  /healthz         GET /metrics
@@ -50,6 +51,11 @@ func run(ctx context.Context, logw io.Writer, args []string) error {
 		memoSize    = fs.Int("memo-size", 0, "shape-profile memo entries for streaming DSE (0 = default)")
 		grace       = fs.Duration("shutdown-grace", 15*time.Second, "drain window on SIGTERM")
 		logJSON     = fs.Bool("log-json", false, "emit structured logs as JSON")
+
+		jobWorkers = fs.Int("job-workers", 0, "concurrent async jobs (0 = default)")
+		jobQueue   = fs.Int("job-queue", 0, "async job queue depth before 429s (0 = default)")
+		jobDir     = fs.String("job-dir", "", "job state/checkpoint directory; empty keeps jobs in memory only")
+		ckptEvery  = fs.Int("checkpoint-every", 0, "shapes between job checkpoints (0 = default 8, negative disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +79,11 @@ func run(ctx context.Context, logw io.Writer, args []string) error {
 		MaxGridPoints:  *maxGrid,
 		MemoEntries:    *memoSize,
 		Logger:         log,
+
+		JobWorkers:      *jobWorkers,
+		JobQueue:        *jobQueue,
+		JobDir:          *jobDir,
+		CheckpointEvery: *ckptEvery,
 	})
 
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)

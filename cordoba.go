@@ -349,6 +349,28 @@ func ExploreStreamTasks(ctx context.Context, tasks []Task, g KnobGrid, fab Fab, 
 	return dse.EvaluateStreamTasks(ctx, tasks, g, fab, ci, opt)
 }
 
+// ---- checkpointed streaming exploration ----
+
+// StreamCheckpoint is a serializable snapshot of a streaming exploration:
+// resuming from it converges to bit-identical results versus an
+// uninterrupted run, and a fingerprint rejects resumption under changed
+// parameters.
+type StreamCheckpoint = dse.StreamCheckpoint
+
+// CheckpointOptions extends StreamOptions with resume, periodic-checkpoint,
+// and progress callbacks.
+type CheckpointOptions = dse.CheckpointOptions
+
+// StreamProgress is the live counter set a checkpointed exploration reports
+// after each completed shape.
+type StreamProgress = dse.StreamProgress
+
+// ExploreStreamCheckpointed is ExploreStreamAt with checkpoint/resume and
+// progress reporting — the engine behind cordobad's async job API.
+func ExploreStreamCheckpointed(ctx context.Context, task Task, g KnobGrid, fab Fab, ci CarbonIntensity, opt CheckpointOptions) (*StreamResult, error) {
+	return dse.EvaluateStreamCheckpointed(ctx, task, g, fab, ci, opt)
+}
+
 // ExploreGridNaive materializes a knob grid and evaluates it through the v1
 // engine — the reference baseline for the streaming engine.
 func ExploreGridNaive(task Task, g KnobGrid, fab Fab, ci CarbonIntensity) (*DesignSpace, error) {

@@ -2,10 +2,7 @@ package dse
 
 import (
 	"context"
-	"fmt"
-	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"cordoba/internal/accel"
 	"cordoba/internal/carbon"
@@ -231,144 +228,60 @@ func EvaluateStream(ctx context.Context, task workload.Task, g Grid, fab carbon.
 // The surviving ever-optimal sets, elimination fractions and per-N optima
 // are identical to materializing the grid with EvaluateGrid and calling
 // EverOptimal — the property suite in prop_test.go holds the two engines
-// equal on randomized spaces.
+// equal on randomized spaces. Accumulation happens in shape-index order
+// regardless of worker scheduling (see EvaluateStreamCheckpointedTasks), so
+// SumEDP and SumEmbD are deterministic for a given grid.
 func EvaluateStreamTasks(ctx context.Context, tasks []workload.Task, g Grid, fab carbon.Fab, ci units.CarbonIntensity, opt StreamOptions) ([]*StreamResult, error) {
-	if len(tasks) == 0 {
-		return nil, fmt.Errorf("dse: no tasks to stream")
-	}
-	if ci < 0 {
-		return nil, fmt.Errorf("dse: negative CI_use %v", ci)
-	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	cg, err := g.compile()
-	if err != nil {
-		return nil, err
-	}
-	memo := opt.Memo
-	if memo == nil {
-		memo = NewMemoCache(0)
-	}
-	workers := opt.Workers
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > cg.shapes() {
-		workers = cg.shapes()
-	}
+	return EvaluateStreamCheckpointedTasks(ctx, tasks, g, fab, ci, CheckpointOptions{StreamOptions: opt})
+}
 
-	kernels := kernelUnion(tasks)
-	accs := make([]*taskAcc, len(tasks))
-	for i := range accs {
-		accs[i] = &taskAcc{payload: make(map[int64]Point)}
+// evalShape evaluates every cell of shape si for every task: the shape's
+// kernel profiles are computed once through the memo and replayed across
+// the cells. buffers holds one slice per task, reset and filled in cell
+// order — evaluation semantics are bit-identical to the direct path (the
+// property suite holds them equal).
+func evalShape(cg *compiledGrid, si int, kernels []nn.KernelID, tasks []workload.Task, memo *MemoCache, fab carbon.Fab, yield carbon.YieldModel, buffers [][]Point) error {
+	shapeCfg := cg.shapeConfig(si)
+	profiles := make(map[nn.KernelID]*accel.ShapeProfile, len(kernels))
+	for _, id := range kernels {
+		sp, err := memo.Profile(shapeCfg, id)
+		if err != nil {
+			return err
+		}
+		profiles[id] = sp
 	}
-
+	for ti := range buffers {
+		buffers[ti] = buffers[ti][:0]
+	}
 	cells := int64(len(cg.cells))
-	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-		failed   atomic.Bool
-	)
-	fail := func(err error) {
-		errOnce.Do(func() { firstErr = err })
-		failed.Store(true)
-	}
-
-	shapeCh := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			buffers := make([][]Point, len(tasks))
-			for ti := range buffers {
-				buffers[ti] = make([]Point, 0, cells)
+	base := int64(si) * cells
+	for off := int64(0); off < cells; off++ {
+		cfg, cell := cg.at(base + off)
+		emb, err := cfg.EmbodiedWith(cell.model, yield, cell.process, fab)
+		if err != nil {
+			return err
+		}
+		area := cfg.TotalArea()
+		plat := &streamPlatform{
+			cfg:      cfg,
+			leak:     cfg.LeakagePower(),
+			profiles: profiles,
+			costs:    make(map[nn.KernelID]workload.KernelCost, len(kernels)),
+		}
+		for ti, task := range tasks {
+			cost, err := workload.Evaluate(task, plat)
+			if err != nil {
+				return err
 			}
-			for si := range shapeCh {
-				if ctx.Err() != nil || failed.Load() {
-					continue // drain the channel without evaluating
-				}
-				// The shape's kernel profiles, computed once and replayed
-				// across every cell and task below.
-				shapeCfg := cg.shapeConfig(si)
-				profiles := make(map[nn.KernelID]*accel.ShapeProfile, len(kernels))
-				ok := true
-				for _, id := range kernels {
-					sp, err := memo.Profile(shapeCfg, id)
-					if err != nil {
-						fail(err)
-						ok = false
-						break
-					}
-					profiles[id] = sp
-				}
-				if !ok {
-					continue
-				}
-				for ti := range buffers {
-					buffers[ti] = buffers[ti][:0]
-				}
-				base := int64(si) * cells
-				for off := int64(0); off < cells; off++ {
-					cfg, cell := cg.at(base + off)
-					emb, err := cfg.EmbodiedWith(cell.model, opt.Yield, cell.process, fab)
-					if err != nil {
-						fail(err)
-						ok = false
-						break
-					}
-					area := cfg.TotalArea()
-					plat := &streamPlatform{
-						cfg:      cfg,
-						leak:     cfg.LeakagePower(),
-						profiles: profiles,
-						costs:    make(map[nn.KernelID]workload.KernelCost, len(kernels)),
-					}
-					for ti, task := range tasks {
-						cost, err := workload.Evaluate(task, plat)
-						if err != nil {
-							fail(err)
-							ok = false
-							break
-						}
-						buffers[ti] = append(buffers[ti], Point{
-							Config:   cfg,
-							Delay:    cost.Delay,
-							Energy:   cost.Energy,
-							Embodied: emb,
-							Area:     area,
-							Model:    cell.modelName,
-						})
-					}
-					if !ok {
-						break
-					}
-				}
-				if !ok {
-					continue
-				}
-				for ti := range tasks {
-					accs[ti].offerChunk(base, buffers[ti])
-				}
-			}
-		}()
+			buffers[ti] = append(buffers[ti], Point{
+				Config:   cfg,
+				Delay:    cost.Delay,
+				Energy:   cost.Energy,
+				Embodied: emb,
+				Area:     area,
+				Model:    cell.modelName,
+			})
+		}
 	}
-	for si := 0; si < cg.shapes(); si++ {
-		shapeCh <- si
-	}
-	close(shapeCh)
-	wg.Wait()
-
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("dse: streaming exploration aborted: %w", err)
-	}
-	out := make([]*StreamResult, len(tasks))
-	for i, a := range accs {
-		out[i] = a.result(tasks[i], ci)
-	}
-	return out, nil
+	return nil
 }

@@ -1,0 +1,124 @@
+// Package job runs asynchronous explorations: a bounded queue with admission
+// control, a worker pool executing registered runners under per-job contexts,
+// live progress, and crash-safe persistence — each job is one JSON file
+// written atomically, so a restarted manager re-enqueues interrupted work and
+// runners resume from their last checkpoint.
+//
+// The package is deliberately generic: it never imports the DSE engine.
+// Runners are registered per job kind and receive a RunContext carrying the
+// request payload, the last checkpoint, and the checkpoint/progress sinks;
+// what those bytes mean is the caller's business.
+package job
+
+import (
+	"context"
+	"encoding/json"
+	"time"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateSucceeded State = "succeeded"
+	StateFailed    State = "failed"
+	StateCanceled  State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateSucceeded || s == StateFailed || s == StateCanceled
+}
+
+// Progress is a live snapshot of a running job, written by its runner.
+type Progress struct {
+	// GridPoints is the total work size (configurations), when known.
+	GridPoints int64 `json:"grid_points,omitempty"`
+	// Streamed, Pruned and Kept mirror the streaming engine's counters.
+	Streamed int64 `json:"streamed"`
+	Pruned   int64 `json:"pruned"`
+	Kept     int   `json:"kept"`
+	// ShapesDone / ShapesTotal is the engine's coarse work cursor.
+	ShapesDone  int `json:"shapes_done"`
+	ShapesTotal int `json:"shapes_total"`
+}
+
+// Status is a point-in-time copy of a job's public state.
+type Status struct {
+	ID       string    `json:"id"`
+	Kind     string    `json:"kind"`
+	State    State     `json:"state"`
+	Error    string    `json:"error,omitempty"`
+	Progress Progress  `json:"progress"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+	// Resumes counts how many times the job restarted from a checkpoint.
+	Resumes       int  `json:"resumes"`
+	HasResult     bool `json:"has_result"`
+	HasCheckpoint bool `json:"has_checkpoint"`
+}
+
+// Runner executes one job kind. It receives the job's context — canceled on
+// DELETE, manager shutdown, or process exit — and the RunContext carrying
+// request, checkpoint and sinks. The returned bytes become the job's result.
+// Returning the context's error after an interruption marks the job for
+// requeue (shutdown) or cancellation (DELETE); any other error fails it.
+type Runner func(ctx context.Context, rc RunContext) (json.RawMessage, error)
+
+// RunContext is the runner's view of its job. It is an interface so tests
+// can wrap a manager's implementation to, e.g., block inside SaveCheckpoint
+// and interrupt a job at an exact point.
+type RunContext interface {
+	// JobID returns the job's identifier.
+	JobID() string
+	// Request returns the submitted request payload.
+	Request() json.RawMessage
+	// Checkpoint returns the last saved checkpoint, nil on a fresh start.
+	Checkpoint() json.RawMessage
+	// SaveCheckpoint durably records a checkpoint; on restart the runner
+	// sees it via Checkpoint. An error aborts the job.
+	SaveCheckpoint(cp json.RawMessage) error
+	// ReportProgress publishes a progress snapshot to status readers.
+	ReportProgress(p Progress)
+}
+
+// job is the manager's internal record.
+type job struct {
+	id   string
+	kind string
+
+	state      State
+	request    json.RawMessage
+	result     json.RawMessage
+	checkpoint json.RawMessage
+	errMsg     string
+
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	progress Progress
+	resumes  int
+
+	cancel          context.CancelFunc // non-nil while running
+	cancelRequested bool
+}
+
+func (j *job) status() Status {
+	return Status{
+		ID:            j.id,
+		Kind:          j.kind,
+		State:         j.state,
+		Error:         j.errMsg,
+		Progress:      j.progress,
+		Created:       j.created,
+		Started:       j.started,
+		Finished:      j.finished,
+		Resumes:       j.resumes,
+		HasResult:     len(j.result) > 0,
+		HasCheckpoint: len(j.checkpoint) > 0,
+	}
+}

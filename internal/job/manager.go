@@ -1,0 +1,472 @@
+package job
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrQueueFull is returned by Submit when the queue is at capacity; callers
+// translate it to 429 with a Retry-After hint.
+var ErrQueueFull = errors.New("job: queue full")
+
+// ErrNotFound is returned for unknown job IDs.
+var ErrNotFound = errors.New("job: not found")
+
+// ErrUnknownKind is returned by Submit for kinds without a registered runner.
+var ErrUnknownKind = errors.New("job: no runner registered for kind")
+
+// Defaults applied by NewManager.
+const (
+	DefaultWorkers    = 2
+	DefaultQueueDepth = 16
+	DefaultHistory    = 256
+	DefaultRetryAfter = 2 * time.Second
+)
+
+// Config tunes a Manager.
+type Config struct {
+	// Workers is the number of concurrent job executors; < 1 selects
+	// DefaultWorkers.
+	Workers int
+	// QueueDepth bounds the number of queued (not yet running) jobs; < 1
+	// selects DefaultQueueDepth. Jobs recovered from Dir are admitted past
+	// the bound — dropping persisted work would be worse than a long queue.
+	QueueDepth int
+	// Dir persists one JSON file per job for crash recovery; empty keeps
+	// jobs in memory only.
+	Dir string
+	// RetryAfter is the hint returned alongside ErrQueueFull; <= 0 selects
+	// DefaultRetryAfter.
+	RetryAfter time.Duration
+	// History bounds the number of terminal jobs retained (memory and disk);
+	// < 1 selects DefaultHistory. Oldest-finished are pruned first.
+	History int
+	// Logger receives job lifecycle events; nil discards them.
+	Logger *slog.Logger
+}
+
+// Counts is an atomic snapshot of the manager's population and counters,
+// exported to Prometheus by the server.
+type Counts struct {
+	Queued, Running                           int
+	Succeeded, Failed, Canceled               int64
+	Submitted, Resumed, Checkpoints, Rejected int64
+}
+
+// Manager owns the queue, the workers, and the job table.
+type Manager struct {
+	cfg     Config
+	log     *slog.Logger
+	runners map[string]Runner
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	jobs  map[string]*job
+	queue []string // job IDs, FIFO
+	// counters (under mu)
+	succeeded, failed, canceled     int64
+	submitted, resumed, checkpoints int64
+	rejected                        int64
+	running                         int
+	stopping                        bool
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+	started bool
+}
+
+// NewManager builds a manager and, when cfg.Dir is set, recovers persisted
+// jobs: terminal ones become history, queued and interrupted-running ones are
+// re-enqueued in creation order (running jobs keep their checkpoint, so their
+// runner resumes instead of starting over). Call Start to begin executing.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = DefaultWorkers
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	if cfg.History < 1 {
+		cfg.History = DefaultHistory
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(discardHandler{})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:     cfg,
+		log:     log,
+		runners: make(map[string]Runner),
+		jobs:    make(map[string]*job),
+		baseCtx: ctx,
+		stop:    cancel,
+	}
+	m.cond = sync.NewCond(&m.mu)
+	if cfg.Dir != "" {
+		if err := m.recover(); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// SetRunner registers the executor for a job kind. Register every kind
+// before Start; recovered jobs of unregistered kinds fail when dequeued.
+func (m *Manager) SetRunner(kind string, r Runner) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.runners[kind] = r
+}
+
+// RetryAfter returns the backoff hint paired with ErrQueueFull.
+func (m *Manager) RetryAfter() time.Duration { return m.cfg.RetryAfter }
+
+// Start launches the worker pool.
+func (m *Manager) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started || m.stopping {
+		return
+	}
+	m.started = true
+	for w := 0; w < m.cfg.Workers; w++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+}
+
+// Stop cancels running jobs and waits for the workers to drain, up to ctx's
+// deadline. Interrupted jobs go back to the queue with their checkpoint
+// intact and are persisted, so a later manager on the same Dir resumes them.
+func (m *Manager) Stop(ctx context.Context) error {
+	m.mu.Lock()
+	m.stopping = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.stop() // cancels every running job's context
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("job: shutdown timed out: %w", ctx.Err())
+	}
+}
+
+// Submit enqueues a request under the given kind and returns the queued
+// job's status. A full queue returns ErrQueueFull.
+func (m *Manager) Submit(kind string, req json.RawMessage) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.runners[kind]; !ok {
+		return Status{}, fmt.Errorf("%w: %q", ErrUnknownKind, kind)
+	}
+	if m.queuedLocked() >= m.cfg.QueueDepth {
+		m.rejected++
+		return Status{}, ErrQueueFull
+	}
+	j := &job{
+		id:      newID(),
+		kind:    kind,
+		state:   StateQueued,
+		request: append(json.RawMessage(nil), req...),
+		created: time.Now().UTC(),
+	}
+	m.jobs[j.id] = j
+	m.queue = append(m.queue, j.id)
+	m.submitted++
+	m.persistLocked(j)
+	m.pruneHistoryLocked()
+	m.cond.Signal()
+	m.log.Info("job queued", "job", j.id, "kind", kind)
+	return j.status(), nil
+}
+
+// Get returns a job's status.
+func (m *Manager) Get(id string) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	return j.status(), nil
+}
+
+// List returns every known job, newest first.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Status, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j.status())
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if !out[a].Created.Equal(out[b].Created) {
+			return out[a].Created.After(out[b].Created)
+		}
+		return out[a].ID > out[b].ID
+	})
+	return out
+}
+
+// Result returns a terminal job's result payload alongside its status.
+// Non-terminal or failed jobs return a nil payload; the caller decides how
+// to respond based on the status.
+func (m *Manager) Result(id string) (json.RawMessage, Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, Status{}, ErrNotFound
+	}
+	return append(json.RawMessage(nil), j.result...), j.status(), nil
+}
+
+// Cancel requests cancellation: a queued job is canceled immediately, a
+// running one is signaled through its context and reaches StateCanceled when
+// its runner returns. Canceling a terminal job is a no-op.
+func (m *Manager) Cancel(id string) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	switch j.state {
+	case StateQueued:
+		j.state = StateCanceled
+		j.finished = time.Now().UTC()
+		m.canceled++
+		m.persistLocked(j)
+		m.log.Info("job canceled while queued", "job", j.id)
+	case StateRunning:
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+		m.log.Info("job cancellation requested", "job", j.id)
+	}
+	return j.status(), nil
+}
+
+// Counts snapshots the population and lifetime counters.
+func (m *Manager) Counts() Counts {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Counts{
+		Queued:      m.queuedLocked(),
+		Running:     m.running,
+		Succeeded:   m.succeeded,
+		Failed:      m.failed,
+		Canceled:    m.canceled,
+		Submitted:   m.submitted,
+		Resumed:     m.resumed,
+		Checkpoints: m.checkpoints,
+		Rejected:    m.rejected,
+	}
+}
+
+// queuedLocked counts jobs currently in StateQueued. The queue slice may
+// hold IDs of jobs canceled while waiting, so count by state.
+func (m *Manager) queuedLocked() int {
+	n := 0
+	for _, id := range m.queue {
+		if j, ok := m.jobs[id]; ok && j.state == StateQueued {
+			n++
+		}
+	}
+	return n
+}
+
+// worker executes queued jobs until the manager stops.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		var j *job
+		for {
+			if m.stopping {
+				// Never start (or restart) work during shutdown — jobs
+				// requeued by runOne stay queued for the next process.
+				m.mu.Unlock()
+				return
+			}
+			for len(m.queue) > 0 && j == nil {
+				id := m.queue[0]
+				m.queue = m.queue[1:]
+				if cand, ok := m.jobs[id]; ok && cand.state == StateQueued {
+					j = cand
+				}
+			}
+			if j != nil {
+				break
+			}
+			m.cond.Wait()
+		}
+		ctx, cancel := context.WithCancel(m.baseCtx)
+		j.state = StateRunning
+		j.started = time.Now().UTC()
+		j.cancel = cancel
+		m.running++
+		if len(j.checkpoint) > 0 {
+			j.resumes++
+			m.resumed++
+		}
+		runner := m.runners[j.kind]
+		m.persistLocked(j)
+		m.mu.Unlock()
+
+		m.runOne(ctx, cancel, j, runner)
+	}
+}
+
+// runOne executes a single job and records the outcome.
+func (m *Manager) runOne(ctx context.Context, cancel context.CancelFunc, j *job, runner Runner) {
+	defer cancel()
+	var (
+		res json.RawMessage
+		err error
+	)
+	if runner == nil {
+		err = fmt.Errorf("%w: %q", ErrUnknownKind, j.kind)
+	} else {
+		res, err = m.safeRun(ctx, j, runner)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.running--
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.state = StateSucceeded
+		j.result = res
+		j.checkpoint = nil // the result supersedes it
+		j.finished = time.Now().UTC()
+		m.succeeded++
+		m.log.Info("job succeeded", "job", j.id)
+	case j.cancelRequested:
+		j.state = StateCanceled
+		j.errMsg = ""
+		j.finished = time.Now().UTC()
+		m.canceled++
+		m.log.Info("job canceled", "job", j.id)
+	case m.stopping && errors.Is(err, context.Canceled):
+		// Interrupted by shutdown: back to the queue with the checkpoint
+		// intact so the next manager on this Dir picks it up.
+		j.state = StateQueued
+		j.started = time.Time{}
+		m.queue = append(m.queue, j.id)
+		m.log.Info("job interrupted by shutdown, requeued", "job", j.id)
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		j.finished = time.Now().UTC()
+		m.failed++
+		m.log.Warn("job failed", "job", j.id, "err", err)
+	}
+	m.persistLocked(j)
+	m.pruneHistoryLocked()
+}
+
+// safeRun shields the manager from panicking runners.
+func (m *Manager) safeRun(ctx context.Context, j *job, runner Runner) (res json.RawMessage, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("job: runner panic: %v", r)
+		}
+	}()
+	return runner(ctx, &runContext{m: m, j: j})
+}
+
+// runContext is the manager's RunContext implementation.
+type runContext struct {
+	m *Manager
+	j *job
+}
+
+func (rc *runContext) JobID() string { return rc.j.id }
+
+func (rc *runContext) Request() json.RawMessage {
+	rc.m.mu.Lock()
+	defer rc.m.mu.Unlock()
+	return append(json.RawMessage(nil), rc.j.request...)
+}
+
+func (rc *runContext) Checkpoint() json.RawMessage {
+	rc.m.mu.Lock()
+	defer rc.m.mu.Unlock()
+	return append(json.RawMessage(nil), rc.j.checkpoint...)
+}
+
+func (rc *runContext) SaveCheckpoint(cp json.RawMessage) error {
+	rc.m.mu.Lock()
+	defer rc.m.mu.Unlock()
+	rc.j.checkpoint = append(json.RawMessage(nil), cp...)
+	rc.m.checkpoints++
+	return rc.m.persistLocked(rc.j)
+}
+
+func (rc *runContext) ReportProgress(p Progress) {
+	rc.m.mu.Lock()
+	defer rc.m.mu.Unlock()
+	rc.j.progress = p
+}
+
+// pruneHistoryLocked evicts the oldest-finished terminal jobs beyond the
+// History bound, removing their files too.
+func (m *Manager) pruneHistoryLocked() {
+	var term []*job
+	for _, j := range m.jobs {
+		if j.state.Terminal() {
+			term = append(term, j)
+		}
+	}
+	excess := len(term) - m.cfg.History
+	if excess <= 0 {
+		return
+	}
+	sort.Slice(term, func(a, b int) bool { return term[a].finished.Before(term[b].finished) })
+	for _, j := range term[:excess] {
+		delete(m.jobs, j.id)
+		m.removeFile(j.id)
+	}
+}
+
+// newID returns a 12-hex-char random job ID.
+func newID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("job: id entropy: %v", err)) // crypto/rand never fails on supported platforms
+	}
+	return "j" + hex.EncodeToString(b[:])
+}
+
+// discardHandler is a no-op slog handler (slog.DiscardHandler arrived after
+// the Go version this module pins).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }

@@ -1,0 +1,144 @@
+package job
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// record is the on-disk form of a job: everything needed to resume after a
+// crash — the original request, the last checkpoint, and the outcome.
+type record struct {
+	ID         string          `json:"id"`
+	Kind       string          `json:"kind"`
+	State      State           `json:"state"`
+	Request    json.RawMessage `json:"request,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Created    time.Time       `json:"created"`
+	Started    time.Time       `json:"started"`
+	Finished   time.Time       `json:"finished"`
+	Progress   Progress        `json:"progress"`
+	Resumes    int             `json:"resumes"`
+}
+
+// persistLocked writes the job's file atomically (tmp + rename, same
+// filesystem). A nil error with Dir unset is the in-memory mode.
+func (m *Manager) persistLocked(j *job) error {
+	if m.cfg.Dir == "" {
+		return nil
+	}
+	rec := record{
+		ID:         j.id,
+		Kind:       j.kind,
+		State:      j.state,
+		Request:    j.request,
+		Result:     j.result,
+		Checkpoint: j.checkpoint,
+		Error:      j.errMsg,
+		Created:    j.created,
+		Started:    j.started,
+		Finished:   j.finished,
+		Progress:   j.progress,
+		Resumes:    j.resumes,
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		m.log.Error("job persist marshal failed", "job", j.id, "err", err)
+		return fmt.Errorf("job: persist %s: %w", j.id, err)
+	}
+	path := m.jobPath(j.id)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		m.log.Error("job persist failed", "job", j.id, "err", err)
+		return fmt.Errorf("job: persist %s: %w", j.id, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		m.log.Error("job persist rename failed", "job", j.id, "err", err)
+		return fmt.Errorf("job: persist %s: %w", j.id, err)
+	}
+	return nil
+}
+
+func (m *Manager) jobPath(id string) string {
+	return filepath.Join(m.cfg.Dir, id+".json")
+}
+
+// removeFile deletes a pruned job's file; best-effort.
+func (m *Manager) removeFile(id string) {
+	if m.cfg.Dir == "" {
+		return
+	}
+	if err := os.Remove(m.jobPath(id)); err != nil && !os.IsNotExist(err) {
+		m.log.Warn("job file removal failed", "job", id, "err", err)
+	}
+}
+
+// recover loads every job file under Dir. Terminal jobs become history;
+// queued ones re-enter the queue; jobs that were running when the previous
+// process died are requeued with their checkpoint intact, so their runner
+// resumes rather than restarts. Unreadable files are skipped with a warning —
+// one corrupt record must not take the service down.
+func (m *Manager) recover() error {
+	if err := os.MkdirAll(m.cfg.Dir, 0o755); err != nil {
+		return fmt.Errorf("job: create dir: %w", err)
+	}
+	entries, err := os.ReadDir(m.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("job: read dir: %w", err)
+	}
+	var pending []*job
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(m.cfg.Dir, name))
+		if err != nil {
+			m.log.Warn("job recovery: unreadable file", "file", name, "err", err)
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(b, &rec); err != nil || rec.ID == "" {
+			m.log.Warn("job recovery: corrupt record", "file", name, "err", err)
+			continue
+		}
+		j := &job{
+			id:         rec.ID,
+			kind:       rec.Kind,
+			state:      rec.State,
+			request:    rec.Request,
+			result:     rec.Result,
+			checkpoint: rec.Checkpoint,
+			errMsg:     rec.Error,
+			created:    rec.Created,
+			started:    rec.Started,
+			finished:   rec.Finished,
+			progress:   rec.Progress,
+			resumes:    rec.Resumes,
+		}
+		if !j.state.Terminal() {
+			j.state = StateQueued
+			j.started = time.Time{}
+			pending = append(pending, j)
+		}
+		m.jobs[j.id] = j
+	}
+	sort.Slice(pending, func(a, b int) bool {
+		if !pending[a].created.Equal(pending[b].created) {
+			return pending[a].created.Before(pending[b].created)
+		}
+		return pending[a].id < pending[b].id
+	})
+	for _, j := range pending {
+		m.queue = append(m.queue, j.id)
+		m.persistLocked(j)
+		m.log.Info("job recovered", "job", j.id, "kind", j.kind, "resumable", len(j.checkpoint) > 0)
+	}
+	return nil
+}

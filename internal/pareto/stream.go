@@ -1,6 +1,9 @@
 package pareto
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // Stream maintains the lower convex envelope of a stream of points in
 // O(points kept) memory — the accumulator behind the v2 DSE engine. Instead
@@ -106,6 +109,63 @@ func (s *Stream) Offer(id int64, p Point) (accepted bool, evicted []int64) {
 		i--
 	}
 	return true, evicted
+}
+
+// StreamState is a serializable snapshot of a Stream: the envelope vertices,
+// their caller handles, and the offered count. JSON round-trips are exact —
+// encoding/json renders float64 in shortest form that parses back to the
+// same bits — so a restored stream continues bit-identically to the
+// original. Checkpoint/resume of the streaming DSE engine is built on it.
+type StreamState struct {
+	Points  []Point `json:"points"`
+	IDs     []int64 `json:"ids"`
+	Offered int64   `json:"offered"`
+}
+
+// Snapshot captures the stream's current state. The returned slices are
+// copies; later Offers do not mutate them.
+func (s *Stream) Snapshot() StreamState {
+	return StreamState{
+		Points:  append([]Point(nil), s.pts...),
+		IDs:     append([]int64(nil), s.ids...),
+		Offered: s.offered,
+	}
+}
+
+// Restore replaces the stream's state with a snapshot, validating every
+// envelope invariant first (finite coordinates, strictly ascending X,
+// strictly descending Y, strict convexity, matching handle count, offered ≥
+// kept) so a corrupted or hand-edited checkpoint cannot silently poison
+// later Offers. The snapshot's slices are copied; the stream does not alias
+// them.
+func (s *Stream) Restore(st StreamState) error {
+	if len(st.Points) != len(st.IDs) {
+		return fmt.Errorf("pareto: snapshot has %d points but %d ids", len(st.Points), len(st.IDs))
+	}
+	if st.Offered < int64(len(st.Points)) {
+		return fmt.Errorf("pareto: snapshot offered %d < %d kept points", st.Offered, len(st.Points))
+	}
+	for i, p := range st.Points {
+		if !p.valid() {
+			return fmt.Errorf("pareto: snapshot point %d is non-finite (%g, %g)", i, p.X, p.Y)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := st.Points[i-1]
+		if !(p.X > prev.X) || !(p.Y < prev.Y) {
+			return fmt.Errorf("pareto: snapshot points %d..%d break the envelope order (X ascending, Y descending)", i-1, i)
+		}
+	}
+	for i := 2; i < len(st.Points); i++ {
+		if cross(st.Points[i-2], st.Points[i-1], st.Points[i]) <= 0 {
+			return fmt.Errorf("pareto: snapshot points %d..%d are not strictly convex", i-2, i)
+		}
+	}
+	s.pts = append([]Point(nil), st.Points...)
+	s.ids = append([]int64(nil), st.IDs...)
+	s.offered = st.Offered
+	return nil
 }
 
 // insert places (id, p) at position i.

@@ -1,8 +1,10 @@
 package pareto
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -176,6 +178,101 @@ func TestStreamOrderInvariant(t *testing.T) {
 		order := rng.Perm(n)
 		s, live := offerAll(t, points, order)
 		checkMatchesEnvelope(t, s, live, points)
+	}
+}
+
+// TestStreamSnapshotResume cuts a random stream at an arbitrary prefix,
+// snapshots, round-trips the snapshot through JSON, restores into a fresh
+// stream, replays the suffix, and demands bit-identical state against the
+// uninterrupted run — the property the DSE checkpoint/resume path rests on.
+func TestStreamSnapshotResume(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(2000 + seed))
+		n := 2 + rng.Intn(200)
+		points := make([]Point, n)
+		for i := range points {
+			points[i] = Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		}
+		cut := rng.Intn(n + 1)
+
+		full := &Stream{}
+		for i, p := range points {
+			full.Offer(int64(i), p)
+		}
+
+		head := &Stream{}
+		for i := 0; i < cut; i++ {
+			head.Offer(int64(i), points[i])
+		}
+		b, err := json.Marshal(head.Snapshot())
+		if err != nil {
+			t.Fatalf("seed %d: marshal snapshot: %v", seed, err)
+		}
+		var st StreamState
+		if err := json.Unmarshal(b, &st); err != nil {
+			t.Fatalf("seed %d: unmarshal snapshot: %v", seed, err)
+		}
+		resumed := &Stream{}
+		if err := resumed.Restore(st); err != nil {
+			t.Fatalf("seed %d: restore at cut %d: %v", seed, cut, err)
+		}
+		for i := cut; i < n; i++ {
+			resumed.Offer(int64(i), points[i])
+		}
+
+		if resumed.Offered() != full.Offered() {
+			t.Fatalf("seed %d: resumed Offered %d, full %d", seed, resumed.Offered(), full.Offered())
+		}
+		if !reflect.DeepEqual(resumed.IDs(), full.IDs()) {
+			t.Fatalf("seed %d cut %d: resumed ids %v, full %v", seed, cut, resumed.IDs(), full.IDs())
+		}
+		if !reflect.DeepEqual(resumed.Points(), full.Points()) {
+			t.Fatalf("seed %d cut %d: resumed points differ from full run", seed, cut)
+		}
+	}
+}
+
+// TestStreamSnapshotIsCopy verifies later Offers do not mutate a snapshot.
+func TestStreamSnapshotIsCopy(t *testing.T) {
+	s := &Stream{}
+	s.Offer(0, Point{5, 5})
+	st := s.Snapshot()
+	s.Offer(1, Point{1, 9})
+	s.Offer(2, Point{9, 1})
+	if len(st.Points) != 1 || st.Points[0] != (Point{5, 5}) || st.IDs[0] != 0 {
+		t.Fatalf("snapshot mutated by later offers: %+v", st)
+	}
+}
+
+func TestStreamRestoreRejectsCorrupt(t *testing.T) {
+	cases := map[string]StreamState{
+		"length mismatch": {Points: []Point{{1, 2}}, IDs: nil, Offered: 1},
+		"offered too low": {Points: []Point{{1, 2}}, IDs: []int64{0}, Offered: 0},
+		"non-finite":      {Points: []Point{{math.NaN(), 2}}, IDs: []int64{0}, Offered: 1},
+		"x not ascending": {Points: []Point{{2, 3}, {1, 1}}, IDs: []int64{0, 1}, Offered: 2},
+		"y not descending": {
+			Points: []Point{{1, 1}, {2, 2}}, IDs: []int64{0, 1}, Offered: 2},
+		"collinear": {
+			Points: []Point{{0, 2}, {1, 1}, {2, 0}}, IDs: []int64{0, 1, 2}, Offered: 3},
+		"concave": {
+			Points: []Point{{0, 10}, {1, 8}, {2, 0}}, IDs: []int64{0, 1, 2}, Offered: 3},
+	}
+	for name, st := range cases {
+		t.Run(name, func(t *testing.T) {
+			var s Stream
+			if err := s.Restore(st); err == nil {
+				t.Fatalf("Restore accepted corrupt snapshot %+v", st)
+			}
+		})
+	}
+	// A valid snapshot restores without error.
+	var s Stream
+	ok := StreamState{Points: []Point{{0, 10}, {1, 2}, {3, 0}}, IDs: []int64{5, 6, 7}, Offered: 40}
+	if err := s.Restore(ok); err != nil {
+		t.Fatalf("Restore rejected a valid snapshot: %v", err)
+	}
+	if s.Len() != 3 || s.Offered() != 40 {
+		t.Fatalf("restored stream state wrong: len=%d offered=%d", s.Len(), s.Offered())
 	}
 }
 

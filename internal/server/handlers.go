@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -62,94 +63,6 @@ func (s *Server) respondCached(w http.ResponseWriter, key string, build func() (
 
 // ---- POST /v1/accounting ----
 
-// AccelSpec selects an accelerator either by grid/3D ID or by explicit
-// (MAC arrays, SRAM) knobs.
-type AccelSpec struct {
-	ID        string  `json:"id,omitempty"`
-	MACArrays int     `json:"mac_arrays,omitempty"`
-	SRAMMB    float64 `json:"sram_mb,omitempty"`
-	Is3D      bool    `json:"is_3d,omitempty"`
-	MemDies   int     `json:"mem_dies,omitempty"`
-}
-
-// YieldSpec is the polymorphic "yield" field: a JSON number fixes the die
-// yield directly (the historical form); a JSON string names a yield model —
-// murphy, poisson, seeds, or bose-einstein — that derives yield from die area
-// and the fab's defect density.
-type YieldSpec struct {
-	Value float64 // set when the request gave a number
-	Model string  // set when the request gave a model name
-}
-
-// UnmarshalJSON accepts a number or a string.
-func (y *YieldSpec) UnmarshalJSON(b []byte) error {
-	s := strings.TrimSpace(string(b))
-	if s == "null" {
-		*y = YieldSpec{}
-		return nil
-	}
-	if strings.HasPrefix(s, `"`) {
-		var name string
-		if err := json.Unmarshal(b, &name); err != nil {
-			return err
-		}
-		*y = YieldSpec{Model: name}
-		return nil
-	}
-	var v float64
-	if err := json.Unmarshal(b, &v); err != nil {
-		return fmt.Errorf("yield must be a number or a yield-model name: %v", err)
-	}
-	*y = YieldSpec{Value: v}
-	return nil
-}
-
-// MarshalJSON renders the form the request used — needed for the canonical
-// cache key.
-func (y YieldSpec) MarshalJSON() ([]byte, error) {
-	if y.Model != "" {
-		return json.Marshal(y.Model)
-	}
-	return json.Marshal(y.Value)
-}
-
-func (y YieldSpec) isZero() bool { return y.Model == "" && y.Value == 0 }
-
-// AccountingRequest asks for the embodied carbon (eq. IV.5) of either a bare
-// die (area + yield) or an accelerator configuration (full model with die
-// placement and packaging). model selects the pricing backend ("act" default,
-// "chiplet", "stacked-3d"); yield is either a fixed fraction or a yield-model
-// name.
-type AccountingRequest struct {
-	Process string    `json:"process,omitempty"` // node name, default "7nm"
-	Fab     string    `json:"fab,omitempty"`     // fab name, default "coal-heavy"
-	AreaCM2 float64   `json:"area_cm2,omitempty"`
-	Yield   YieldSpec `json:"yield,omitempty"` // number or model name; default 1.0 (die mode only)
-	Model   string    `json:"model,omitempty"` // embodied-carbon backend, default "act"
-
-	Accelerator *AccelSpec `json:"accelerator,omitempty"`
-}
-
-// AccountingResponse reports the embodied footprint and echoes the resolved
-// accounting parameters.
-type AccountingResponse struct {
-	Process     string  `json:"process"`
-	Fab         string  `json:"fab"`
-	FabCI       float64 `json:"fab_ci_g_per_kwh"`
-	AreaCM2     float64 `json:"area_cm2"`
-	Yield       float64 `json:"yield,omitempty"`       // die mode only (resolved)
-	YieldModel  string  `json:"yield_model,omitempty"` // when yield named a model
-	Model       string  `json:"model,omitempty"`       // when a backend was selected
-	ConfigID    string  `json:"config_id,omitempty"`
-	EmbodiedG   float64 `json:"embodied_gco2e"`
-	EmbodiedKG  float64 `json:"embodied_kgco2e"`
-	SiliconG    float64 `json:"silicon_gco2e,omitempty"`   // backend breakdown
-	PackagingG  float64 `json:"packaging_gco2e,omitempty"` // backend breakdown
-	BondingG    float64 `json:"bonding_gco2e,omitempty"`   // backend breakdown
-	PerAreaG    float64 `json:"gco2e_per_cm2"`             // before yield derating
-	Description string  `json:"description"`
-}
-
 func (s *Server) handleAccounting(w http.ResponseWriter, r *http.Request) error {
 	var req AccountingRequest
 	if err := s.decodeJSON(w, r, &req); err != nil {
@@ -161,7 +74,7 @@ func (s *Server) handleAccounting(w http.ResponseWriter, r *http.Request) error 
 	if req.Fab == "" {
 		req.Fab = "coal-heavy"
 	}
-	if req.Accelerator == nil && req.Yield.isZero() {
+	if req.Accelerator == nil && req.Yield.IsZero() {
 		req.Yield.Value = 1.0
 	}
 
@@ -288,113 +201,51 @@ func (s *Server) resolveAccel(spec AccelSpec) (cordoba.AcceleratorConfig, error)
 
 // ---- POST /v1/dse ----
 
-// SweepSpec selects the operational-time sweep: points log-spaced
-// inference counts over [lo, hi].
-type SweepSpec struct {
-	Lo     float64 `json:"lo"`
-	Hi     float64 `json:"hi"`
-	Points int     `json:"points"`
-}
-
-// KnobRangeSpec describes a design space as cartesian knob ranges for the
-// streaming DSE engine: the product of every listed MAC-array count, SRAM
-// capacity, V_DD scale, and technology node is enumerated lazily, so grids
-// far larger than the materialized sets stay servable. vdd_scales defaults
-// to {1.0}; nodes defaults to the request's process.
-type KnobRangeSpec struct {
-	MACArrays []int     `json:"mac_arrays"`
-	SRAMMB    []float64 `json:"sram_mb"`
-	VDDScales []float64 `json:"vdd_scales,omitempty"`
-	Nodes     []string  `json:"nodes,omitempty"`
-	// Models turns the embodied-carbon backend into a sweep axis: every
-	// listed backend prices every cell. Defaults to the request's model.
-	Models []string `json:"models,omitempty"`
-}
-
-// DSERequest asks for a design-space exploration of a task over a set of
-// accelerator configurations.
-type DSERequest struct {
-	Task    string  `json:"task"`
-	Process string  `json:"process,omitempty"` // default "7nm"
-	Fab     string  `json:"fab,omitempty"`     // default "coal-heavy"
-	CIUse   float64 `json:"ci_use,omitempty"`  // g/kWh, default 380 (Table III)
-
-	// Model selects the embodied-carbon backend pricing every design ("act"
-	// default, "chiplet", "stacked-3d"); Yield selects the yield model
-	// ("murphy" default, "poisson", "seeds", "bose-einstein").
-	Model string `json:"model,omitempty"`
-	Yield string `json:"yield,omitempty"`
-
-	// CITrace names a registry trace (see GET /v1/traces) to derive the
-	// use-phase intensity from instead of the scalar ci_use: operational
-	// carbon is charged at the trace's exact time-average over trace_life_s
-	// (default one year). Mutually exclusive with ci_use.
-	CITrace    string  `json:"ci_trace,omitempty"`
-	TraceLifeS float64 `json:"trace_life_s,omitempty"`
-
-	// Set selects a predefined space: "grid" (121 Fig. 8 configs, the
-	// default) or "3d" (the seven §VI-E designs). Configs, when non-empty,
-	// restricts the space to the named IDs instead. Knobs switches to the
-	// streaming engine over lazily enumerated knob ranges; it excludes both
-	// set and configs, and the response then carries only the surviving
-	// ever-optimal points plus points_streamed / points_pruned totals.
-	Set     string         `json:"set,omitempty"`
-	Configs []string       `json:"configs,omitempty"`
-	Knobs   *KnobRangeSpec `json:"knobs,omitempty"`
-	Sweep   *SweepSpec     `json:"sweep,omitempty"`
-}
-
-// DSEPoint is one evaluated design in the response.
-type DSEPoint struct {
-	ID             string  `json:"id"`
-	MACArrays      int     `json:"mac_arrays"`
-	SRAMMB         float64 `json:"sram_mb"`
-	Is3D           bool    `json:"is_3d,omitempty"`
-	Model          string  `json:"model,omitempty"` // backend that priced the point
-	DelayS         float64 `json:"delay_s"`
-	EnergyJ        float64 `json:"energy_j"`
-	EmbodiedG      float64 `json:"embodied_gco2e"`
-	AreaCM2        float64 `json:"area_cm2"`
-	EDPJS          float64 `json:"edp_js"`
-	EmbodiedDelayG float64 `json:"embodied_delay_gs"`
-}
-
-// SweepEntry is the tCDP optimum at one operational time.
-type SweepEntry struct {
-	Inferences float64 `json:"inferences"`
-	OptimalID  string  `json:"optimal_id"`
-	TCDPGS     float64 `json:"tcdp_gs"`
-	MeanTCDPGS float64 `json:"mean_tcdp_gs"`
-}
-
-// DSEResponse is the full exploration result: every evaluated point, the
-// ever-optimal set with its elimination fraction (§VI-B), and the
-// tCDP-optimal sweep across operational time (the Fig. 8 x-axis).
-//
-// For knob-range (streaming) requests, Points holds only the surviving
-// ever-optimal designs — the engine discards the rest of the grid as it
-// streams — and PointsStreamed / PointsPruned report the totals.
-type DSEResponse struct {
-	Task               string       `json:"task"`
-	Process            string       `json:"process"`
-	Fab                string       `json:"fab"`
-	Model              string       `json:"model,omitempty"` // requested backend
-	Yield              string       `json:"yield,omitempty"` // requested yield model
-	CIUse              float64      `json:"ci_use_g_per_kwh"`
-	CITrace            string       `json:"ci_trace,omitempty"`
-	TraceLifeS         float64      `json:"trace_life_s,omitempty"`
-	Points             []DSEPoint   `json:"points"`
-	EverOptimal        []string     `json:"ever_optimal"`
-	EliminatedFraction float64      `json:"eliminated_fraction"`
-	PointsStreamed     int64        `json:"points_streamed,omitempty"`
-	PointsPruned       int64        `json:"points_pruned,omitempty"`
-	Sweep              []SweepEntry `json:"sweep"`
-}
-
 func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) error {
 	var req DSERequest
 	if err := s.decodeJSON(w, r, &req); err != nil {
 		return err
+	}
+	req, err := defaultDSE(req)
+	if err != nil {
+		return err
+	}
+	key, err := canonicalKey("/v1/dse", req)
+	if err != nil {
+		return err
+	}
+	return s.respondCached(w, key, func() (any, error) { return s.buildDSE(r.Context(), req) })
+}
+
+// validateDSESpace enforces that a request names at most one design space.
+// The error lists every conflicting field present so a caller mixing three
+// of them learns about all three at once, not one per round trip.
+func validateDSESpace(req DSERequest) error {
+	var fields []string
+	if req.Set != "" {
+		fields = append(fields, "set")
+	}
+	if len(req.Configs) > 0 {
+		fields = append(fields, "configs")
+	}
+	if req.Knobs != nil {
+		fields = append(fields, "knobs")
+	}
+	if len(fields) > 1 {
+		return errf(http.StatusBadRequest,
+			"fields %s are mutually exclusive — give exactly one design space",
+			strings.Join(fields, ", "))
+	}
+	return nil
+}
+
+// defaultDSE validates a decoded DSE request's field combinations and fills
+// in the documented defaults. Both the synchronous handler and the async job
+// runner route requests through here, so the two paths accept exactly the
+// same bodies.
+func defaultDSE(req DSERequest) (DSERequest, error) {
+	if err := validateDSESpace(req); err != nil {
+		return req, err
 	}
 	if req.Process == "" {
 		req.Process = "7nm"
@@ -404,14 +255,14 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) error {
 	}
 	if req.CITrace != "" {
 		if req.CIUse != 0 {
-			return errf(http.StatusBadRequest, "ci_trace and ci_use are mutually exclusive — give one")
+			return req, errf(http.StatusBadRequest, "ci_trace and ci_use are mutually exclusive — give one")
 		}
 		if req.TraceLifeS == 0 {
 			req.TraceLifeS = cordoba.Years(1).Seconds()
 		}
 	} else {
 		if req.TraceLifeS != 0 {
-			return errf(http.StatusBadRequest, "trace_life_s requires ci_trace")
+			return req, errf(http.StatusBadRequest, "trace_life_s requires ci_trace")
 		}
 		if req.CIUse == 0 {
 			req.CIUse = 380
@@ -423,29 +274,37 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) error {
 	if req.Sweep == nil {
 		req.Sweep = &SweepSpec{Lo: 1, Hi: 1e12, Points: 13}
 	}
-
-	key, err := canonicalKey("/v1/dse", req)
-	if err != nil {
-		return err
-	}
-	return s.respondCached(w, key, func() (any, error) { return s.buildDSE(r, req) })
+	return req, nil
 }
 
-func (s *Server) buildDSE(r *http.Request, req DSERequest) (*DSEResponse, error) {
+// dseInputs is a validated, resolved DSE request: everything the engines
+// need, shared between the synchronous handler and the async job runner.
+type dseInputs struct {
+	req  DSERequest
+	task cordoba.Task
+	proc cordoba.Process
+	fab  cordoba.Fab
+	acct cordoba.ExploreAccounting
+}
+
+// resolveDSE validates a defaulted request and resolves its names (task,
+// process, fab, trace, accounting) into model objects.
+func (s *Server) resolveDSE(req DSERequest) (dseInputs, error) {
+	var in dseInputs
 	task, err := s.taskByName(req.Task)
 	if err != nil {
-		return nil, err
+		return in, err
 	}
 	proc, err := cordoba.ProcessByName(req.Process)
 	if err != nil {
-		return nil, errf(http.StatusBadRequest, "%v", err)
+		return in, errf(http.StatusBadRequest, "%v", err)
 	}
 	fab, err := cordoba.FabByName(req.Fab)
 	if err != nil {
-		return nil, errf(http.StatusBadRequest, "%v", err)
+		return in, errf(http.StatusBadRequest, "%v", err)
 	}
 	if req.CIUse < 0 {
-		return nil, errf(http.StatusBadRequest, "ci_use must be non-negative, got %g", req.CIUse)
+		return in, errf(http.StatusBadRequest, "ci_use must be non-negative, got %g", req.CIUse)
 	}
 	if req.CITrace != "" {
 		// Resolve the named trace to its exact time-average intensity over
@@ -454,29 +313,42 @@ func (s *Server) buildDSE(r *http.Request, req DSERequest) (*DSEResponse, error)
 		s.metrics.ObserveTraceLookup()
 		cum, ok := s.traces[req.CITrace]
 		if !ok {
-			return nil, errf(http.StatusBadRequest, "unknown trace %q (see GET /v1/traces)", req.CITrace)
+			return in, errf(http.StatusBadRequest, "unknown trace %q (see GET /v1/traces)", req.CITrace)
 		}
 		if req.TraceLifeS <= 0 {
-			return nil, errf(http.StatusBadRequest, "trace_life_s must be positive, got %g", req.TraceLifeS)
+			return in, errf(http.StatusBadRequest, "trace_life_s must be positive, got %g", req.TraceLifeS)
 		}
 		avg, err := cum.AverageBetween(0, cordoba.Time(req.TraceLifeS))
 		if err != nil {
-			return nil, errf(http.StatusBadRequest, "%v", err)
+			return in, errf(http.StatusBadRequest, "%v", err)
 		}
 		req.CIUse = float64(avg)
 	}
 	if req.Sweep.Lo <= 0 || req.Sweep.Hi < req.Sweep.Lo || req.Sweep.Points < 1 || req.Sweep.Points > 10000 {
-		return nil, errf(http.StatusBadRequest,
+		return in, errf(http.StatusBadRequest,
 			"sweep needs 0 < lo <= hi and 1 <= points <= 10000, got lo=%g hi=%g points=%d",
 			req.Sweep.Lo, req.Sweep.Hi, req.Sweep.Points)
 	}
 	acct, err := s.resolveAccounting(req)
 	if err != nil {
+		return in, err
+	}
+	return dseInputs{req: req, task: task, proc: proc, fab: fab, acct: acct}, nil
+}
+
+func (s *Server) buildDSE(ctx context.Context, req DSERequest) (*DSEResponse, error) {
+	in, err := s.resolveDSE(req)
+	if err != nil {
 		return nil, err
 	}
-	if req.Knobs != nil {
-		return s.buildDSEStream(r, req, task, proc, fab, acct)
+	if in.req.Knobs != nil {
+		return s.buildDSEStream(ctx, in, cordoba.CheckpointOptions{})
 	}
+	return s.buildDSEGrid(ctx, in)
+}
+
+func (s *Server) buildDSEGrid(ctx context.Context, in dseInputs) (*DSEResponse, error) {
+	req, task, proc, fab := in.req, in.task, in.proc, in.fab
 	configs, err := s.resolveConfigs(req)
 	if err != nil {
 		return nil, err
@@ -484,7 +356,6 @@ func (s *Server) buildDSE(r *http.Request, req DSERequest) (*DSEResponse, error)
 
 	// The grid evaluation is the expensive part; it runs under a pool slot
 	// so a burst of uncached requests queues instead of oversubscribing.
-	ctx := r.Context()
 	if err := s.pool.Acquire(ctx); err != nil {
 		return nil, err
 	}
@@ -493,7 +364,7 @@ func (s *Server) buildDSE(r *http.Request, req DSERequest) (*DSEResponse, error)
 		return nil, err
 	}
 	space, err := cordoba.ExploreParallelWith(task, configs, proc, fab,
-		cordoba.CarbonIntensity(req.CIUse), s.pool.Workers(), acct)
+		cordoba.CarbonIntensity(req.CIUse), s.pool.Workers(), in.acct)
 	if err != nil {
 		return nil, errf(http.StatusBadRequest, "%v", err)
 	}
@@ -573,23 +444,27 @@ func dsePoint(p cordoba.DesignPoint) DSEPoint {
 // streaming engine: lazy grid enumeration, the server's shared shape-profile
 // memo, and an incremental convex envelope, so only the ever-optimal points
 // ever materialize.
-func (s *Server) buildDSEStream(r *http.Request, req DSERequest, task cordoba.Task, proc cordoba.Process, fab cordoba.Fab, acct cordoba.ExploreAccounting) (*DSEResponse, error) {
-	if req.Set != "" || len(req.Configs) > 0 {
-		return nil, errf(http.StatusBadRequest, "knobs excludes set and configs — give exactly one space")
+// knobGrid validates a knob-range request and materializes the lazy grid
+// description, applying the scalar process/model fields as single-axis
+// defaults.
+func (s *Server) knobGrid(req DSERequest, proc cordoba.Process) (cordoba.KnobGrid, error) {
+	var g cordoba.KnobGrid
+	if err := validateDSESpace(req); err != nil {
+		return g, err
 	}
 	k := req.Knobs
 	if len(k.MACArrays) == 0 || len(k.SRAMMB) == 0 {
-		return nil, errf(http.StatusBadRequest, "knobs needs non-empty mac_arrays and sram_mb")
+		return g, errf(http.StatusBadRequest, "knobs needs non-empty mac_arrays and sram_mb")
 	}
 	if len(k.Models) > 0 && req.Model != "" {
-		return nil, errf(http.StatusBadRequest, "give either model or knobs.models, not both")
+		return g, errf(http.StatusBadRequest, "give either model or knobs.models, not both")
 	}
 	for _, name := range k.Models {
 		if _, err := cordoba.CarbonModelByName(name); err != nil {
-			return nil, errf(http.StatusBadRequest, "%v (see GET /v1/models)", err)
+			return g, errf(http.StatusBadRequest, "%v (see GET /v1/models)", err)
 		}
 	}
-	g := cordoba.KnobGrid{
+	g = cordoba.KnobGrid{
 		MACArrays: k.MACArrays,
 		SRAMMB:    k.SRAMMB,
 		VDDScales: k.VDDScales,
@@ -605,11 +480,19 @@ func (s *Server) buildDSEStream(r *http.Request, req DSERequest, task cordoba.Ta
 		g.Models = []string{req.Model}
 	}
 	if size := g.Size(); size > s.cfg.MaxGridPoints {
-		return nil, errf(http.StatusBadRequest,
+		return g, errf(http.StatusBadRequest,
 			"knob grid has %d points, above this server's cap of %d", size, s.cfg.MaxGridPoints)
 	}
+	return g, nil
+}
 
-	ctx := r.Context()
+func (s *Server) buildDSEStream(ctx context.Context, in dseInputs, ck cordoba.CheckpointOptions) (*DSEResponse, error) {
+	req, task, fab := in.req, in.task, in.fab
+	g, err := s.knobGrid(req, in.proc)
+	if err != nil {
+		return nil, err
+	}
+
 	if err := s.pool.Acquire(ctx); err != nil {
 		return nil, err
 	}
@@ -617,8 +500,8 @@ func (s *Server) buildDSEStream(r *http.Request, req DSERequest, task cordoba.Ta
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res, err := cordoba.ExploreStreamAt(ctx, task, g, fab, cordoba.CarbonIntensity(req.CIUse),
-		cordoba.StreamOptions{Workers: s.pool.Workers(), Memo: s.memo, Yield: acct.Yield})
+	ck.StreamOptions = cordoba.StreamOptions{Workers: s.pool.Workers(), Memo: s.memo, Yield: in.acct.Yield}
+	res, err := cordoba.ExploreStreamCheckpointed(ctx, task, g, fab, cordoba.CarbonIntensity(req.CIUse), ck)
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
@@ -684,9 +567,6 @@ func (s *Server) taskByName(name string) (cordoba.Task, error) {
 // resolveConfigs materializes the design space a DSE request names.
 func (s *Server) resolveConfigs(req DSERequest) ([]cordoba.AcceleratorConfig, error) {
 	if len(req.Configs) > 0 {
-		if req.Set != "" {
-			return nil, errf(http.StatusBadRequest, "give either set or configs, not both")
-		}
 		out := make([]cordoba.AcceleratorConfig, 0, len(req.Configs))
 		for _, id := range req.Configs {
 			cfg, ok := s.configs[id]
@@ -709,13 +589,6 @@ func (s *Server) resolveConfigs(req DSERequest) ([]cordoba.AcceleratorConfig, er
 }
 
 // ---- GET /v1/experiments and /v1/experiments/{key} ----
-
-// experimentInfo is one row of the discovery listing.
-type experimentInfo struct {
-	Key     string   `json:"key"`
-	Title   string   `json:"title"`
-	Formats []string `json:"formats"`
-}
 
 func (s *Server) handleExperimentsList(w http.ResponseWriter, r *http.Request) error {
 	var out []experimentInfo
@@ -756,13 +629,6 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) error 
 
 // ---- GET /v1/tasks and /v1/configs ----
 
-// taskInfo describes one servable task.
-type taskInfo struct {
-	Name       string             `json:"name"`
-	Kernels    map[string]float64 `json:"kernels"`
-	TotalCalls float64            `json:"total_calls"`
-}
-
 func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) error {
 	tasks := append(cordoba.PaperTasks(), cordoba.XRGamingTask())
 	out := make([]taskInfo, 0, len(tasks))
@@ -775,17 +641,6 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) error {
 	}
 	_, err := writeJSON(w, http.StatusOK, out)
 	return err
-}
-
-// configInfo describes one accelerator configuration.
-type configInfo struct {
-	ID        string  `json:"id"`
-	MACArrays int     `json:"mac_arrays"`
-	TotalMACs int     `json:"total_macs"`
-	SRAMMB    float64 `json:"sram_mb"`
-	Is3D      bool    `json:"is_3d,omitempty"`
-	MemDies   int     `json:"mem_dies,omitempty"`
-	AreaCM2   float64 `json:"area_cm2"`
 }
 
 func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) error {
@@ -817,18 +672,6 @@ func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) error {
 }
 
 // ---- GET /v1/models ----
-
-// modelInfo describes one embodied-carbon backend.
-type modelInfo struct {
-	Name        string `json:"name"`
-	Description string `json:"description"`
-}
-
-// modelsResponse lists the selectable accounting backends and yield models.
-type modelsResponse struct {
-	Models      []modelInfo `json:"models"`
-	YieldModels []string    `json:"yield_models"`
-}
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) error {
 	resp := modelsResponse{YieldModels: cordoba.YieldModelNames()}

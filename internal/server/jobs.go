@@ -1,0 +1,262 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"cordoba"
+	"cordoba/api"
+	"cordoba/internal/job"
+)
+
+// jobKindDSE is the only job kind the daemon runs today: an asynchronous
+// POST /v1/dse body. The job manager itself is kind-agnostic, so future
+// long-running endpoints register alongside without touching the queue.
+const jobKindDSE = "dse"
+
+// initJobs assembles the async job subsystem: the bounded manager with the
+// DSE runner registered, plus the cordobad_jobs_* metrics reporter.
+func (s *Server) initJobs() {
+	m, err := job.NewManager(job.Config{
+		Workers:    s.cfg.JobWorkers,
+		QueueDepth: s.cfg.JobQueue,
+		Dir:        s.cfg.JobDir,
+		Logger:     s.log,
+	})
+	if err != nil {
+		// The only failure mode is an unusable -job-dir; surface it at
+		// startup rather than on the first submission.
+		panic(err)
+	}
+	m.SetRunner(jobKindDSE, s.runDSEJob)
+	s.jobs = m
+	s.metrics.SetJobStats(m.Counts)
+	m.Start()
+}
+
+// Jobs exposes the job manager (tests and the daemon banner).
+func (s *Server) Jobs() *job.Manager { return s.jobs }
+
+// Close stops the job workers, giving running jobs a moment to checkpoint
+// and requeue. The HTTP side is unaffected; Serve calls this on drain.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.jobs.Stop(ctx)
+}
+
+// ---- POST /v1/jobs ----
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) error {
+	var req DSERequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		return err
+	}
+	// Validate and normalize at submission so a bad body fails with a 400
+	// now, not as a failed job the client has to poll to discover.
+	req, err := defaultDSE(req)
+	if err != nil {
+		return err
+	}
+	if _, err := s.resolveDSE(req); err != nil {
+		return err
+	}
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	st, err := s.jobs.Submit(jobKindDSE, raw)
+	if errors.Is(err, job.ErrQueueFull) {
+		return &apiError{
+			status:     http.StatusTooManyRequests,
+			code:       api.CodeQueueFull,
+			msg:        err.Error(),
+			retryAfter: s.jobs.RetryAfter(),
+		}
+	}
+	if err != nil {
+		return err
+	}
+	_, err = writeJSON(w, http.StatusAccepted, jobStatusWire(st))
+	return err
+}
+
+// ---- GET /v1/jobs and /v1/jobs/{id} ----
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) error {
+	sts := s.jobs.List()
+	out := api.JobList{Jobs: make([]api.JobStatus, 0, len(sts))}
+	for _, st := range sts {
+		out.Jobs = append(out.Jobs, jobStatusWire(st))
+	}
+	_, err := writeJSON(w, http.StatusOK, out)
+	return err
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) error {
+	st, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		return jobLookupError(r.PathValue("id"), err)
+	}
+	_, err = writeJSON(w, http.StatusOK, jobStatusWire(st))
+	return err
+}
+
+// ---- DELETE /v1/jobs/{id} ----
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) error {
+	st, err := s.jobs.Cancel(r.PathValue("id"))
+	if err != nil {
+		return jobLookupError(r.PathValue("id"), err)
+	}
+	_, err = writeJSON(w, http.StatusOK, jobStatusWire(st))
+	return err
+}
+
+// ---- GET /v1/jobs/{id}/result ----
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) error {
+	result, st, err := s.jobs.Result(r.PathValue("id"))
+	if err != nil {
+		return jobLookupError(r.PathValue("id"), err)
+	}
+	switch st.State {
+	case job.StateSucceeded:
+		// The runner stored the bytes pre-rendered by the same marshaler the
+		// synchronous endpoint uses, so the two paths answer byte-identically.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, err := w.Write(result)
+		return err
+	case job.StateFailed:
+		return errc(http.StatusConflict, api.CodeJobFailed, "job %s failed: %s", st.ID, st.Error)
+	case job.StateCanceled:
+		return errc(http.StatusConflict, api.CodeJobCanceled, "job %s was canceled", st.ID)
+	default:
+		return errc(http.StatusConflict, api.CodeNotReady, "job %s is %s; retry after it finishes", st.ID, st.State)
+	}
+}
+
+func jobLookupError(id string, err error) error {
+	if errors.Is(err, job.ErrNotFound) {
+		return errf(http.StatusNotFound, "unknown job %q", id)
+	}
+	return err
+}
+
+// jobStatusWire renders a manager status in the public wire form, deriving
+// elapsed time and the ETA extrapolation.
+func jobStatusWire(st job.Status) api.JobStatus {
+	out := api.JobStatus{
+		ID:   st.ID,
+		Kind: st.Kind,
+		State: map[job.State]api.JobState{
+			job.StateQueued:    api.JobQueued,
+			job.StateRunning:   api.JobRunning,
+			job.StateSucceeded: api.JobSucceeded,
+			job.StateFailed:    api.JobFailed,
+			job.StateCanceled:  api.JobCanceled,
+		}[st.State],
+		Error: st.Error,
+		Progress: api.JobProgress{
+			GridPoints:  st.Progress.GridPoints,
+			Streamed:    st.Progress.Streamed,
+			Pruned:      st.Progress.Pruned,
+			Kept:        st.Progress.Kept,
+			ShapesDone:  st.Progress.ShapesDone,
+			ShapesTotal: st.Progress.ShapesTotal,
+		},
+		CreatedAt:    st.Created,
+		Resumes:      st.Resumes,
+		Checkpointed: st.HasCheckpoint,
+		HasResult:    st.HasResult,
+	}
+	if !st.Started.IsZero() {
+		t := st.Started
+		out.StartedAt = &t
+		end := time.Now()
+		if !st.Finished.IsZero() {
+			t2 := st.Finished
+			out.FinishedAt = &t2
+			end = st.Finished
+		}
+		elapsed := end.Sub(st.Started).Seconds()
+		if elapsed > 0 {
+			out.Progress.ElapsedS = elapsed
+		}
+		if st.State == job.StateRunning && st.Progress.ShapesDone > 0 && st.Progress.ShapesTotal > st.Progress.ShapesDone {
+			perShape := elapsed / float64(st.Progress.ShapesDone)
+			out.Progress.ETAS = perShape * float64(st.Progress.ShapesTotal-st.Progress.ShapesDone)
+		}
+	}
+	return out
+}
+
+// ---- the DSE job runner ----
+
+// runDSEJob executes one queued DSE request under the job's context. Knob
+// (streaming) requests checkpoint every cfg.CheckpointEvery shapes and
+// resume from the last checkpoint after a crash or redeploy; the ordered
+// engine makes the resumed run bit-identical to an uninterrupted one. The
+// result bytes are rendered with the synchronous endpoint's marshaler so
+// GET /v1/jobs/{id}/result matches POST /v1/dse exactly.
+func (s *Server) runDSEJob(ctx context.Context, rc job.RunContext) (json.RawMessage, error) {
+	var req DSERequest
+	if err := json.Unmarshal(rc.Request(), &req); err != nil {
+		return nil, err
+	}
+	in, err := s.resolveDSE(req)
+	if err != nil {
+		return nil, err
+	}
+
+	var resp *DSEResponse
+	if in.req.Knobs == nil {
+		// Materialized spaces evaluate in one shot; no intermediate state
+		// worth persisting.
+		resp, err = s.buildDSEGrid(ctx, in)
+	} else {
+		ck := cordoba.CheckpointOptions{Every: s.cfg.CheckpointEvery}
+		if cp := rc.Checkpoint(); len(cp) > 0 {
+			var st cordoba.StreamCheckpoint
+			if err := json.Unmarshal(cp, &st); err != nil {
+				return nil, err
+			}
+			ck.Resume = &st
+		}
+		ck.OnCheckpoint = func(st *cordoba.StreamCheckpoint) error {
+			b, err := json.Marshal(st)
+			if err != nil {
+				return err
+			}
+			return rc.SaveCheckpoint(b)
+		}
+		g, gerr := s.knobGrid(in.req, in.proc)
+		if gerr != nil {
+			return nil, gerr
+		}
+		gridPoints := g.Size()
+		ck.OnProgress = func(p cordoba.StreamProgress) {
+			rc.ReportProgress(job.Progress{
+				GridPoints:  gridPoints,
+				Streamed:    p.Streamed,
+				Pruned:      p.Pruned,
+				Kept:        p.Kept,
+				ShapesDone:  p.ShapesDone,
+				ShapesTotal: p.ShapesTotal,
+			})
+		}
+		resp, err = s.buildDSEStream(ctx, in, ck)
+	}
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

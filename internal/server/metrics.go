@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"cordoba/internal/job"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the request-duration
@@ -74,6 +76,10 @@ type Metrics struct {
 	// memoStats, when set, reports the shared shape-profile memo cache
 	// (hits, misses, live entries) at exposition time.
 	memoStats func() (hits, misses int64, entries int)
+
+	// jobStats, when set, samples the async job manager's counters at
+	// exposition time (queue depth, running jobs, lifecycle totals).
+	jobStats func() job.Counts
 }
 
 // NewMetrics returns an empty registry; poolSize is exported as a gauge so
@@ -163,6 +169,11 @@ func (m *Metrics) TraceLookups() int64 { return m.traceLookups.Load() }
 // SetMemoStats installs the memo-cache reporter sampled by WriteProm.
 func (m *Metrics) SetMemoStats(f func() (hits, misses int64, entries int)) {
 	m.memoStats = f
+}
+
+// SetJobStats installs the job-manager reporter sampled by WriteProm.
+func (m *Metrics) SetJobStats(f func() job.Counts) {
+	m.jobStats = f
 }
 
 // WriteProm renders the registry in Prometheus text exposition format.
@@ -267,6 +278,33 @@ func (m *Metrics) WriteProm(w io.Writer) error {
 		p("# HELP cordobad_memo_entries Shape profiles currently cached.\n")
 		p("# TYPE cordobad_memo_entries gauge\n")
 		p("cordobad_memo_entries %d\n", entries)
+	}
+
+	if m.jobStats != nil {
+		c := m.jobStats()
+		p("# HELP cordobad_jobs_queued Jobs waiting for a worker.\n")
+		p("# TYPE cordobad_jobs_queued gauge\n")
+		p("cordobad_jobs_queued %d\n", c.Queued)
+		p("# HELP cordobad_jobs_running Jobs currently executing.\n")
+		p("# TYPE cordobad_jobs_running gauge\n")
+		p("cordobad_jobs_running %d\n", c.Running)
+		p("# HELP cordobad_jobs_finished_total Jobs finished by terminal state.\n")
+		p("# TYPE cordobad_jobs_finished_total counter\n")
+		p("cordobad_jobs_finished_total{state=\"succeeded\"} %d\n", c.Succeeded)
+		p("cordobad_jobs_finished_total{state=\"failed\"} %d\n", c.Failed)
+		p("cordobad_jobs_finished_total{state=\"canceled\"} %d\n", c.Canceled)
+		p("# HELP cordobad_jobs_submitted_total Jobs accepted by admission control.\n")
+		p("# TYPE cordobad_jobs_submitted_total counter\n")
+		p("cordobad_jobs_submitted_total %d\n", c.Submitted)
+		p("# HELP cordobad_jobs_rejected_total Submissions rejected with 429 queue_full.\n")
+		p("# TYPE cordobad_jobs_rejected_total counter\n")
+		p("cordobad_jobs_rejected_total %d\n", c.Rejected)
+		p("# HELP cordobad_jobs_resumed_total Jobs restarted from a persisted checkpoint.\n")
+		p("# TYPE cordobad_jobs_resumed_total counter\n")
+		p("cordobad_jobs_resumed_total %d\n", c.Resumed)
+		p("# HELP cordobad_jobs_checkpoints_total Checkpoints written by running jobs.\n")
+		p("# TYPE cordobad_jobs_checkpoints_total counter\n")
+		p("cordobad_jobs_checkpoints_total %d\n", c.Checkpoints)
 	}
 
 	p("# HELP cordobad_inflight_requests HTTP requests currently being served.\n")

@@ -6,34 +6,60 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
+
+	"cordoba/api"
 )
 
 // StatusClientClosedRequest is the nginx-convention status recorded when
 // the client canceled the request before a response was written.
 const StatusClientClosedRequest = 499
 
-// apiError is an error carrying the HTTP status it should be reported as.
+// apiError is an error carrying the HTTP status and machine-readable code
+// it should be reported as, plus an optional Retry-After hint.
 type apiError struct {
-	status int
-	msg    string
+	status     int
+	code       string
+	msg        string
+	retryAfter time.Duration
 }
 
 func (e *apiError) Error() string { return e.msg }
 
-// errf builds an apiError with a formatted message.
+// errf builds an apiError with a formatted message; the code defaults from
+// the status via codeForStatus.
 func errf(status int, format string, args ...any) error {
 	return &apiError{status: status, msg: fmt.Sprintf(format, args...)}
 }
 
-// errorEnvelope is the JSON error body every endpoint returns on failure.
-type errorEnvelope struct {
-	Error errorBody `json:"error"`
+// errc builds an apiError with an explicit error code for cases where the
+// status alone is ambiguous (the 409s on the job-result endpoint, say).
+func errc(status int, code, format string, args ...any) error {
+	return &apiError{status: status, code: code, msg: fmt.Sprintf(format, args...)}
 }
 
-type errorBody struct {
-	Status  int    `json:"status"`
-	Message string `json:"message"`
+// codeForStatus maps an HTTP status onto the default machine-readable code
+// the envelope carries when the handler didn't pick one explicitly.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return api.CodeInvalidRequest
+	case http.StatusNotFound:
+		return api.CodeNotFound
+	case http.StatusRequestEntityTooLarge:
+		return api.CodePayloadTooLarge
+	case http.StatusTooManyRequests:
+		return api.CodeQueueFull
+	case http.StatusConflict:
+		return api.CodeNotReady
+	case http.StatusGatewayTimeout:
+		return api.CodeTimeout
+	case StatusClientClosedRequest:
+		return api.CodeClientClosed
+	default:
+		return api.CodeInternal
+	}
 }
 
 // statusRecorder captures the status code and byte count written by a
@@ -117,7 +143,9 @@ func writeError(w *statusRecorder, err error) {
 		return // headers already sent; can't change the status mid-stream
 	}
 	status := http.StatusInternalServerError
+	code := ""
 	msg := err.Error()
+	var retryAfter time.Duration
 	var (
 		ae *apiError
 		mb *http.MaxBytesError
@@ -125,6 +153,8 @@ func writeError(w *statusRecorder, err error) {
 	switch {
 	case errors.As(err, &ae):
 		status = ae.status
+		code = ae.code
+		retryAfter = ae.retryAfter
 	case errors.As(err, &mb):
 		status = http.StatusRequestEntityTooLarge
 		msg = fmt.Sprintf("request body exceeds %d bytes", mb.Limit)
@@ -135,9 +165,18 @@ func writeError(w *statusRecorder, err error) {
 		status = StatusClientClosedRequest
 		msg = "client closed request"
 	}
+	if code == "" {
+		code = codeForStatus(status)
+	}
 	w.Header().Set("Content-Type", "application/json")
+	if retryAfter > 0 {
+		// Ceil to whole seconds: Retry-After is integral, and rounding down
+		// would invite a retry before the queue can possibly have drained.
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(errorEnvelope{Error: errorBody{Status: status, Message: msg}})
+	_ = json.NewEncoder(w).Encode(errorEnvelope{Error: errorBody{Status: status, Code: code, Message: msg}})
 }
 
 // writeJSON marshals v and writes it with the given status. The body is

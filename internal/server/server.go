@@ -19,6 +19,11 @@
 //
 //	POST /v1/accounting          ACT embodied carbon for a die or accelerator
 //	POST /v1/dse                 task + design space → ever-optimal set, sweep
+//	POST /v1/jobs                submit a DSE body for async execution (202)
+//	GET  /v1/jobs                list jobs, newest first
+//	GET  /v1/jobs/{id}           job status with live progress and ETA
+//	DELETE /v1/jobs/{id}         cancel a queued or running job
+//	GET  /v1/jobs/{id}/result    fetch a finished job's DSE response
 //	GET  /v1/experiments         experiment discovery
 //	GET  /v1/experiments/{key}   stream one experiment (json, csv, or text)
 //	GET  /v1/traces              named CI_use(t) trace registry with exact stats
@@ -39,6 +44,7 @@ import (
 	"time"
 
 	"cordoba"
+	"cordoba/internal/job"
 )
 
 // Config tunes the daemon; zero values select production defaults.
@@ -52,6 +58,14 @@ type Config struct {
 	MaxGridPoints  int64         // knob-grid size cap per request, default 1<<20
 	MemoEntries    int           // shape-profile memo entries, default cordoba.DefaultMemoEntries
 	Logger         *slog.Logger  // default slog.Default()
+
+	// Async job subsystem (POST /v1/jobs). Zero values select the job
+	// package defaults; JobDir empty keeps jobs in memory only (no
+	// crash-resume across restarts).
+	JobWorkers      int    // concurrent job executions, default job.DefaultWorkers
+	JobQueue        int    // admission-control queue depth, default job.DefaultQueueDepth
+	JobDir          string // checkpoint/state directory; empty = memory only
+	CheckpointEvery int    // shapes between streaming checkpoints, default 8; <0 disables
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +86,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 8
+	} else if c.CheckpointEvery < 0 {
+		c.CheckpointEvery = 0
 	}
 	return c
 }
@@ -97,6 +116,10 @@ type Server struct {
 	// integral prebuilt, so /v1/schedule and trace-aware /v1/dse evaluate
 	// in O(log n) per window with no per-request quadrature.
 	traces map[string]*cordoba.CumulativeCI
+
+	// jobs is the async exploration queue behind POST /v1/jobs: bounded
+	// admission, per-job cancellation, and checkpointed crash-resume.
+	jobs *job.Manager
 }
 
 // New assembles a Server from the configuration.
@@ -135,8 +158,15 @@ func New(cfg Config) *Server {
 		return hits, misses, s.memo.Len()
 	})
 
+	s.initJobs()
+
 	s.mux.Handle("POST /v1/accounting", s.instrument("/v1/accounting", s.handleAccounting))
 	s.mux.Handle("POST /v1/dse", s.instrument("/v1/dse", s.handleDSE))
+	s.mux.Handle("POST /v1/jobs", s.instrument("/v1/jobs", s.handleJobSubmit))
+	s.mux.Handle("GET /v1/jobs", s.instrument("/v1/jobs", s.handleJobList))
+	s.mux.Handle("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobGet))
+	s.mux.Handle("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobCancel))
+	s.mux.Handle("GET /v1/jobs/{id}/result", s.instrument("/v1/jobs/{id}/result", s.handleJobResult))
 	s.mux.Handle("GET /v1/experiments", s.instrument("/v1/experiments", s.handleExperimentsList))
 	s.mux.Handle("GET /v1/experiments/{key}", s.instrument("/v1/experiments/{key}", s.handleExperiment))
 	s.mux.Handle("GET /v1/traces", s.instrument("/v1/traces", s.handleTraces))
@@ -195,6 +225,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener, grace time.Duration
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return err
+	}
+	// Stop the job workers after the HTTP side drains: running jobs
+	// checkpoint and requeue so the next start resumes them.
+	if err := s.jobs.Stop(shutdownCtx); err != nil {
+		log.Warn("job manager shutdown", "err", err)
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err

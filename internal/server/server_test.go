@@ -29,7 +29,9 @@ func newTestServer(t *testing.T, cfg Config) *Server {
 	if cfg.Logger == nil {
 		cfg.Logger = quietLogger()
 	}
-	return New(cfg)
+	s := New(cfg)
+	t.Cleanup(func() { _ = s.Close() })
+	return s
 }
 
 // do runs one request through the full middleware stack and returns the
@@ -200,6 +202,7 @@ func TestDSECacheHitIsByteIdentical(t *testing.T) {
 type errEnvelope struct {
 	Error struct {
 		Status  int    `json:"status"`
+		Code    string `json:"code"`
 		Message string `json:"message"`
 	} `json:"error"`
 }
@@ -222,7 +225,8 @@ func TestErrorPaths(t *testing.T) {
 		{"unknown task", "POST", "/v1/dse", `{"task":"bogus"}`, http.StatusBadRequest, `unknown task "bogus"`},
 		{"unknown config id", "POST", "/v1/dse", `{"task":"All kernels","configs":["a999"]}`, http.StatusBadRequest, `unknown accelerator config "a999"`},
 		{"unknown set", "POST", "/v1/dse", `{"task":"All kernels","set":"5d"}`, http.StatusBadRequest, "unknown config set"},
-		{"set and configs", "POST", "/v1/dse", `{"task":"All kernels","set":"grid","configs":["a1"]}`, http.StatusBadRequest, "not both"},
+		{"set and configs", "POST", "/v1/dse", `{"task":"All kernels","set":"grid","configs":["a1"]}`, http.StatusBadRequest, "fields set, configs are mutually exclusive"},
+		{"all three spaces", "POST", "/v1/dse", `{"task":"All kernels","set":"grid","configs":["a1"],"knobs":{"mac_arrays":[1],"sram_mb":[2]}}`, http.StatusBadRequest, "fields set, configs, knobs are mutually exclusive"},
 		{"bad sweep", "POST", "/v1/dse", `{"task":"All kernels","sweep":{"lo":-1,"hi":10,"points":3}}`, http.StatusBadRequest, "sweep"},
 		{"negative ci", "POST", "/v1/dse", `{"task":"All kernels","ci_use":-5}`, http.StatusBadRequest, "ci_use"},
 		{"oversized body", "POST", "/v1/dse", `{"task":"` + strings.Repeat("x", 600) + `"}`, http.StatusRequestEntityTooLarge, "exceeds 512 bytes"},
@@ -245,6 +249,14 @@ func TestErrorPaths(t *testing.T) {
 			env := decodeBody[errEnvelope](t, w)
 			if env.Error.Status != tt.wantStatus {
 				t.Fatalf("envelope status = %d, want %d", env.Error.Status, tt.wantStatus)
+			}
+			wantCode := map[int]string{
+				http.StatusBadRequest:            "invalid_request",
+				http.StatusNotFound:              "not_found",
+				http.StatusRequestEntityTooLarge: "payload_too_large",
+			}[tt.wantStatus]
+			if env.Error.Code != wantCode {
+				t.Fatalf("envelope code = %q, want %q", env.Error.Code, wantCode)
 			}
 			if tt.wantMsg != "" && !strings.Contains(env.Error.Message, tt.wantMsg) {
 				t.Fatalf("message %q does not contain %q", env.Error.Message, tt.wantMsg)

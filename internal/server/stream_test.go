@@ -142,10 +142,10 @@ func TestDSEKnobsErrors(t *testing.T) {
 	}{
 		{"knobs and set",
 			`{"task":"All kernels","set":"grid","knobs":{"mac_arrays":[1],"sram_mb":[2]}}`,
-			"knobs excludes set and configs"},
+			"fields set, knobs are mutually exclusive"},
 		{"knobs and configs",
 			`{"task":"All kernels","configs":["a1"],"knobs":{"mac_arrays":[1],"sram_mb":[2]}}`,
-			"knobs excludes set and configs"},
+			"fields configs, knobs are mutually exclusive"},
 		{"empty axes",
 			`{"task":"All kernels","knobs":{"mac_arrays":[],"sram_mb":[2]}}`,
 			"non-empty mac_arrays and sram_mb"},

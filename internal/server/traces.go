@@ -8,17 +8,6 @@ import (
 
 // ---- GET /v1/traces ----
 
-// traceInfo is one row of the trace-registry listing. The daily and annual
-// statistics come from the exact cumulative engine, so clients can pick a
-// grid without integrating anything themselves.
-type traceInfo struct {
-	Name      string  `json:"name"`
-	MeanDayG  float64 `json:"mean_ci_24h_g_per_kwh"`
-	MeanYearG float64 `json:"mean_ci_1y_g_per_kwh"`
-	MinDayG   float64 `json:"min_ci_24h_g_per_kwh"`
-	MaxDayG   float64 `json:"max_ci_24h_g_per_kwh"`
-}
-
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) error {
 	out := make([]traceInfo, 0, len(s.traces))
 	for _, tr := range cordoba.NamedCITraces() {
@@ -59,36 +48,6 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) error {
 }
 
 // ---- POST /v1/schedule ----
-
-// ScheduleRequest asks for the lowest-carbon execution window for a
-// deferrable job on a named CI_use(t) trace. Times are seconds from now.
-type ScheduleRequest struct {
-	Trace     string  `json:"trace"`
-	DurationS float64 `json:"duration_s"`
-	PowerW    float64 `json:"power_w"`
-	DeadlineS float64 `json:"deadline_s"`
-	StepS     float64 `json:"step_s,omitempty"` // candidate granularity, default 900
-}
-
-// ScheduleWindow is one execution slot in the response.
-type ScheduleWindow struct {
-	StartS    float64 `json:"start_s"`
-	EndS      float64 `json:"end_s"`
-	CarbonG   float64 `json:"carbon_gco2e"`
-	AvgCIG    float64 `json:"avg_ci_g_per_kwh"`
-	StartHour float64 `json:"start_hour"` // convenience: start_s / 3600
-}
-
-// ScheduleResponse reports the search outcome.
-type ScheduleResponse struct {
-	Trace      string         `json:"trace"`
-	Best       ScheduleWindow `json:"best"`
-	Worst      ScheduleWindow `json:"worst"`
-	Immediate  ScheduleWindow `json:"immediate"`
-	Candidates int            `json:"candidates"`
-	// SavingsFraction is 1 − best/immediate carbon: what deferring saves.
-	SavingsFraction float64 `json:"savings_fraction"`
-}
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) error {
 	var req ScheduleRequest

@@ -1,0 +1,35 @@
+package server
+
+import "cordoba/api"
+
+// The JSON wire contract lives in the public api package; the server aliases
+// every type so handlers keep their historical names while requests and
+// responses stay structurally identical to what clients import. The golden
+// tests in api/ lock the rendered format.
+type (
+	AccelSpec          = api.AccelSpec
+	YieldSpec          = api.YieldSpec
+	AccountingRequest  = api.AccountingRequest
+	AccountingResponse = api.AccountingResponse
+
+	SweepSpec     = api.SweepSpec
+	KnobRangeSpec = api.KnobRangeSpec
+	DSERequest    = api.DSERequest
+	DSEPoint      = api.DSEPoint
+	SweepEntry    = api.SweepEntry
+	DSEResponse   = api.DSEResponse
+
+	ScheduleRequest  = api.ScheduleRequest
+	ScheduleWindow   = api.ScheduleWindow
+	ScheduleResponse = api.ScheduleResponse
+
+	traceInfo      = api.TraceInfo
+	experimentInfo = api.ExperimentInfo
+	taskInfo       = api.TaskInfo
+	configInfo     = api.ConfigInfo
+	modelInfo      = api.ModelInfo
+	modelsResponse = api.ModelsResponse
+
+	errorEnvelope = api.ErrorEnvelope
+	errorBody     = api.ErrorBody
+)
