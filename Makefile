@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt-check race ci bench bench-server bench-check bench-baseline fuzz-smoke run-daemon
+.PHONY: build test vet fmt-check race ci bench bench-server bench-check bench-cluster bench-baseline fuzz-smoke run-daemon
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 race:
-	$(GO) test -race ./internal/server/... ./internal/job/... ./internal/dse/... ./internal/pareto/... ./internal/grid/... ./internal/sched/... ./internal/carbon/... ./internal/accel/... ./client/... ./api/...
+	$(GO) test -race ./internal/server/... ./internal/job/... ./internal/cluster/... ./internal/dse/... ./internal/pareto/... ./internal/grid/... ./internal/sched/... ./internal/carbon/... ./internal/accel/... ./client/... ./api/...
 
 ci: build vet fmt-check test race
 
@@ -41,9 +41,19 @@ bench-check:
 	$(GO) test -run '^$$' -bench BenchmarkStreamingDSE -benchtime 1x . | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json
 	$(GO) test -run '^$$' -bench BenchmarkScheduleWindow -benchtime 1x ./internal/sched | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json
 
+# Guard the distributed-DSE paths: the single-node walk of the 2^20-point
+# acceptance grid, the same grid fanned out across three in-process workers
+# (the delta over `single` is the coordinator's whole fan-out overhead —
+# dispatch, polling, envelope decode, merge), and the isolated merge path.
+bench-cluster:
+	$(GO) test -run '^$$' -bench BenchmarkClusterDSE -benchtime 1x ./internal/cluster | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json
+	$(GO) test -run '^$$' -bench BenchmarkClusterMerge -benchtime 100x ./internal/cluster | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json
+
 bench-baseline:
 	$(GO) test -run '^$$' -bench BenchmarkStreamingDSE -benchtime 1x . | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
 	$(GO) test -run '^$$' -bench BenchmarkScheduleWindow -benchtime 1x ./internal/sched | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
+	$(GO) test -run '^$$' -bench BenchmarkClusterDSE -benchtime 1x ./internal/cluster | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
+	$(GO) test -run '^$$' -bench BenchmarkClusterMerge -benchtime 100x ./internal/cluster | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
 
 # Ten seconds of coverage-guided fuzzing per target (one -fuzz per
 # invocation is a `go test` restriction). Seed corpora live under each

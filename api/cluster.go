@@ -1,0 +1,73 @@
+package api
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// ---- distributed DSE (coordinator / worker) ----
+
+// ShardSpec restricts a knob-range DSE job to a contiguous run of grid
+// shapes: shapes [first, first+count) of the shape-major enumeration.
+// Coordinators attach it to the worker-facing job body; survivor IDs stay
+// global, so the worker's envelope merges losslessly into the whole-grid
+// result. Resume, when present, carries the shard's last checkpoint (the
+// opaque engine checkpoint JSON) so a requeued shard continues instead of
+// restarting.
+type ShardSpec struct {
+	First  int             `json:"first"`
+	Count  int             `json:"count"`
+	Resume json.RawMessage `json:"resume,omitempty"`
+}
+
+// ShardPoint is one surviving design in a worker's shard envelope. Index is
+// the point's global grid index — the coordinate the merge tie-breaks on.
+// Config is the evaluated accelerator configuration marshaled verbatim
+// (including the per-point knob scalings baked into its parameters); it and
+// the float64 metrics round-trip bit-exactly through JSON, so a merged
+// result is identical to a single-node run.
+type ShardPoint struct {
+	Index     int64           `json:"index"`
+	Config    json.RawMessage `json:"config"`
+	Model     string          `json:"model,omitempty"`
+	DelayS    float64         `json:"delay_s"`
+	EnergyJ   float64         `json:"energy_j"`
+	EmbodiedG float64         `json:"embodied_gco2e"`
+	AreaCM2   float64         `json:"area_cm2"`
+}
+
+// ShardEnvelope is a worker's result for one shard: the surviving
+// lower-convex-envelope vertices plus the counters and sufficient statistics
+// the coordinator folds into the merged exploration.
+type ShardEnvelope struct {
+	Task           string       `json:"task"`
+	First          int          `json:"first"`
+	Count          int          `json:"count"`
+	CIUse          float64      `json:"ci_use_g_per_kwh"`
+	PointsStreamed int64        `json:"points_streamed"`
+	PrePruned      int64        `json:"pre_pruned"`
+	Offered        int64        `json:"offered"`
+	SumEDP         float64      `json:"sum_edp"`
+	SumEmbD        float64      `json:"sum_embd"`
+	Survivors      []ShardPoint `json:"survivors"`
+}
+
+// ClusterWorker is one worker's row in the GET /v1/cluster listing.
+type ClusterWorker struct {
+	URL           string     `json:"url"`
+	State         string     `json:"state"` // "up" or "down"
+	LastHeartbeat *time.Time `json:"last_heartbeat,omitempty"`
+	ShardsDone    int64      `json:"shards_done"`
+	ShardsFailed  int64      `json:"shards_failed"`
+	AvgShardS     float64    `json:"avg_shard_s,omitempty"`
+}
+
+// ClusterStatus is the GET /v1/cluster response: the daemon's role and, for
+// coordinators, the worker membership and lifetime shard counters.
+type ClusterStatus struct {
+	Role             string          `json:"role"`
+	Workers          []ClusterWorker `json:"workers,omitempty"`
+	ShardsDispatched int64           `json:"shards_dispatched"`
+	ShardsRetried    int64           `json:"shards_retried"`
+	ShardsMerged     int64           `json:"shards_merged"`
+}

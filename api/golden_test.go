@@ -102,6 +102,43 @@ func goldenCases() map[string]any {
 		"job_list": JobList{Jobs: []JobStatus{{
 			ID: "j0123456789ab", Kind: "dse", State: JobQueued, CreatedAt: t0,
 		}}},
+		"dse_request_shard": DSERequest{
+			Task: "All kernels", CIUse: 380,
+			Knobs: &KnobRangeSpec{MACArrays: []int{16, 32}, SRAMMB: []float64{4, 8}},
+			Shard: &ShardSpec{First: 4, Count: 3, Resume: json.RawMessage(`{"fingerprint":"ab12"}`)},
+		},
+		"dse_request_cluster": DSERequest{
+			Task: "All kernels", CIUse: 380,
+			Knobs:  &KnobRangeSpec{MACArrays: []int{16, 32}, SRAMMB: []float64{4, 8}},
+			Shards: 4,
+		},
+		"shard_envelope": ShardEnvelope{
+			Task: "All kernels", First: 4, Count: 3, CIUse: 380,
+			PointsStreamed: 120, PrePruned: 98, Offered: 22,
+			SumEDP: 1.0625, SumEmbD: 212.5,
+			Survivors: []ShardPoint{{
+				Index:  17,
+				Config: json.RawMessage(`{"ID":"k18","MACArrays":32,"SRAM":8388608}`),
+				Model:  "act",
+				DelayS: 0.25, EnergyJ: 1.5, EmbodiedG: 900, AreaCM2: 1.2,
+			}},
+		},
+		"cluster_status": ClusterStatus{
+			Role: "coordinator",
+			Workers: []ClusterWorker{
+				{URL: "http://127.0.0.1:8081", State: "up", LastHeartbeat: &t1, ShardsDone: 7, AvgShardS: 1.25},
+				{URL: "http://127.0.0.1:8082", State: "down", ShardsDone: 3, ShardsFailed: 1},
+			},
+			ShardsDispatched: 11, ShardsRetried: 1, ShardsMerged: 10,
+		},
+		"job_status_cluster": JobStatus{
+			ID: "jc0ffee123456", Kind: "dse-cluster", State: JobRunning,
+			Progress: JobProgress{
+				GridPoints: 1048576, Streamed: 524288, Pruned: 524200, Kept: 88,
+				ShardsDone: 2, ShardsTotal: 4, ElapsedS: 7.5, ETAS: 7.5,
+			},
+			CreatedAt: t0, StartedAt: &t1, Checkpointed: true,
+		},
 	}
 }
 
@@ -190,6 +227,10 @@ func newSameType(v any) any {
 		return new(JobStatus)
 	case JobList:
 		return new(JobList)
+	case ShardEnvelope:
+		return new(ShardEnvelope)
+	case ClusterStatus:
+		return new(ClusterStatus)
 	default:
 		panic("add the type to newSameType")
 	}

@@ -32,6 +32,10 @@ type JobProgress struct {
 	// ratio is the job's completion fraction.
 	ShapesDone  int `json:"shapes_done"`
 	ShapesTotal int `json:"shapes_total"`
+	// ShardsDone / ShardsTotal track a distributed (sharded) job's fan-out;
+	// zero for single-node jobs.
+	ShardsDone  int `json:"shards_done,omitempty"`
+	ShardsTotal int `json:"shards_total,omitempty"`
 	// ElapsedS is seconds since the job started running (0 while queued).
 	ElapsedS float64 `json:"elapsed_s"`
 	// ETAS extrapolates the remaining seconds from progress so far; 0 when

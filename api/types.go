@@ -164,6 +164,14 @@ type DSERequest struct {
 	Configs []string       `json:"configs,omitempty"`
 	Knobs   *KnobRangeSpec `json:"knobs,omitempty"`
 	Sweep   *SweepSpec     `json:"sweep,omitempty"`
+
+	// Shards, on an async knobs job against a coordinator, fans the grid out
+	// across the cluster's workers as that many contiguous shape shards
+	// (0 = run locally). Shard is the worker-facing counterpart: it restricts
+	// the run to one shard and switches the job's result to a ShardEnvelope.
+	// The two fields are mutually exclusive, and both require knobs.
+	Shards int        `json:"shards,omitempty"`
+	Shard  *ShardSpec `json:"shard,omitempty"`
 }
 
 // DSEPoint is one evaluated design in the response.

@@ -113,6 +113,12 @@ func (c *Client) Models(ctx context.Context) (*api.ModelsResponse, error) {
 	return &out, nil
 }
 
+// Healthz probes the daemon's liveness endpoint (GET /healthz). Cluster
+// coordinators heartbeat workers through it.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
 // ---- async jobs ----
 
 // SubmitJob queues a DSE request for asynchronous execution (POST /v1/jobs).
@@ -158,16 +164,59 @@ func (c *Client) JobResult(ctx context.Context, id string) (*api.DSEResponse, er
 	return &out, nil
 }
 
+// ShardResult fetches a succeeded shard job's envelope
+// (GET /v1/jobs/{id}/result for kind dse-shard jobs). Coordinators use it to
+// collect worker envelopes for the merge.
+func (c *Client) ShardResult(ctx context.Context, id string) (*api.ShardEnvelope, error) {
+	var out api.ShardEnvelope
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// JobCheckpoint fetches a job's last saved checkpoint
+// (GET /v1/jobs/{id}/checkpoint); jobs that never checkpointed return an
+// *api.Error with code not_ready. Coordinators use it to salvage a stalled
+// worker's partial shard progress before requeueing the shard elsewhere.
+func (c *Client) JobCheckpoint(ctx context.Context, id string) (json.RawMessage, error) {
+	var out json.RawMessage
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/checkpoint", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ClusterStatus fetches the daemon's role and, on coordinators, the worker
+// membership and shard counters (GET /v1/cluster).
+func (c *Client) ClusterStatus(ctx context.Context) (*api.ClusterStatus, error) {
+	var out api.ClusterStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/cluster", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // WaitJob polls until the job reaches a terminal state or ctx expires. The
 // returned status may be failed or canceled — inspect State; transport and
 // context errors are the only non-nil error cases.
 func (c *Client) WaitJob(ctx context.Context, id string) (api.JobStatus, error) {
+	return c.WaitJobProgress(ctx, id, nil)
+}
+
+// WaitJobProgress is WaitJob with a live status feed: onUpdate (when
+// non-nil) observes every polled status before the terminal one is returned,
+// including cluster jobs' shards_done / shards_total fan-out progress.
+func (c *Client) WaitJobProgress(ctx context.Context, id string, onUpdate func(api.JobStatus)) (api.JobStatus, error) {
 	t := time.NewTicker(c.poll)
 	defer t.Stop()
 	for {
 		st, err := c.JobStatus(ctx, id)
 		if err != nil {
 			return st, err
+		}
+		if onUpdate != nil {
+			onUpdate(st)
 		}
 		if st.State.Terminal() {
 			return st, nil
@@ -239,14 +288,23 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if !retryable(resp.StatusCode) || attempt >= c.maxRetries {
 			return apiErr
 		}
-		delay := c.backoff(attempt, apiErr.RetryAfterS)
-		timer := time.NewTimer(delay)
-		select {
-		case <-timer.C:
-		case <-ctx.Done():
-			timer.Stop()
-			return ctx.Err()
+		if err := sleepContext(ctx, c.backoff(attempt, apiErr.RetryAfterS)); err != nil {
+			return err
 		}
+	}
+}
+
+// sleepContext waits d or until ctx is done, returning ctx's error in the
+// latter case — a canceled context cuts a pending backoff short instead of
+// waiting it out.
+func sleepContext(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 

@@ -1,4 +1,4 @@
-package client
+package client_test
 
 import (
 	"context"
@@ -12,12 +12,13 @@ import (
 	"time"
 
 	"cordoba/api"
+	"cordoba/client"
 	"cordoba/internal/server"
 )
 
 // newPair spins up a real cordobad handler behind httptest and a client
 // pointed at it — the full client↔server round-trip surface.
-func newPair(t *testing.T, cfg server.Config, opts ...Option) (*Client, *server.Server) {
+func newPair(t *testing.T, cfg server.Config, opts ...client.Option) (*client.Client, *server.Server) {
 	t.Helper()
 	cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	srv := server.New(cfg)
@@ -26,7 +27,7 @@ func newPair(t *testing.T, cfg server.Config, opts ...Option) (*Client, *server.
 		ts.Close()
 		_ = srv.Close()
 	})
-	return New(ts.URL, opts...), srv
+	return client.New(ts.URL, opts...), srv
 }
 
 func TestAccountingRoundTrip(t *testing.T) {
@@ -151,7 +152,7 @@ func TestBackoffOn429(t *testing.T) {
 
 	// Cap far below the 1s hint so the test stays fast while proving the
 	// hint is read and clamped.
-	c := New(ts.URL, WithRetry(4, time.Millisecond, 5*time.Millisecond))
+	c := client.New(ts.URL, client.WithRetry(4, time.Millisecond, 5*time.Millisecond))
 	st, err := c.SubmitJob(context.Background(), api.DSERequest{Task: "All kernels"})
 	if err != nil {
 		t.Fatal(err)
@@ -173,7 +174,7 @@ func TestBackoffExhausted(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	c := New(ts.URL, WithRetry(2, time.Millisecond, 2*time.Millisecond))
+	c := client.New(ts.URL, client.WithRetry(2, time.Millisecond, 2*time.Millisecond))
 	_, err := c.SubmitJob(context.Background(), api.DSERequest{Task: "All kernels"})
 	var apiErr *api.Error
 	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeQueueFull || apiErr.RetryAfterS != 1 {
@@ -194,7 +195,7 @@ func TestBackoffRespectsContext(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	c := New(ts.URL, WithRetry(4, time.Second, time.Hour))
+	c := client.New(ts.URL, client.WithRetry(4, time.Second, time.Hour))
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
 	start := time.Now()

@@ -4,11 +4,14 @@
 // Usage:
 //
 //	cordobad -addr :8080
+//	cordobad -addr :8081 -role worker
+//	cordobad -addr :8080 -role coordinator -workers http://w1:8081,http://w2:8081
 //
 // Endpoints (see internal/server and the README's "Running as a service"):
 //
 //	POST /v1/accounting   POST /v1/dse   GET /v1/experiments[/{key}]
-//	POST /v1/jobs         GET  /v1/jobs[/{id}[/result]]   DELETE /v1/jobs/{id}
+//	POST /v1/jobs         GET  /v1/jobs[/{id}[/result|/checkpoint]]   DELETE /v1/jobs/{id}
+//	GET  /v1/cluster
 //	GET  /v1/traces       POST /v1/schedule
 //	GET  /v1/tasks        GET /v1/configs
 //	GET  /healthz         GET /metrics
@@ -24,6 +27,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -56,9 +60,32 @@ func run(ctx context.Context, logw io.Writer, args []string) error {
 		jobQueue   = fs.Int("job-queue", 0, "async job queue depth before 429s (0 = default)")
 		jobDir     = fs.String("job-dir", "", "job state/checkpoint directory; empty keeps jobs in memory only")
 		ckptEvery  = fs.Int("checkpoint-every", 0, "shapes between job checkpoints (0 = default 8, negative disables)")
+
+		role          = fs.String("role", "standalone", "cluster role: standalone, worker, or coordinator")
+		workers       = fs.String("workers", "", "comma-separated worker base URLs (coordinator only)")
+		heartbeat     = fs.Duration("heartbeat-every", 0, "worker liveness probe cadence (coordinator only, 0 = default)")
+		shardTimeout  = fs.Duration("shard-timeout", 0, "no-progress bound before a shard is requeued (0 = default)")
+		shardAttempts = fs.Int("shard-attempts", 0, "attempts per shard before a cluster run fails (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *role {
+	case "standalone", "worker", "coordinator":
+	default:
+		return fmt.Errorf("unknown -role %q (want standalone, worker, or coordinator)", *role)
+	}
+	var workerURLs []string
+	for _, u := range strings.Split(*workers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			workerURLs = append(workerURLs, u)
+		}
+	}
+	if *role == "coordinator" && len(workerURLs) == 0 {
+		return fmt.Errorf("-role coordinator needs at least one worker URL via -workers")
+	}
+	if *role != "coordinator" && len(workerURLs) > 0 {
+		return fmt.Errorf("-workers only applies to -role coordinator (got role %q)", *role)
 	}
 
 	var handler slog.Handler
@@ -84,6 +111,12 @@ func run(ctx context.Context, logw io.Writer, args []string) error {
 		JobQueue:        *jobQueue,
 		JobDir:          *jobDir,
 		CheckpointEvery: *ckptEvery,
+
+		Role:           *role,
+		ClusterWorkers: workerURLs,
+		HeartbeatEvery: *heartbeat,
+		ShardTimeout:   *shardTimeout,
+		ShardAttempts:  *shardAttempts,
 	})
 
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
@@ -91,6 +124,8 @@ func run(ctx context.Context, logw io.Writer, args []string) error {
 
 	log.Info("cordobad listening",
 		"addr", *addr,
+		"role", *role,
+		"cluster_workers", len(workerURLs),
 		"pool_size", srv.Pool().Size(),
 		"eval_workers", srv.Pool().Workers(),
 		"cache_size", *cacheSize,

@@ -41,3 +41,45 @@ func TestRunRejectsBadAddr(t *testing.T) {
 		t.Fatal("run accepted an unusable listen address")
 	}
 }
+
+// TestRunValidatesClusterFlags pins the role/workers flag contract: bad
+// roles and inconsistent worker lists fail before the daemon binds a port.
+func TestRunValidatesClusterFlags(t *testing.T) {
+	for name, args := range map[string][]string{
+		"unknown role":             {"-role", "manager"},
+		"coordinator sans workers": {"-role", "coordinator"},
+		"workers on standalone":    {"-workers", "http://w1:8081"},
+		"workers on worker role":   {"-role", "worker", "-workers", "http://w1:8081"},
+		"empty worker list":        {"-role", "coordinator", "-workers", " , "},
+	} {
+		if err := run(context.Background(), io.Discard, args); err == nil {
+			t.Errorf("%s: run accepted %v", name, args)
+		}
+	}
+}
+
+// TestRunStartsCoordinator boots a coordinator (with an unreachable worker —
+// membership is async, so startup must not depend on it) and drains it.
+func TestRunStartsCoordinator(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, io.Discard, []string{
+			"-addr", "127.0.0.1:0",
+			"-role", "coordinator",
+			"-workers", "http://127.0.0.1:1",
+			"-heartbeat-every", "50ms",
+			"-shutdown-grace", "2s",
+		})
+	}()
+	time.Sleep(200 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("coordinator did not drain after context cancellation")
+	}
+}

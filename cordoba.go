@@ -365,6 +365,20 @@ type CheckpointOptions = dse.CheckpointOptions
 // after each completed shape.
 type StreamProgress = dse.StreamProgress
 
+// StreamShard restricts a checkpointed exploration to a contiguous range of
+// grid shapes — the unit of work cordobad's cluster coordinator fans out.
+// Shard results keep whole-grid point identity, so MergeStreamResults folds
+// them back into the exact single-node result.
+type StreamShard = dse.ShardRange
+
+// MergeStreamResults merges disjoint shard results into the whole-grid
+// result. The survivor envelope, its IDs, and all integer counters equal a
+// single-node run exactly; the floating-point aggregate sums match to within
+// re-association.
+func MergeStreamResults(results []*StreamResult) (*StreamResult, error) {
+	return dse.MergeShardResults(results)
+}
+
 // ExploreStreamCheckpointed is ExploreStreamAt with checkpoint/resume and
 // progress reporting — the engine behind cordobad's async job API.
 func ExploreStreamCheckpointed(ctx context.Context, task Task, g KnobGrid, fab Fab, ci CarbonIntensity, opt CheckpointOptions) (*StreamResult, error) {

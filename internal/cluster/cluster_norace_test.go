@@ -1,0 +1,5 @@
+//go:build !race
+
+package cluster_test
+
+const raceEnabled = false

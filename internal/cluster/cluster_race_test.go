@@ -1,0 +1,8 @@
+//go:build race
+
+package cluster_test
+
+// raceEnabled gates the million-point identity run and the speedup
+// benchmarks out of `make race`: under the race detector they take minutes,
+// and the small-grid tests exercise the same coordination paths.
+const raceEnabled = true

@@ -1,0 +1,59 @@
+package cluster
+
+import "testing"
+
+// TestPlan: shards cover [0, shapes) contiguously in order, balanced to
+// within one shape, with n clamped to [1, shapes].
+func TestPlan(t *testing.T) {
+	cases := []struct {
+		shapes, n, want int
+	}{
+		{12, 3, 3},
+		{12, 5, 5},
+		{12, 1, 1},
+		{12, 0, 1},   // n < 1 collapses to one shard
+		{12, -4, 1},  // so does a negative request
+		{12, 40, 12}, // n > shapes clamps to one shard per shape
+		{1, 8, 1},
+		{1024, 3, 3},
+	}
+	for _, tc := range cases {
+		plan := Plan(tc.shapes, tc.n)
+		if len(plan) != tc.want {
+			t.Fatalf("Plan(%d, %d) has %d shards, want %d", tc.shapes, tc.n, len(plan), tc.want)
+		}
+		next := 0
+		min, max := tc.shapes, 0
+		for i, sh := range plan {
+			if sh.Index != i {
+				t.Fatalf("Plan(%d, %d)[%d].Index = %d", tc.shapes, tc.n, i, sh.Index)
+			}
+			if sh.First != next {
+				t.Fatalf("Plan(%d, %d)[%d] starts at %d, want %d (shards must be contiguous)",
+					tc.shapes, tc.n, i, sh.First, next)
+			}
+			if sh.Count < 1 {
+				t.Fatalf("Plan(%d, %d)[%d] is empty", tc.shapes, tc.n, i)
+			}
+			if sh.Count < min {
+				min = sh.Count
+			}
+			if sh.Count > max {
+				max = sh.Count
+			}
+			next += sh.Count
+		}
+		if next != tc.shapes {
+			t.Fatalf("Plan(%d, %d) covers %d shapes", tc.shapes, tc.n, next)
+		}
+		if max-min > 1 {
+			t.Fatalf("Plan(%d, %d) is unbalanced: shard sizes span [%d, %d]", tc.shapes, tc.n, min, max)
+		}
+	}
+	if got := Plan(0, 3); got != nil {
+		t.Fatalf("Plan(0, 3) = %v, want nil", got)
+	}
+	if got := Plan(-2, 3); got != nil {
+		t.Fatalf("Plan(-2, 3) = %v, want nil", got)
+	}
+}

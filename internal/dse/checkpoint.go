@@ -91,41 +91,59 @@ func (a *taskAcc) progress() (streamed, pruned int64, kept int) {
 	return a.total, a.total - int64(kept), kept
 }
 
+// ShardRange selects a contiguous run of shapes for a sharded exploration:
+// shapes [First, First+Count) of the grid's shape-major enumeration. Sharding
+// at shape granularity keeps every point's global grid index (and therefore
+// its "k<N>" ID) identical to an unsharded run, which is what makes shard
+// envelopes mergeable back into the single-node result.
+type ShardRange struct {
+	First int `json:"first"`
+	Count int `json:"count"`
+}
+
 // StreamCheckpoint is a resumable snapshot of a checkpointed exploration: a
 // fingerprint binding it to its inputs, the shape cursor, and one AccState
 // per task. Because the engine accumulates in shape order, a checkpoint is
-// always the exact state after shapes [0, NextShape) — resuming replays the
-// suffix and lands bit-identically on the uninterrupted result.
+// always the exact state after shapes [FirstShape, NextShape) — resuming
+// replays the suffix and lands bit-identically on the uninterrupted result.
+// FirstShape is zero for whole-grid runs and the shard's first shape for
+// sharded ones; a checkpoint only resumes the shard it was taken on.
 type StreamCheckpoint struct {
 	Fingerprint string     `json:"fingerprint"`
 	Shapes      int        `json:"shapes"`
+	FirstShape  int        `json:"first_shape,omitempty"`
 	NextShape   int        `json:"next_shape"`
 	Accs        []AccState `json:"accs"`
 }
 
-// validate checks a checkpoint against the run it is asked to resume.
-func (cp *StreamCheckpoint) validate(fp string, cg *compiledGrid, tasks int) error {
+// validate checks a checkpoint against the run it is asked to resume, where
+// the run covers shapes [lo, hi) of a grid with cg.shapes() shapes total.
+func (cp *StreamCheckpoint) validate(fp string, cg *compiledGrid, tasks, lo, hi int) error {
 	if cp.Fingerprint != fp {
 		return fmt.Errorf("dse: checkpoint fingerprint %.12s does not match this run (%.12s): the task set, grid, fab, CI or yield model changed", cp.Fingerprint, fp)
 	}
 	if cp.Shapes != cg.shapes() {
 		return fmt.Errorf("dse: checkpoint covers %d shapes, grid has %d", cp.Shapes, cg.shapes())
 	}
-	if cp.NextShape < 0 || cp.NextShape > cp.Shapes {
-		return fmt.Errorf("dse: checkpoint cursor %d out of range [0, %d]", cp.NextShape, cp.Shapes)
+	if cp.FirstShape != lo {
+		return fmt.Errorf("dse: checkpoint starts at shape %d, this run's shard starts at %d", cp.FirstShape, lo)
+	}
+	if cp.NextShape < lo || cp.NextShape > hi {
+		return fmt.Errorf("dse: checkpoint cursor %d out of range [%d, %d]", cp.NextShape, lo, hi)
 	}
 	if len(cp.Accs) != tasks {
 		return fmt.Errorf("dse: checkpoint has %d accumulators, run has %d tasks", len(cp.Accs), tasks)
 	}
 	cells := int64(len(cg.cells))
+	first := int64(lo) * cells
 	seen := int64(cp.NextShape) * cells
 	for i, a := range cp.Accs {
-		if a.Total != seen {
-			return fmt.Errorf("dse: checkpoint task %d counted %d points, cursor %d implies %d", i, a.Total, cp.NextShape, seen)
+		if a.Total != seen-first {
+			return fmt.Errorf("dse: checkpoint task %d counted %d points, cursor %d implies %d", i, a.Total, cp.NextShape, seen-first)
 		}
 		for _, id := range a.Envelope.IDs {
-			if id < 0 || id >= seen {
-				return fmt.Errorf("dse: checkpoint task %d survivor id %d outside evaluated prefix [0, %d)", i, id, seen)
+			if id < first || id >= seen {
+				return fmt.Errorf("dse: checkpoint task %d survivor id %d outside evaluated range [%d, %d)", i, id, first, seen)
 			}
 		}
 	}
@@ -179,8 +197,8 @@ func checkpointFingerprint(tasks []workload.Task, g Grid, fab carbon.Fab, ci uni
 // after every accumulated shape. Point counters follow the first task (all
 // tasks see the same stream volume).
 type StreamProgress struct {
-	ShapesDone  int   // shapes accumulated so far, including a resumed prefix
-	ShapesTotal int   // shapes in the grid
+	ShapesDone  int   // shapes accumulated so far, including a resumed prefix (shard-local for sharded runs)
+	ShapesTotal int   // shapes in the run's range: the whole grid, or the shard
 	Streamed    int64 // points evaluated and offered downstream
 	Pruned      int64 // points eliminated (dominance pre-prune + envelope)
 	Kept        int   // current ever-optimal survivor count
@@ -190,8 +208,15 @@ type StreamProgress struct {
 type CheckpointOptions struct {
 	StreamOptions
 
-	// Resume continues from a previous checkpoint instead of shape 0. The
-	// checkpoint must carry this run's fingerprint.
+	// Shard restricts the exploration to a contiguous shape range; nil runs
+	// the whole grid. Survivor IDs stay global (the shard's points keep their
+	// whole-grid indices), so shard results merge with MergeShardResults into
+	// exactly the unsharded envelope.
+	Shard *ShardRange
+
+	// Resume continues from a previous checkpoint instead of the shard's
+	// first shape. The checkpoint must carry this run's fingerprint and, for
+	// sharded runs, this shard's range.
 	Resume *StreamCheckpoint
 
 	// Every is the checkpoint cadence in shapes; <= 0 disables checkpoints.
@@ -247,13 +272,21 @@ func EvaluateStreamCheckpointedTasks(ctx context.Context, tasks []workload.Task,
 	cells := int64(len(cg.cells))
 	fp := checkpointFingerprint(tasks, g, fab, ci, opt.Yield)
 
+	lo, hi := 0, shapes
+	if sh := opt.Shard; sh != nil {
+		if sh.Count < 1 || sh.First < 0 || sh.First+sh.Count > shapes {
+			return nil, fmt.Errorf("dse: shard [%d, %d) outside grid's %d shapes", sh.First, sh.First+sh.Count, shapes)
+		}
+		lo, hi = sh.First, sh.First+sh.Count
+	}
+
 	accs := make([]*taskAcc, len(tasks))
 	for i := range accs {
 		accs[i] = &taskAcc{payload: make(map[int64]Point)}
 	}
-	start := 0
+	start := lo
 	if cp := opt.Resume; cp != nil {
-		if err := cp.validate(fp, cg, len(tasks)); err != nil {
+		if err := cp.validate(fp, cg, len(tasks), lo, hi); err != nil {
 			return nil, err
 		}
 		for i := range accs {
@@ -269,7 +302,7 @@ func EvaluateStreamCheckpointedTasks(ctx context.Context, tasks []workload.Task,
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if remaining := shapes - start; workers > remaining {
+	if remaining := hi - start; workers > remaining {
 		workers = remaining
 	}
 
@@ -314,7 +347,7 @@ func EvaluateStreamCheckpointedTasks(ctx context.Context, tasks []workload.Task,
 		}()
 	}
 	go func() {
-		for si := start; si < shapes; si++ {
+		for si := start; si < hi; si++ {
 			shapeCh <- si
 		}
 		close(shapeCh)
@@ -349,15 +382,15 @@ func EvaluateStreamCheckpointedTasks(ctx context.Context, tasks []workload.Task,
 			if opt.OnProgress != nil {
 				streamed, pruned, kept := accs[0].progress()
 				opt.OnProgress(StreamProgress{
-					ShapesDone:  next,
-					ShapesTotal: shapes,
+					ShapesDone:  next - lo,
+					ShapesTotal: hi - lo,
 					Streamed:    streamed,
 					Pruned:      pruned,
 					Kept:        kept,
 				})
 			}
-			if opt.Every > 0 && opt.OnCheckpoint != nil && next < shapes && accumulated%opt.Every == 0 {
-				cp := &StreamCheckpoint{Fingerprint: fp, Shapes: shapes, NextShape: next, Accs: make([]AccState, len(accs))}
+			if opt.Every > 0 && opt.OnCheckpoint != nil && next < hi && accumulated%opt.Every == 0 {
+				cp := &StreamCheckpoint{Fingerprint: fp, Shapes: shapes, FirstShape: lo, NextShape: next, Accs: make([]AccState, len(accs))}
 				for i, a := range accs {
 					cp.Accs[i] = a.snapshot()
 				}

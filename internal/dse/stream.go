@@ -64,6 +64,12 @@ type StreamResult struct {
 	// ascending E·D — from the long-operational-time winner backwards.
 	Space *Space
 
+	// IDs holds each survivor's global grid index, parallel to Space.Points.
+	// Indices stay global even for sharded runs, so shard results carry
+	// enough identity to merge (and to tie-break coordinate duplicates the
+	// same way a single-node stream would).
+	IDs []int64
+
 	Total     int64 // configurations evaluated
 	PrePruned int64 // removed by chunk-local dominance pruning before the envelope
 	Offered   int64 // offered to the envelope accumulator
@@ -156,6 +162,7 @@ func (a *taskAcc) result(task workload.Task, ci units.CarbonIntensity) *StreamRe
 	}
 	return &StreamResult{
 		Space:     &Space{Task: task, CIUse: ci, Points: points},
+		IDs:       ids,
 		Total:     a.total,
 		PrePruned: a.prePruned,
 		Offered:   a.stream.Offered(),

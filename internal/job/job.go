@@ -43,6 +43,10 @@ type Progress struct {
 	// ShapesDone / ShapesTotal is the engine's coarse work cursor.
 	ShapesDone  int `json:"shapes_done"`
 	ShapesTotal int `json:"shapes_total"`
+	// ShardsDone / ShardsTotal track a distributed job's shard fan-out;
+	// zero for single-node jobs.
+	ShardsDone  int `json:"shards_done,omitempty"`
+	ShardsTotal int `json:"shards_total,omitempty"`
 }
 
 // Status is a point-in-time copy of a job's public state.

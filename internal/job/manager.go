@@ -242,6 +242,19 @@ func (m *Manager) Result(id string) (json.RawMessage, Status, error) {
 	return append(json.RawMessage(nil), j.result...), j.status(), nil
 }
 
+// Checkpoint returns a job's last saved checkpoint, nil when none exists.
+// Coordinators use it to salvage a stalled worker's partial shard progress
+// before requeueing the shard elsewhere.
+func (m *Manager) Checkpoint(id string) (json.RawMessage, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return append(json.RawMessage(nil), j.checkpoint...), nil
+}
+
 // Cancel requests cancellation: a queued job is canceled immediately, a
 // running one is signaled through its context and reaches StateCanceled when
 // its runner returns. Canceling a terminal job is a no-op.

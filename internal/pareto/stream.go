@@ -111,6 +111,33 @@ func (s *Stream) Offer(id int64, p Point) (accepted bool, evicted []int64) {
 	return true, evicted
 }
 
+// Merge folds another stream's snapshot into s: every surviving vertex is
+// re-offered, and the snapshot's rejected-point count is absorbed into the
+// offered total, so the merged stream reports exactly as many offers as the
+// two streams saw together. It returns the snapshot ids that joined the
+// envelope and the ids evicted along the way (a vertex accepted and then
+// evicted by a later vertex of the same snapshot appears in both — apply
+// accepted before evicted).
+//
+// Because a rejection is final — a point above the current envelope is above
+// every later envelope — merging per-partition envelopes loses nothing:
+// envelope(A ∪ B) = envelope(envelope(A) ∪ envelope(B)). The operation is
+// therefore associative and, up to duplicate-coordinate tie-breaks (first
+// offer wins), commutative; merging snapshots in ascending-id order
+// reproduces a single stream that saw the ids in order. The property suite
+// in stream_merge_test.go pins both claims.
+func (s *Stream) Merge(st StreamState) (accepted, evicted []int64) {
+	for i, p := range st.Points {
+		ok, ev := s.Offer(st.IDs[i], p)
+		if ok {
+			accepted = append(accepted, st.IDs[i])
+		}
+		evicted = append(evicted, ev...)
+	}
+	s.offered += st.Offered - int64(len(st.Points))
+	return accepted, evicted
+}
+
 // StreamState is a serializable snapshot of a Stream: the envelope vertices,
 // their caller handles, and the offered count. JSON round-trips are exact —
 // encoding/json renders float64 in shortest form that parses back to the

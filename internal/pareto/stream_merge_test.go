@@ -1,0 +1,175 @@
+package pareto
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// randomPoints draws n points with a deliberately high duplicate rate (a
+// coarse coordinate lattice) so merge tie-breaking is actually exercised.
+func randomPoints(rng *rand.Rand, n int) []Point {
+	points := make([]Point, n)
+	for i := range points {
+		if rng.Intn(4) == 0 {
+			// Lattice point: duplicates across partitions are likely.
+			points[i] = Point{X: float64(rng.Intn(12)), Y: float64(rng.Intn(12))}
+		} else {
+			points[i] = Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		}
+	}
+	return points
+}
+
+// partition splits [0, n) into k contiguous, possibly heavily skewed ranges.
+func partition(rng *rand.Rand, n, k int) [][2]int {
+	if k > n {
+		k = n
+	}
+	cutset := map[int]bool{}
+	for len(cutset) < k-1 {
+		cutset[1+rng.Intn(n-1)] = true
+	}
+	cuts := make([]int, 0, k+1)
+	cuts = append(cuts, 0)
+	for c := range cutset {
+		cuts = append(cuts, c)
+	}
+	cuts = append(cuts, n)
+	sort.Ints(cuts)
+	out := make([][2]int, 0, k)
+	for i := 1; i < len(cuts); i++ {
+		out = append(out, [2]int{cuts[i-1], cuts[i]})
+	}
+	return out
+}
+
+// mergeParts streams each contiguous partition separately, then merges the
+// per-partition snapshots in ascending-id order, tracking the accepted /
+// evicted bookkeeping contract along the way.
+func mergeParts(t *testing.T, points []Point, parts [][2]int) *Stream {
+	t.Helper()
+	merged := &Stream{}
+	live := map[int64]bool{}
+	for _, pr := range parts {
+		part := &Stream{}
+		for i := pr[0]; i < pr[1]; i++ {
+			part.Offer(int64(i), points[i])
+		}
+		accepted, evicted := merged.Merge(part.Snapshot())
+		for _, id := range accepted {
+			live[id] = true
+		}
+		for _, id := range evicted {
+			if !live[id] {
+				t.Fatalf("evicted id %d was never accepted", id)
+			}
+			delete(live, id)
+		}
+	}
+	for _, id := range merged.IDs() {
+		if !live[id] {
+			t.Fatalf("kept id %d missing from accepted-minus-evicted set", id)
+		}
+	}
+	if len(live) != merged.Len() {
+		t.Fatalf("bookkeeping kept %d ids, envelope has %d", len(live), merged.Len())
+	}
+	return merged
+}
+
+// TestStreamMergePartitionInvariant is the shard algebra behind distributed
+// DSE: streaming arbitrary contiguous partitions separately and merging their
+// envelopes (in ascending-id order) must equal one stream that saw every
+// point — ids, coordinates, and the offered count. Partitions include heavily
+// skewed splits and single-point parts.
+func TestStreamMergePartitionInvariant(t *testing.T) {
+	for seed := int64(0); seed < 80; seed++ {
+		rng := rand.New(rand.NewSource(4000 + seed))
+		n := 2 + rng.Intn(300)
+		points := randomPoints(rng, n)
+		k := 1 + rng.Intn(n)
+		if seed%7 == 0 {
+			k = n // every part holds exactly one point
+		}
+		parts := partition(rng, n, k)
+
+		whole := &Stream{}
+		for i, p := range points {
+			whole.Offer(int64(i), p)
+		}
+		merged := mergeParts(t, points, parts)
+
+		if !reflect.DeepEqual(whole.IDs(), merged.IDs()) {
+			t.Fatalf("seed %d (%d parts): merged ids %v != whole %v", seed, len(parts), merged.IDs(), whole.IDs())
+		}
+		if !reflect.DeepEqual(whole.Points(), merged.Points()) {
+			t.Fatalf("seed %d: merged points differ from whole stream", seed)
+		}
+		if whole.Offered() != merged.Offered() {
+			t.Fatalf("seed %d: merged offered %d != whole %d", seed, merged.Offered(), whole.Offered())
+		}
+	}
+}
+
+// TestStreamMergeAssociative checks that the bracketing of merges does not
+// matter: ((A∪B)∪C) == (A∪(B∪C)) for per-partition envelopes, as long as
+// lower-id snapshots are folded in first within each bracket.
+func TestStreamMergeAssociative(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(5000 + seed))
+		n := 3 + rng.Intn(200)
+		points := randomPoints(rng, n)
+		parts := partition(rng, n, 3)
+
+		snaps := make([]StreamState, 3)
+		for i, pr := range parts {
+			s := &Stream{}
+			for j := pr[0]; j < pr[1]; j++ {
+				s.Offer(int64(j), points[j])
+			}
+			snaps[i] = s.Snapshot()
+		}
+
+		left := &Stream{}
+		left.Merge(snaps[0])
+		left.Merge(snaps[1])
+		left.Merge(snaps[2])
+
+		bc := &Stream{}
+		bc.Merge(snaps[1])
+		bc.Merge(snaps[2])
+		right := &Stream{}
+		right.Merge(snaps[0])
+		right.Merge(bc.Snapshot())
+
+		if !reflect.DeepEqual(left.IDs(), right.IDs()) || !reflect.DeepEqual(left.Points(), right.Points()) {
+			t.Fatalf("seed %d: merge bracketing changed the envelope", seed)
+		}
+		if left.Offered() != right.Offered() {
+			t.Fatalf("seed %d: bracketing changed offered: %d vs %d", seed, left.Offered(), right.Offered())
+		}
+	}
+}
+
+// TestStreamMergeOfferedAbsorbs pins the counter contract: merging a snapshot
+// raises Offered by the snapshot's full offered count, not just its vertices.
+func TestStreamMergeOfferedAbsorbs(t *testing.T) {
+	part := &Stream{}
+	for i := 0; i < 10; i++ {
+		part.Offer(int64(i), Point{X: 5, Y: 5}) // nine duplicates rejected
+	}
+	if part.Len() != 1 || part.Offered() != 10 {
+		t.Fatalf("setup: kept %d offered %d", part.Len(), part.Offered())
+	}
+	s := &Stream{}
+	s.Offer(100, Point{X: 1, Y: 9})
+	s.Merge(part.Snapshot())
+	if s.Offered() != 11 {
+		t.Fatalf("merged offered = %d, want 11", s.Offered())
+	}
+	if s.Len() != 2 {
+		t.Fatalf("merged kept = %d, want 2", s.Len())
+	}
+}

@@ -210,6 +210,10 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	if req.Shard != nil || req.Shards > 0 {
+		return errf(http.StatusBadRequest,
+			"shard and shards run asynchronously — submit the request via POST /v1/jobs")
+	}
 	key, err := canonicalKey("/v1/dse", req)
 	if err != nil {
 		return err
@@ -267,6 +271,19 @@ func defaultDSE(req DSERequest) (DSERequest, error) {
 		if req.CIUse == 0 {
 			req.CIUse = 380
 		}
+	}
+	if req.Shard != nil && req.Shards != 0 {
+		return req, errf(http.StatusBadRequest, "shard and shards are mutually exclusive — give one")
+	}
+	if req.Shards < 0 {
+		return req, errf(http.StatusBadRequest, "shards must be non-negative, got %d", req.Shards)
+	}
+	if (req.Shard != nil || req.Shards > 0) && req.Knobs == nil {
+		return req, errf(http.StatusBadRequest, "shard and shards apply to knob-range requests — give knobs")
+	}
+	if sh := req.Shard; sh != nil && (sh.First < 0 || sh.Count < 1) {
+		return req, errf(http.StatusBadRequest,
+			"shard needs first >= 0 and count >= 1, got first=%d count=%d", sh.First, sh.Count)
 	}
 	if req.Set == "" && len(req.Configs) == 0 && req.Knobs == nil {
 		req.Set = "grid"
@@ -479,9 +496,33 @@ func (s *Server) knobGrid(req DSERequest, proc cordoba.Process) (cordoba.KnobGri
 		// The scalar model field names the single backend to price with.
 		g.Models = []string{req.Model}
 	}
-	if size := g.Size(); size > s.cfg.MaxGridPoints {
+	// The cap bounds what one node evaluates, so sharded requests are judged
+	// by their largest per-node share, not the whole grid — distributing is
+	// exactly how a grid above the single-node cap becomes servable.
+	size := g.Size()
+	shapes := int64(len(g.MACArrays) * len(g.SRAMMB))
+	cells := size / shapes
+	perNode := size
+	if sh := req.Shard; sh != nil {
+		if int64(sh.First)+int64(sh.Count) > shapes {
+			return g, errf(http.StatusBadRequest,
+				"shard [%d,%d) is outside the grid's %d shapes", sh.First, sh.First+sh.Count, shapes)
+		}
+		perNode = cells * int64(sh.Count)
+	} else if req.Shards > 0 {
+		n := int64(req.Shards)
+		if n > shapes {
+			n = shapes
+		}
+		perNode = cells * ((shapes + n - 1) / n)
+	}
+	if perNode > s.cfg.MaxGridPoints {
+		if perNode == size {
+			return g, errf(http.StatusBadRequest,
+				"knob grid has %d points, above this server's cap of %d", size, s.cfg.MaxGridPoints)
+		}
 		return g, errf(http.StatusBadRequest,
-			"knob grid has %d points, above this server's cap of %d", size, s.cfg.MaxGridPoints)
+			"largest shard covers %d points, above this server's cap of %d", perNode, s.cfg.MaxGridPoints)
 	}
 	return g, nil
 }
@@ -519,11 +560,20 @@ func (s *Server) buildDSEStream(ctx context.Context, in dseInputs, ck cordoba.Ch
 		}
 	}
 
+	return renderStreamResponse(in, g, res), nil
+}
+
+// renderStreamResponse renders a streaming result in the wire form. The
+// synchronous handler, the async DSE runner, and the cluster coordinator's
+// merge path all finish here, so a sharded run's response is byte-identical
+// to a single-node run of the same request.
+func renderStreamResponse(in dseInputs, g cordoba.KnobGrid, res *cordoba.StreamResult) *DSEResponse {
+	req := in.req
 	space := res.Space
 	resp := &DSEResponse{
-		Task:               task.Name,
+		Task:               in.task.Name,
 		Process:            strings.Join(g.Nodes, ","),
-		Fab:                fab.Name,
+		Fab:                in.fab.Name,
 		Model:              req.Model,
 		Yield:              req.Yield,
 		CIUse:              req.CIUse,
@@ -546,7 +596,7 @@ func (s *Server) buildDSEStream(ctx context.Context, in dseInputs, ck cordoba.Ch
 			MeanTCDPGS: res.MeanTCDPAt(n),
 		})
 	}
-	return resp, nil
+	return resp
 }
 
 // taskByName resolves a Table IV paper task or the XR gaming session.

@@ -12,10 +12,19 @@ import (
 	"cordoba/internal/job"
 )
 
-// jobKindDSE is the only job kind the daemon runs today: an asynchronous
-// POST /v1/dse body. The job manager itself is kind-agnostic, so future
-// long-running endpoints register alongside without touching the queue.
-const jobKindDSE = "dse"
+// The daemon's job kinds. The job manager itself is kind-agnostic; POST
+// /v1/jobs picks the kind from the request's shard fields.
+const (
+	// jobKindDSE is an asynchronous POST /v1/dse body run locally.
+	jobKindDSE = "dse"
+	// jobKindShardDSE is one shard of a knob grid (request carries "shard");
+	// its result is the shard's survivor envelope, not a DSE response.
+	jobKindShardDSE = "dse-shard"
+	// jobKindClusterDSE is a coordinator-side fan-out (request carries
+	// "shards"): dispatch shards to workers, merge envelopes, render the
+	// whole-grid response.
+	jobKindClusterDSE = "dse-cluster"
+)
 
 // initJobs assembles the async job subsystem: the bounded manager with the
 // DSE runner registered, plus the cordobad_jobs_* metrics reporter.
@@ -32,6 +41,8 @@ func (s *Server) initJobs() {
 		panic(err)
 	}
 	m.SetRunner(jobKindDSE, s.runDSEJob)
+	m.SetRunner(jobKindShardDSE, s.runShardDSEJob)
+	m.SetRunner(jobKindClusterDSE, s.runClusterDSEJob)
 	s.jobs = m
 	s.metrics.SetJobStats(m.Counts)
 	m.Start()
@@ -41,11 +52,16 @@ func (s *Server) initJobs() {
 func (s *Server) Jobs() *job.Manager { return s.jobs }
 
 // Close stops the job workers, giving running jobs a moment to checkpoint
-// and requeue. The HTTP side is unaffected; Serve calls this on drain.
+// and requeue, and halts the cluster heartbeat on coordinators. The HTTP
+// side is unaffected; Serve calls this on drain.
 func (s *Server) Close() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	return s.jobs.Stop(ctx)
+	err := s.jobs.Stop(ctx)
+	if s.cluster != nil {
+		s.cluster.Stop()
+	}
+	return err
 }
 
 // ---- POST /v1/jobs ----
@@ -61,14 +77,34 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	if _, err := s.resolveDSE(req); err != nil {
+	in, err := s.resolveDSE(req)
+	if err != nil {
 		return err
+	}
+	if req.Knobs != nil {
+		// Grid sizing and shard bounds are knobGrid's to judge; run it now
+		// so an over-cap or out-of-range request is a 400, not a failed job.
+		if _, err := s.knobGrid(req, in.proc); err != nil {
+			return err
+		}
+	}
+	kind := jobKindDSE
+	switch {
+	case req.Shard != nil:
+		kind = jobKindShardDSE
+	case req.Shards > 0:
+		if s.cluster == nil {
+			return errf(http.StatusBadRequest,
+				"shards needs a coordinator; this daemon runs role %q (start it with -role coordinator -workers ...)",
+				s.cfg.Role)
+		}
+		kind = jobKindClusterDSE
 	}
 	raw, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
-	st, err := s.jobs.Submit(jobKindDSE, raw)
+	st, err := s.jobs.Submit(kind, raw)
 	if errors.Is(err, job.ErrQueueFull) {
 		return &apiError{
 			status:     http.StatusTooManyRequests,
@@ -168,6 +204,8 @@ func jobStatusWire(st job.Status) api.JobStatus {
 			Kept:        st.Progress.Kept,
 			ShapesDone:  st.Progress.ShapesDone,
 			ShapesTotal: st.Progress.ShapesTotal,
+			ShardsDone:  st.Progress.ShardsDone,
+			ShardsTotal: st.Progress.ShardsTotal,
 		},
 		CreatedAt:    st.Created,
 		Resumes:      st.Resumes,
@@ -190,6 +228,10 @@ func jobStatusWire(st job.Status) api.JobStatus {
 		if st.State == job.StateRunning && st.Progress.ShapesDone > 0 && st.Progress.ShapesTotal > st.Progress.ShapesDone {
 			perShape := elapsed / float64(st.Progress.ShapesDone)
 			out.Progress.ETAS = perShape * float64(st.Progress.ShapesTotal-st.Progress.ShapesDone)
+		} else if st.State == job.StateRunning && st.Progress.ShardsDone > 0 && st.Progress.ShardsTotal > st.Progress.ShardsDone {
+			// Cluster jobs progress in shards, not local shapes.
+			perShard := elapsed / float64(st.Progress.ShardsDone)
+			out.Progress.ETAS = perShard * float64(st.Progress.ShardsTotal-st.Progress.ShardsDone)
 		}
 	}
 	return out

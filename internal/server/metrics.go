@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cordoba/api"
 	"cordoba/internal/job"
 )
 
@@ -80,6 +81,10 @@ type Metrics struct {
 	// jobStats, when set, samples the async job manager's counters at
 	// exposition time (queue depth, running jobs, lifecycle totals).
 	jobStats func() job.Counts
+
+	// clusterStats, when set, samples the shard fan-out coordinator at
+	// exposition time (shard counters, per-worker liveness and latency).
+	clusterStats func() api.ClusterStatus
 }
 
 // NewMetrics returns an empty registry; poolSize is exported as a gauge so
@@ -174,6 +179,11 @@ func (m *Metrics) SetMemoStats(f func() (hits, misses int64, entries int)) {
 // SetJobStats installs the job-manager reporter sampled by WriteProm.
 func (m *Metrics) SetJobStats(f func() job.Counts) {
 	m.jobStats = f
+}
+
+// SetClusterStats installs the coordinator reporter sampled by WriteProm.
+func (m *Metrics) SetClusterStats(f func() api.ClusterStatus) {
+	m.clusterStats = f
 }
 
 // WriteProm renders the registry in Prometheus text exposition format.
@@ -305,6 +315,40 @@ func (m *Metrics) WriteProm(w io.Writer) error {
 		p("# HELP cordobad_jobs_checkpoints_total Checkpoints written by running jobs.\n")
 		p("# TYPE cordobad_jobs_checkpoints_total counter\n")
 		p("cordobad_jobs_checkpoints_total %d\n", c.Checkpoints)
+	}
+
+	if m.clusterStats != nil {
+		cs := m.clusterStats()
+		p("# HELP cordobad_cluster_shards_dispatched_total Shard attempts sent to workers.\n")
+		p("# TYPE cordobad_cluster_shards_dispatched_total counter\n")
+		p("cordobad_cluster_shards_dispatched_total %d\n", cs.ShardsDispatched)
+		p("# HELP cordobad_cluster_shards_retried_total Shards requeued after a stall, cancellation, or worker loss.\n")
+		p("# TYPE cordobad_cluster_shards_retried_total counter\n")
+		p("cordobad_cluster_shards_retried_total %d\n", cs.ShardsRetried)
+		p("# HELP cordobad_cluster_shards_merged_total Shard envelopes folded into whole-grid results.\n")
+		p("# TYPE cordobad_cluster_shards_merged_total counter\n")
+		p("cordobad_cluster_shards_merged_total %d\n", cs.ShardsMerged)
+		p("# HELP cordobad_cluster_worker_up Worker liveness from the last heartbeat (1 = up).\n")
+		p("# TYPE cordobad_cluster_worker_up gauge\n")
+		for _, w := range cs.Workers {
+			up := 0
+			if w.State == "up" {
+				up = 1
+			}
+			p("cordobad_cluster_worker_up{worker=%q} %d\n", w.URL, up)
+		}
+		p("# HELP cordobad_cluster_worker_shards_total Shards finished per worker by outcome.\n")
+		p("# TYPE cordobad_cluster_worker_shards_total counter\n")
+		for _, w := range cs.Workers {
+			p("cordobad_cluster_worker_shards_total{worker=%q,outcome=\"done\"} %d\n", w.URL, w.ShardsDone)
+			p("cordobad_cluster_worker_shards_total{worker=%q,outcome=\"failed\"} %d\n", w.URL, w.ShardsFailed)
+		}
+		p("# HELP cordobad_cluster_worker_shard_seconds Wall-clock spent on successful shards per worker.\n")
+		p("# TYPE cordobad_cluster_worker_shard_seconds summary\n")
+		for _, w := range cs.Workers {
+			p("cordobad_cluster_worker_shard_seconds_sum{worker=%q} %g\n", w.URL, w.AvgShardS*float64(w.ShardsDone))
+			p("cordobad_cluster_worker_shard_seconds_count{worker=%q} %d\n", w.URL, w.ShardsDone)
+		}
 	}
 
 	p("# HELP cordobad_inflight_requests HTTP requests currently being served.\n")

@@ -24,6 +24,8 @@
 //	GET  /v1/jobs/{id}           job status with live progress and ETA
 //	DELETE /v1/jobs/{id}         cancel a queued or running job
 //	GET  /v1/jobs/{id}/result    fetch a finished job's DSE response
+//	GET  /v1/jobs/{id}/checkpoint  fetch a job's last saved checkpoint
+//	GET  /v1/cluster             cluster role, worker membership, shard counters
 //	GET  /v1/experiments         experiment discovery
 //	GET  /v1/experiments/{key}   stream one experiment (json, csv, or text)
 //	GET  /v1/traces              named CI_use(t) trace registry with exact stats
@@ -44,6 +46,7 @@ import (
 	"time"
 
 	"cordoba"
+	"cordoba/internal/cluster"
 	"cordoba/internal/job"
 )
 
@@ -66,6 +69,18 @@ type Config struct {
 	JobQueue        int    // admission-control queue depth, default job.DefaultQueueDepth
 	JobDir          string // checkpoint/state directory; empty = memory only
 	CheckpointEvery int    // shapes between streaming checkpoints, default 8; <0 disables
+
+	// Distributed DSE (internal/cluster). Role selects the daemon's cluster
+	// role: "standalone" (default) serves everything locally and rejects
+	// fan-out requests, "worker" additionally advertises itself as shard
+	// capacity, and "coordinator" fans knob grids out to ClusterWorkers and
+	// merges the envelopes. Any role runs shard jobs — "worker" is an
+	// advertisement, not a capability gate.
+	Role           string        // "standalone" (default), "worker", or "coordinator"
+	ClusterWorkers []string      // worker base URLs; required for role coordinator
+	HeartbeatEvery time.Duration // worker liveness probe cadence, default cluster.DefaultHeartbeatEvery
+	ShardTimeout   time.Duration // no-progress bound before a shard is requeued, default cluster.DefaultShardTimeout
+	ShardAttempts  int           // attempts per shard before the run fails, default cluster.DefaultMaxAttempts
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +106,9 @@ func (c Config) withDefaults() Config {
 		c.CheckpointEvery = 8
 	} else if c.CheckpointEvery < 0 {
 		c.CheckpointEvery = 0
+	}
+	if c.Role == "" {
+		c.Role = "standalone"
 	}
 	return c
 }
@@ -120,6 +138,11 @@ type Server struct {
 	// jobs is the async exploration queue behind POST /v1/jobs: bounded
 	// admission, per-job cancellation, and checkpointed crash-resume.
 	jobs *job.Manager
+
+	// cluster is the shard fan-out coordinator, non-nil only when cfg.Role
+	// is "coordinator". It owns the worker membership heartbeat and the
+	// envelope merge behind shards > 0 job submissions.
+	cluster *cluster.Coordinator
 }
 
 // New assembles a Server from the configuration.
@@ -159,6 +182,7 @@ func New(cfg Config) *Server {
 	})
 
 	s.initJobs()
+	s.initCluster()
 
 	s.mux.Handle("POST /v1/accounting", s.instrument("/v1/accounting", s.handleAccounting))
 	s.mux.Handle("POST /v1/dse", s.instrument("/v1/dse", s.handleDSE))
@@ -167,6 +191,8 @@ func New(cfg Config) *Server {
 	s.mux.Handle("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobGet))
 	s.mux.Handle("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobCancel))
 	s.mux.Handle("GET /v1/jobs/{id}/result", s.instrument("/v1/jobs/{id}/result", s.handleJobResult))
+	s.mux.Handle("GET /v1/jobs/{id}/checkpoint", s.instrument("/v1/jobs/{id}/checkpoint", s.handleJobCheckpoint))
+	s.mux.Handle("GET /v1/cluster", s.instrument("/v1/cluster", s.handleCluster))
 	s.mux.Handle("GET /v1/experiments", s.instrument("/v1/experiments", s.handleExperimentsList))
 	s.mux.Handle("GET /v1/experiments/{key}", s.instrument("/v1/experiments/{key}", s.handleExperiment))
 	s.mux.Handle("GET /v1/traces", s.instrument("/v1/traces", s.handleTraces))
@@ -230,6 +256,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener, grace time.Duration
 	// checkpoint and requeue so the next start resumes them.
 	if err := s.jobs.Stop(shutdownCtx); err != nil {
 		log.Warn("job manager shutdown", "err", err)
+	}
+	if s.cluster != nil {
+		s.cluster.Stop()
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err

@@ -19,6 +19,10 @@ type (
 	SweepEntry    = api.SweepEntry
 	DSEResponse   = api.DSEResponse
 
+	ShardSpec     = api.ShardSpec
+	ShardEnvelope = api.ShardEnvelope
+	ClusterStatus = api.ClusterStatus
+
 	ScheduleRequest  = api.ScheduleRequest
 	ScheduleWindow   = api.ScheduleWindow
 	ScheduleResponse = api.ScheduleResponse
