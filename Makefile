@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt-check race ci bench bench-server bench-check bench-cluster bench-baseline fuzz-smoke run-daemon
+.PHONY: build test vet fmt-check race ci bench bench-server bench-check bench-cluster bench-surrogate bench-baseline fuzz-smoke run-daemon
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 race:
-	$(GO) test -race ./internal/server/... ./internal/job/... ./internal/cluster/... ./internal/dse/... ./internal/pareto/... ./internal/grid/... ./internal/sched/... ./internal/carbon/... ./internal/accel/... ./client/... ./api/...
+	$(GO) test -race -short . ./internal/server/... ./internal/job/... ./internal/cluster/... ./internal/dse/... ./internal/pareto/... ./internal/grid/... ./internal/sched/... ./internal/carbon/... ./internal/accel/... ./client/... ./api/...
 
 ci: build vet fmt-check test race
 
@@ -41,6 +41,12 @@ bench-check:
 	$(GO) test -run '^$$' -bench BenchmarkStreamingDSE -benchtime 1x . | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json
 	$(GO) test -run '^$$' -bench BenchmarkScheduleWindow -benchtime 1x ./internal/sched | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json
 
+# Guard the surrogate search's reason to exist: on the 105k-point reference
+# grid it must stay several times faster than exhaustive streaming (the
+# quality floor is pinned separately by internal/dse's golden tests).
+bench-surrogate:
+	$(GO) test -run '^$$' -bench BenchmarkSurrogateDSE -benchtime 1x . | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json
+
 # Guard the distributed-DSE paths: the single-node walk of the 2^20-point
 # acceptance grid, the same grid fanned out across three in-process workers
 # (the delta over `single` is the coordinator's whole fan-out overhead —
@@ -51,6 +57,7 @@ bench-cluster:
 
 bench-baseline:
 	$(GO) test -run '^$$' -bench BenchmarkStreamingDSE -benchtime 1x . | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
+	$(GO) test -run '^$$' -bench BenchmarkSurrogateDSE -benchtime 1x . | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
 	$(GO) test -run '^$$' -bench BenchmarkScheduleWindow -benchtime 1x ./internal/sched | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
 	$(GO) test -run '^$$' -bench BenchmarkClusterDSE -benchtime 1x ./internal/cluster | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
 	$(GO) test -run '^$$' -bench BenchmarkClusterMerge -benchtime 100x ./internal/cluster | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
@@ -61,6 +68,7 @@ bench-baseline:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParetoEnvelope -fuzztime 10s ./internal/pareto
 	$(GO) test -run '^$$' -fuzz FuzzDSERequest -fuzztime 10s ./internal/server
+	$(GO) test -run '^$$' -fuzz FuzzSurrogateRequest -fuzztime 10s ./internal/server
 	$(GO) test -run '^$$' -fuzz FuzzAccountingRequest -fuzztime 10s ./internal/server
 	$(GO) test -run '^$$' -fuzz FuzzTraceIntegrate -fuzztime 10s ./internal/grid
 	$(GO) test -run '^$$' -fuzz FuzzAccountingModel -fuzztime 10s ./internal/carbon

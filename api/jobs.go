@@ -36,6 +36,12 @@ type JobProgress struct {
 	// zero for single-node jobs.
 	ShardsDone  int `json:"shards_done,omitempty"`
 	ShardsTotal int `json:"shards_total,omitempty"`
+	// Generation, EvalsUsed and EvalsBudget track a surrogate search: the
+	// NSGA generation counter and the true-evaluation budget cursor. Zero
+	// for exhaustive jobs.
+	Generation  int   `json:"generation,omitempty"`
+	EvalsUsed   int64 `json:"evals_used,omitempty"`
+	EvalsBudget int64 `json:"evals_budget,omitempty"`
 	// ElapsedS is seconds since the job started running (0 while queued).
 	ElapsedS float64 `json:"elapsed_s"`
 	// ETAS extrapolates the remaining seconds from progress so far; 0 when

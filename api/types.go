@@ -131,6 +131,47 @@ type KnobRangeSpec struct {
 	Models []string `json:"models,omitempty"`
 }
 
+// SurrogateSpec tunes the surrogate-guided Pareto search (search:
+// "surrogate"): a budgeted NSGA-II-style lattice search that recovers the
+// knob grid's tCDP envelope from a small fraction of the evaluations the
+// exhaustive engine pays. Every field is optional; the zero value selects
+// the documented defaults. Results are deterministic for a fixed seed.
+type SurrogateSpec struct {
+	// Seed drives every stochastic choice; equal seeds give byte-identical
+	// results. 0 selects seed 1.
+	Seed uint64 `json:"seed,omitempty"`
+	// Budget caps true evaluations; 0 selects the server default (2 % of the
+	// grid, clamped to [256, 8192]).
+	Budget int64 `json:"budget,omitempty"`
+	// Population is the NSGA parent-pool size (default 48).
+	Population int `json:"population,omitempty"`
+	// Generations caps the adaptive rounds; 0 runs until the budget is spent.
+	Generations int `json:"generations,omitempty"`
+	// Oracle additionally runs the exhaustive engine on the same grid and
+	// reports quality metrics (hypervolume_ratio, additive_epsilon,
+	// coverage) against it. Validation only — it pays the full grid, so the
+	// grid must fit the server's exhaustive cap.
+	Oracle bool `json:"oracle,omitempty"`
+}
+
+// SurrogateInfo reports how a surrogate-served exploration ran, including
+// the oracle-equivalence metrics when the request asked for them.
+type SurrogateInfo struct {
+	Seed            uint64  `json:"seed"`
+	Budget          int64   `json:"budget"`
+	Generations     int     `json:"generations"`
+	GridPoints      int64   `json:"grid_points"`
+	EvaluationsUsed int64   `json:"evaluations_used"`
+	EvalFraction    float64 `json:"eval_fraction"`
+	Skipped         int64   `json:"skipped"`
+
+	// Quality metrics versus the exhaustive oracle; present only when the
+	// request set surrogate.oracle.
+	HypervolumeRatio *float64 `json:"hypervolume_ratio,omitempty"`
+	AdditiveEpsilon  *float64 `json:"additive_epsilon,omitempty"`
+	Coverage         *float64 `json:"coverage,omitempty"`
+}
+
 // DSERequest asks for a design-space exploration of a task over a set of
 // accelerator configurations. The same body drives both the synchronous
 // POST /v1/dse and asynchronous POST /v1/jobs forms.
@@ -172,6 +213,15 @@ type DSERequest struct {
 	// The two fields are mutually exclusive, and both require knobs.
 	Shards int        `json:"shards,omitempty"`
 	Shard  *ShardSpec `json:"shard,omitempty"`
+
+	// Search selects the knob-grid engine: "exhaustive" evaluates every
+	// point, "surrogate" runs the budgeted Pareto search, and ""/"auto"
+	// picks exhaustive for grids within the server's -max-grid-points cap
+	// and surrogate above it. Requires knobs; "surrogate" is mutually
+	// exclusive with shard and shards. Surrogate, when present, tunes the
+	// search and implies search: "surrogate".
+	Search    string         `json:"search,omitempty"`
+	Surrogate *SurrogateSpec `json:"surrogate,omitempty"`
 }
 
 // DSEPoint is one evaluated design in the response.
@@ -219,6 +269,14 @@ type DSEResponse struct {
 	PointsStreamed     int64        `json:"points_streamed,omitempty"`
 	PointsPruned       int64        `json:"points_pruned,omitempty"`
 	Sweep              []SweepEntry `json:"sweep"`
+
+	// Search names the engine that served a knob-range request when it was
+	// not the exhaustive default ("surrogate"); Surrogate carries that run's
+	// budget accounting and optional oracle-equivalence metrics. For
+	// surrogate runs PointsStreamed counts true evaluations, and the
+	// envelope covers the evaluated subset of the grid.
+	Search    string         `json:"search,omitempty"`
+	Surrogate *SurrogateInfo `json:"surrogate,omitempty"`
 }
 
 // ---- GET /v1/traces ----

@@ -86,6 +86,17 @@ func (c *Client) DSE(ctx context.Context, req api.DSERequest) (*api.DSEResponse,
 	return &out, nil
 }
 
+// SurrogateDSE runs a knob-range exploration through the surrogate-guided
+// Pareto search (POST /v1/dse with search: "surrogate"). A nil spec accepts
+// the server defaults; pass one to pin the seed for reproducible envelopes
+// or to trade budget for fidelity. The response's Surrogate field carries
+// the evaluation accounting (and quality metrics when spec.Oracle is set).
+func (c *Client) SurrogateDSE(ctx context.Context, req api.DSERequest, spec *api.SurrogateSpec) (*api.DSEResponse, error) {
+	req.Search = "surrogate"
+	req.Surrogate = spec
+	return c.DSE(ctx, req)
+}
+
 // Schedule finds the lowest-carbon launch window (POST /v1/schedule).
 func (c *Client) Schedule(ctx context.Context, req api.ScheduleRequest) (*api.ScheduleResponse, error) {
 	var out api.ScheduleResponse

@@ -52,6 +52,8 @@ func run(ctx context.Context, logw io.Writer, args []string) error {
 		poolSize    = fs.Int("pool-size", 0, "concurrent grid evaluations (0 = GOMAXPROCS-derived)")
 		evalWorkers = fs.Int("eval-workers", 0, "goroutines per evaluation (0 = default)")
 		maxGrid     = fs.Int64("max-grid-points", 0, "knob-grid size cap per DSE request (0 = default 1<<20)")
+		surrBudget  = fs.Int64("surrogate-budget", 0, "default true-evaluation budget per surrogate DSE run (0 = 2% of grid, clamped to [256, 8192])")
+		surrPop     = fs.Int("surrogate-population", 0, "default surrogate NSGA population (0 = default 48)")
 		memoSize    = fs.Int("memo-size", 0, "shape-profile memo entries for streaming DSE (0 = default)")
 		grace       = fs.Duration("shutdown-grace", 15*time.Second, "drain window on SIGTERM")
 		logJSON     = fs.Bool("log-json", false, "emit structured logs as JSON")
@@ -106,6 +108,9 @@ func run(ctx context.Context, logw io.Writer, args []string) error {
 		MaxGridPoints:  *maxGrid,
 		MemoEntries:    *memoSize,
 		Logger:         log,
+
+		SurrogateBudget:     *surrBudget,
+		SurrogatePopulation: *surrPop,
 
 		JobWorkers:      *jobWorkers,
 		JobQueue:        *jobQueue,

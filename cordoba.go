@@ -391,6 +391,54 @@ func ExploreGridNaive(task Task, g KnobGrid, fab Fab, ci CarbonIntensity) (*Desi
 	return dse.EvaluateGrid(task, g, fab, ci)
 }
 
+// ---- surrogate-guided Pareto search ----
+
+// SurrogateOptions tunes ExploreSurrogate: seed, evaluation budget,
+// population/generation limits, plus the usual stream options and
+// checkpoint/resume hooks.
+type SurrogateOptions = dse.SurrogateOptions
+
+// SurrogateResult is a surrogate run's outcome: the recovered envelope as a
+// StreamResult plus budget accounting and the exact set of evaluated grid
+// ids.
+type SurrogateResult = dse.SurrogateResult
+
+// SurrogateCheckpoint is a serializable snapshot of a surrogate search;
+// resuming from it is byte-identical to an uninterrupted run under the same
+// seed.
+type SurrogateCheckpoint = dse.SurrogateCheckpoint
+
+// SurrogateProgress is the live counter set a surrogate search reports after
+// each generation.
+type SurrogateProgress = dse.SurrogateProgress
+
+// EnvelopeQuality compares a candidate envelope against an exhaustive oracle:
+// hypervolume ratio, additive epsilon, and coverage.
+type EnvelopeQuality = dse.Quality
+
+// ExploreSurrogate runs the budgeted surrogate-guided Pareto search over a
+// knob grid: NSGA-II-style selection over the lattice, RBF-ranked offspring,
+// and true evaluations only for the candidates that survive ranking. For a
+// fixed seed the result is byte-identical across runs, worker counts, and
+// checkpoint/resume. With a budget >= the grid size it degrades to the exact
+// exhaustive envelope.
+func ExploreSurrogate(ctx context.Context, task Task, g KnobGrid, fab Fab, ci CarbonIntensity, opt SurrogateOptions) (*SurrogateResult, error) {
+	return dse.EvaluateSurrogate(ctx, task, g, fab, ci, opt)
+}
+
+// MeasureEnvelopeQuality scores a candidate envelope against the exhaustive
+// oracle's on the shared (E·D, C_emb·D) plane.
+func MeasureEnvelopeQuality(candidate, oracle *StreamResult) EnvelopeQuality {
+	return dse.MeasureQuality(candidate, oracle)
+}
+
+// DefaultSurrogateBudget returns the evaluation budget a surrogate run uses
+// when none is given: 2% of the grid, clamped to [256, 8192] and never above
+// the grid size.
+func DefaultSurrogateBudget(gridPoints int64, population int) int64 {
+	return dse.DefaultSurrogateBudget(gridPoints, population)
+}
+
 // ---- uncertainty (§IV-B) ----
 
 // UncertainDesign is a candidate reduced to (E, D, C_emb) for unknown-CI

@@ -122,11 +122,23 @@ type taskAcc struct {
 	total, prePruned int64
 }
 
-// offerChunk feeds one evaluated chunk into the accumulator: dominance
-// pre-pruning first (cheap, lock-free), then the envelope under the lock.
-// Evicted points drop their payloads immediately, so memory stays
-// O(survivors + chunk).
+// offerChunk feeds one evaluated chunk of contiguous grid indices
+// [base, base+len) into the accumulator. See offerBatch.
 func (a *taskAcc) offerChunk(base int64, pts []Point) {
+	ids := make([]int64, len(pts))
+	for i := range ids {
+		ids[i] = base + int64(i)
+	}
+	a.offerBatch(ids, pts)
+}
+
+// offerBatch feeds one evaluated batch (ids parallel to pts, any ids) into
+// the accumulator: dominance pre-pruning first (cheap, lock-free), then the
+// envelope under the lock. Evicted points drop their payloads immediately,
+// so memory stays O(survivors + batch). The exhaustive engine offers
+// contiguous shape chunks through offerChunk; the surrogate search offers
+// its evaluated candidate batches directly.
+func (a *taskAcc) offerBatch(ids []int64, pts []Point) {
 	lp := make([]pareto.Point, len(pts))
 	for i, p := range pts {
 		lp[i] = pareto.Point{X: p.EDP(), Y: p.EmbodiedDelay()}
@@ -142,7 +154,7 @@ func (a *taskAcc) offerChunk(base int64, pts []Point) {
 		a.sumEmbD += p.Y
 	}
 	for _, idx := range front {
-		id := base + int64(idx)
+		id := ids[idx]
 		accepted, evicted := a.stream.Offer(id, lp[idx])
 		if accepted {
 			a.payload[id] = pts[idx]

@@ -47,6 +47,11 @@ type Progress struct {
 	// zero for single-node jobs.
 	ShardsDone  int `json:"shards_done,omitempty"`
 	ShardsTotal int `json:"shards_total,omitempty"`
+	// Generation / EvalsUsed / EvalsBudget track a surrogate search's
+	// budget cursor; zero for exhaustive jobs.
+	Generation  int   `json:"generation,omitempty"`
+	EvalsUsed   int64 `json:"evals_used,omitempty"`
+	EvalsBudget int64 `json:"evals_budget,omitempty"`
 }
 
 // Status is a point-in-time copy of a job's public state.

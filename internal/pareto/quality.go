@@ -1,0 +1,139 @@
+package pareto
+
+import "math"
+
+// Quality metrics between two fronts in a two-objective minimization — the
+// oracle-equivalence layer behind the surrogate DSE search. A heuristic
+// search is only trustworthy when it is continuously measured against the
+// exhaustive oracle, so these metrics are used both by the validation test
+// suite (candidate envelope vs the exhaustive golden envelope) and in API
+// responses (hypervolume_ratio, additive_epsilon, coverage).
+//
+// All three follow the standard multi-objective benchmarking definitions:
+//
+//   - Hypervolume: the area weakly dominated by a front, bounded by a
+//     reference point that is worse than every point under comparison. In
+//     2-D minimization this is the staircase area between the front and the
+//     reference corner.
+//
+//   - Additive epsilon: the smallest ε such that shifting the candidate
+//     front by (−ε, −ε) makes it weakly dominate every oracle point.
+//     Negative values mean the candidate already dominates the oracle.
+//
+//   - Coverage: the fraction of oracle points weakly dominated by some
+//     candidate point — 1.0 when the candidate found (or beat) every oracle
+//     vertex exactly.
+
+// Hypervolume returns the area weakly dominated by the points and bounded by
+// ref: Σ over the front of (ref.X − xᵢ)·(yᵢ₋₁ − yᵢ) with y₀ = ref.Y. Points
+// that do not strictly dominate ref contribute nothing (their rectangle is
+// clipped to zero), so a reference inside the front is safe, just lossy.
+// Non-finite points are ignored. The result is 0 for an empty input.
+func Hypervolume(points []Point, ref Point) float64 {
+	var hv float64
+	prevY := ref.Y
+	// Front() returns ascending X with non-increasing Y (duplicates kept),
+	// exactly the staircase order the sweep needs.
+	for _, i := range Front(points) {
+		p := points[i]
+		if p.X >= ref.X || p.Y >= prevY {
+			continue // clipped by the reference corner or a previous column
+		}
+		// prevY starts at ref.Y and only decreases, so the column's top is
+		// always prevY and its area is strictly positive here.
+		hv += (ref.X - p.X) * (prevY - p.Y)
+		prevY = p.Y
+	}
+	return hv
+}
+
+// ReferencePoint returns the canonical hypervolume reference for a set of
+// fronts: the worst coordinate observed on each axis, pushed out by 10 % of
+// that axis's observed range (or 10 % of its magnitude when the range is
+// degenerate, so single-point fronts still enclose positive area). Both
+// fronts of a comparison must share the same reference for their
+// hypervolumes to be comparable.
+func ReferencePoint(fronts ...[]Point) Point {
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, f := range fronts {
+		for _, p := range f {
+			if !p.valid() {
+				continue
+			}
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+	}
+	if math.IsInf(maxX, -1) {
+		return Point{}
+	}
+	return Point{X: maxX + pad(minX, maxX), Y: maxY + pad(minY, maxY)}
+}
+
+// pad returns the reference-point margin for one axis: 10 % of the observed
+// range, falling back to 10 % of the magnitude (or 1.0 at exactly zero) when
+// every point shares the coordinate.
+func pad(lo, hi float64) float64 {
+	if d := hi - lo; d > 0 {
+		return 0.1 * d
+	}
+	if m := math.Abs(hi); m > 0 {
+		return 0.1 * m
+	}
+	return 1.0
+}
+
+// AdditiveEpsilon returns the additive ε-indicator from candidate to oracle:
+// the smallest ε such that for every oracle point some candidate point
+// satisfies c.X ≤ o.X+ε and c.Y ≤ o.Y+ε. It is directional —
+// AdditiveEpsilon(a, b) and AdditiveEpsilon(b, a) generally differ — and
+// zero when the fronts coincide. An empty or all-invalid candidate returns
+// +Inf against a non-empty oracle; an empty oracle returns -Inf (vacuously
+// dominated).
+func AdditiveEpsilon(candidate, oracle []Point) float64 {
+	eps := math.Inf(-1)
+	for _, o := range oracle {
+		if !o.valid() {
+			continue
+		}
+		best := math.Inf(1)
+		for _, c := range candidate {
+			if !c.valid() {
+				continue
+			}
+			need := math.Max(c.X-o.X, c.Y-o.Y)
+			if need < best {
+				best = need
+			}
+		}
+		if best > eps {
+			eps = best
+		}
+	}
+	return eps
+}
+
+// Coverage returns the fraction of oracle points weakly dominated by some
+// candidate point (c.X ≤ o.X and c.Y ≤ o.Y — equality counts, so a candidate
+// that found the exact oracle vertex covers it). It returns 1 for an empty
+// oracle.
+func Coverage(candidate, oracle []Point) float64 {
+	var total, covered int
+	for _, o := range oracle {
+		if !o.valid() {
+			continue
+		}
+		total++
+		for _, c := range candidate {
+			if c.valid() && c.X <= o.X && c.Y <= o.Y {
+				covered++
+				break
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(covered) / float64(total)
+}

@@ -1,0 +1,152 @@
+package pareto
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHypervolumeHandComputed pins Hypervolume against staircase areas worked
+// out by hand for 2- and 3-point fronts.
+func TestHypervolumeHandComputed(t *testing.T) {
+	ref := Point{X: 10, Y: 10}
+	cases := []struct {
+		name string
+		pts  []Point
+		want float64
+	}{
+		// Single point: one rectangle to the reference corner.
+		{"single", []Point{{2, 3}}, (10 - 2) * (10 - 3)},
+		// Two points (1,6), (4,2): columns (10-1)*(10-6) + (10-4)*(6-2).
+		{"two", []Point{{1, 6}, {4, 2}}, 9*4 + 6*4},
+		// Same two points offered in reverse order: order-invariant.
+		{"two-reversed", []Point{{4, 2}, {1, 6}}, 9*4 + 6*4},
+		// Three points (1,8), (3,5), (7,1):
+		// (10-1)*(10-8) + (10-3)*(8-5) + (10-7)*(5-1).
+		{"three", []Point{{1, 8}, {3, 5}, {7, 1}}, 9*2 + 7*3 + 3*4},
+		// A dominated interior point contributes nothing.
+		{"dominated", []Point{{1, 6}, {4, 2}, {5, 7}}, 9*4 + 6*4},
+		// A point outside the reference box is clipped away entirely.
+		{"clipped", []Point{{1, 6}, {4, 2}, {11, 0}}, 9*4 + 6*4},
+		// Duplicates count once.
+		{"duplicates", []Point{{2, 3}, {2, 3}}, (10 - 2) * (10 - 3)},
+		{"empty", nil, 0},
+		{"nonfinite", []Point{{math.NaN(), 1}, {1, math.Inf(1)}}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Hypervolume(tc.pts, ref); got != tc.want {
+				t.Fatalf("Hypervolume(%v, %v) = %v, want %v", tc.pts, ref, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestHypervolumeSubsetMonotone: the hypervolume of a subset of a front can
+// never exceed the full front's — the property the surrogate acceptance test
+// leans on (surrogate HV ≤ oracle HV).
+func TestHypervolumeSubsetMonotone(t *testing.T) {
+	full := []Point{{1, 9}, {2, 6}, {4, 4}, {7, 2}, {9, 1}}
+	ref := ReferencePoint(full)
+	want := Hypervolume(full, ref)
+	for drop := range full {
+		sub := append(append([]Point(nil), full[:drop]...), full[drop+1:]...)
+		if got := Hypervolume(sub, ref); got > want {
+			t.Fatalf("dropping point %d raised hypervolume: %v > %v", drop, got, want)
+		}
+	}
+}
+
+// TestAdditiveEpsilon covers the identity, directionality, and shifted-front
+// cases of the ε-indicator.
+func TestAdditiveEpsilon(t *testing.T) {
+	front := []Point{{1, 6}, {4, 2}}
+	if eps := AdditiveEpsilon(front, front); eps != 0 {
+		t.Fatalf("epsilon(front, front) = %v, want 0", eps)
+	}
+
+	// Shift the candidate up-right by 0.5: needs exactly ε = 0.5.
+	shifted := []Point{{1.5, 6.5}, {4.5, 2.5}}
+	if eps := AdditiveEpsilon(shifted, front); eps != 0.5 {
+		t.Fatalf("epsilon(shifted, front) = %v, want 0.5", eps)
+	}
+	// The opposite direction is negative: shifted is dominated by front, so
+	// front needs a negative shift before shifted stops dominating it.
+	if eps := AdditiveEpsilon(front, shifted); eps != -0.5 {
+		t.Fatalf("epsilon(front, shifted) = %v, want -0.5", eps)
+	}
+
+	// Asymmetry on fronts that interleave: candidate misses (0, 10) by 2 on
+	// X but beats everything else.
+	a := []Point{{2, 0}}
+	b := []Point{{0, 10}, {2, 0}}
+	if eps := AdditiveEpsilon(a, b); eps != 2 {
+		t.Fatalf("epsilon(a, b) = %v, want 2", eps)
+	}
+	if eps := AdditiveEpsilon(b, a); eps != 0 {
+		t.Fatalf("epsilon(b, a) = %v, want 0", eps)
+	}
+
+	// Degenerate inputs.
+	if eps := AdditiveEpsilon(nil, front); !math.IsInf(eps, 1) {
+		t.Fatalf("epsilon(empty, front) = %v, want +Inf", eps)
+	}
+	if eps := AdditiveEpsilon(front, nil); !math.IsInf(eps, -1) {
+		t.Fatalf("epsilon(front, empty) = %v, want -Inf", eps)
+	}
+}
+
+// TestCoverage pins the weak-dominance coverage fraction.
+func TestCoverage(t *testing.T) {
+	oracle := []Point{{1, 6}, {4, 2}, {8, 1}}
+	cases := []struct {
+		name string
+		cand []Point
+		want float64
+	}{
+		{"exact", oracle, 1},
+		{"superset", append([]Point{{0, 7}}, oracle...), 1},
+		{"partial", []Point{{1, 6}}, 1.0 / 3},
+		{"dominating", []Point{{0, 0}}, 1},
+		{"disjoint-worse", []Point{{9, 9}}, 0},
+		{"empty", nil, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Coverage(tc.cand, oracle); got != tc.want {
+				t.Fatalf("Coverage = %v, want %v", got, tc.want)
+			}
+		})
+	}
+	if got := Coverage(nil, nil); got != 1 {
+		t.Fatalf("Coverage(nil, nil) = %v, want 1 (vacuous)", got)
+	}
+}
+
+// TestReferencePointDegenerate: single-point and flat fronts still get a
+// reference that encloses positive area.
+func TestReferencePointDegenerate(t *testing.T) {
+	single := []Point{{3, 5}}
+	ref := ReferencePoint(single)
+	if !(ref.X > 3 && ref.Y > 5) {
+		t.Fatalf("reference %v does not enclose the single point", ref)
+	}
+	if hv := Hypervolume(single, ref); hv <= 0 {
+		t.Fatalf("single-point hypervolume %v, want > 0", hv)
+	}
+	// Two fronts share the reference: it must be worse than both.
+	a := []Point{{1, 9}, {5, 2}}
+	b := []Point{{2, 11}, {7, 1}}
+	ref = ReferencePoint(a, b)
+	for _, p := range append(append([]Point(nil), a...), b...) {
+		if p.X >= ref.X || p.Y >= ref.Y {
+			t.Fatalf("reference %v not strictly worse than %v", ref, p)
+		}
+	}
+	// All-zero input.
+	if ref := ReferencePoint([]Point{{0, 0}}); !(ref.X > 0 && ref.Y > 0) {
+		t.Fatalf("zero-point reference %v not strictly positive", ref)
+	}
+	if ref := ReferencePoint(nil); ref != (Point{}) {
+		t.Fatalf("empty reference = %v, want zero value", ref)
+	}
+}

@@ -1,0 +1,62 @@
+package pareto
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestStreamMergeConcurrent: shard streams built concurrently and merged
+// afterwards equal a single sequential stream over the same points. Run
+// under -race this also proves the snapshot/merge path shares nothing with
+// the builders — the pattern the DSE engine relies on when exhaustive
+// shards and surrogate batches accumulate in parallel.
+func TestStreamMergeConcurrent(t *testing.T) {
+	const n, shards = 4096, 8
+	rng := rand.New(rand.NewSource(9))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: 1 + rng.Float64()*99, Y: 1 + rng.Float64()*99}
+	}
+
+	var seq Stream
+	for i, p := range pts {
+		seq.Offer(int64(i), p)
+	}
+
+	states := make([]StreamState, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			var st Stream
+			for i := s * (n / shards); i < (s+1)*(n/shards); i++ {
+				st.Offer(int64(i), pts[i])
+			}
+			states[s] = st.Snapshot()
+		}(s)
+	}
+	wg.Wait()
+
+	var merged Stream
+	for _, st := range states {
+		merged.Merge(st)
+	}
+
+	sid, mid := seq.IDs(), merged.IDs()
+	if len(sid) != len(mid) {
+		t.Fatalf("merged envelope has %d points, sequential %d", len(mid), len(sid))
+	}
+	for i := range sid {
+		if sid[i] != mid[i] {
+			t.Fatalf("envelope diverges at %d: merged id %d, sequential %d", i, mid[i], sid[i])
+		}
+	}
+	sp, mp := seq.Points(), merged.Points()
+	for i := range sp {
+		if sp[i] != mp[i] {
+			t.Fatalf("envelope point %d differs: merged %+v, sequential %+v", i, mp[i], sp[i])
+		}
+	}
+}

@@ -76,7 +76,7 @@ func TestShardCapIsPerNode(t *testing.T) {
 	// 6 shapes × 2 cells = 12 points; cap of 8 rejects the whole grid and
 	// any shard of ≥ 4 shapes, but accepts per-shard shares of ≤ 4 shapes.
 	s := newTestServer(t, Config{MaxGridPoints: 8, Role: "coordinator", ClusterWorkers: []string{"http://127.0.0.1:1"}})
-	w := do(t, s, "POST", "/v1/jobs", shardBody(``))
+	w := do(t, s, "POST", "/v1/jobs", shardBody(`,"search":"exhaustive"`))
 	if w.Code != 400 || !strings.Contains(w.Body.String(), "above this server's cap") {
 		t.Fatalf("whole grid: code %d body %s", w.Code, w.Body)
 	}

@@ -65,6 +65,28 @@ func FuzzDSERequest(f *testing.F) {
 	})
 }
 
+// FuzzSurrogateRequest drives the surrogate-search fields through the full
+// stack. Malformed knobs, seeds, budgets, and search values must answer 400
+// with the uniform envelope — never a 500, a panic, or unbounded work (the
+// fuzz server's 64-point cap bounds both the grid walk and the clamped
+// budget of any execution).
+func FuzzSurrogateRequest(f *testing.F) {
+	knobs := `"knobs":{"mac_arrays":[1,4],"sram_mb":[2,8]}`
+	f.Add([]byte(`{"task":"All kernels","search":"surrogate",` + knobs + `,"surrogate":{"seed":7,"budget":8,"population":4}}`))
+	f.Add([]byte(`{"task":"All kernels","search":"auto",` + knobs + `}`))
+	f.Add([]byte(`{"task":"All kernels","search":"genetic",` + knobs + `}`))
+	f.Add([]byte(`{"task":"All kernels","search":"surrogate","configs":["a1"]}`))
+	f.Add([]byte(`{"task":"All kernels",` + knobs + `,"surrogate":{"budget":-1}}`))
+	f.Add([]byte(`{"task":"All kernels",` + knobs + `,"surrogate":{"budget":9223372036854775807}}`))
+	f.Add([]byte(`{"task":"All kernels",` + knobs + `,"surrogate":{"seed":-1}}`))
+	f.Add([]byte(`{"task":"All kernels",` + knobs + `,"surrogate":{"population":65536,"generations":-3}}`))
+	f.Add([]byte(`{"task":"All kernels",` + knobs + `,"surrogate":{"oracle":true},"shards":2}`))
+	f.Add([]byte(`{"task":"All kernels","search":"surrogate",` + knobs + `,"surrogate":{`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		fuzzPost(t, "/v1/dse", body)
+	})
+}
+
 func FuzzAccountingRequest(f *testing.F) {
 	f.Add([]byte(`{"process":"7nm","fab":"coal-heavy","area_cm2":1.0,"yield":0.95}`))
 	f.Add([]byte(`{"accelerator":{"id":"a48"}}`))

@@ -285,6 +285,39 @@ func defaultDSE(req DSERequest) (DSERequest, error) {
 		return req, errf(http.StatusBadRequest,
 			"shard needs first >= 0 and count >= 1, got first=%d count=%d", sh.First, sh.Count)
 	}
+	switch req.Search {
+	case "", "auto", searchExhaustive, searchSurrogate:
+	default:
+		return req, errf(http.StatusBadRequest,
+			"unknown search %q — give auto, exhaustive or surrogate", req.Search)
+	}
+	if req.Search != "" && req.Knobs == nil {
+		return req, errf(http.StatusBadRequest, "search applies to knob-range requests — give knobs")
+	}
+	if sp := req.Surrogate; sp != nil {
+		if req.Knobs == nil {
+			return req, errf(http.StatusBadRequest, "surrogate applies to knob-range requests — give knobs")
+		}
+		if req.Search == searchExhaustive {
+			return req, errf(http.StatusBadRequest,
+				"surrogate tunes search: surrogate — drop it for exhaustive runs")
+		}
+		if sp.Budget < 0 {
+			return req, errf(http.StatusBadRequest, "surrogate.budget must be non-negative, got %d", sp.Budget)
+		}
+		if sp.Population < 0 || sp.Population > 1024 {
+			return req, errf(http.StatusBadRequest,
+				"surrogate.population must be in [0, 1024], got %d", sp.Population)
+		}
+		if sp.Generations < 0 {
+			return req, errf(http.StatusBadRequest,
+				"surrogate.generations must be non-negative, got %d", sp.Generations)
+		}
+	}
+	if (req.Search == searchSurrogate || req.Surrogate != nil) && (req.Shard != nil || req.Shards > 0) {
+		return req, errf(http.StatusBadRequest,
+			"surrogate search and shard/shards are mutually exclusive — sharding uses the exhaustive engine")
+	}
 	if req.Set == "" && len(req.Configs) == 0 && req.Knobs == nil {
 		req.Set = "grid"
 	}
@@ -292,6 +325,33 @@ func defaultDSE(req DSERequest) (DSERequest, error) {
 		req.Sweep = &SweepSpec{Lo: 1, Hi: 1e12, Points: 13}
 	}
 	return req, nil
+}
+
+// Knob-range search engines. The empty string and "auto" resolve by grid
+// size in dseSearchMode.
+const (
+	searchExhaustive = "exhaustive"
+	searchSurrogate  = "surrogate"
+)
+
+// dseSearchMode resolves which engine serves a knob-range request over a
+// grid of the given size. Field validation already happened in defaultDSE;
+// ""/"auto" selects exhaustive for grids within the server's cap (shard
+// forms are always exhaustive — they are judged per node) and surrogate
+// above it. A surrogate spec implies the surrogate engine.
+func (s *Server) dseSearchMode(req DSERequest, size int64) string {
+	switch {
+	case req.Search == searchSurrogate,
+		req.Surrogate != nil && (req.Search == "" || req.Search == "auto"):
+		return searchSurrogate
+	case req.Search == "" || req.Search == "auto":
+		if req.Shard == nil && req.Shards == 0 && size > s.cfg.MaxGridPoints {
+			return searchSurrogate
+		}
+		return searchExhaustive
+	default:
+		return searchExhaustive
+	}
 }
 
 // dseInputs is a validated, resolved DSE request: everything the engines
@@ -359,6 +419,13 @@ func (s *Server) buildDSE(ctx context.Context, req DSERequest) (*DSEResponse, er
 		return nil, err
 	}
 	if in.req.Knobs != nil {
+		g, err := s.knobGrid(in.req, in.proc)
+		if err != nil {
+			return nil, err
+		}
+		if s.dseSearchMode(in.req, g.Size()) == searchSurrogate {
+			return s.buildDSESurrogate(ctx, in, surrogateRunHooks{})
+		}
 		return s.buildDSEStream(ctx, in, cordoba.CheckpointOptions{})
 	}
 	return s.buildDSEGrid(ctx, in)
@@ -496,10 +563,27 @@ func (s *Server) knobGrid(req DSERequest, proc cordoba.Process) (cordoba.KnobGri
 		// The scalar model field names the single backend to price with.
 		g.Models = []string{req.Model}
 	}
+	size := g.Size()
+	if s.dseSearchMode(req, size) == searchSurrogate {
+		// The budgeted search pays per evaluation, not per lattice point, so
+		// the cap bounds the budget rather than the grid. Only an explicitly
+		// requested budget can violate it — a defaulted budget is clamped to
+		// the cap in buildDSESurrogate, keeping auto-selected surrogate runs
+		// servable on any grid.
+		if budget := explicitSurrogateBudget(req, s.cfg); budget > s.cfg.MaxGridPoints {
+			return g, errf(http.StatusBadRequest,
+				"surrogate budget %d is above this server's cap of %d evaluations", budget, s.cfg.MaxGridPoints)
+		}
+		if sp := req.Surrogate; sp != nil && sp.Oracle && size > s.cfg.MaxGridPoints {
+			return g, errf(http.StatusBadRequest,
+				"surrogate.oracle also runs the exhaustive engine — the %d-point grid is above this server's cap of %d",
+				size, s.cfg.MaxGridPoints)
+		}
+		return g, nil
+	}
 	// The cap bounds what one node evaluates, so sharded requests are judged
 	// by their largest per-node share, not the whole grid — distributing is
 	// exactly how a grid above the single-node cap becomes servable.
-	size := g.Size()
 	shapes := int64(len(g.MACArrays) * len(g.SRAMMB))
 	cells := size / shapes
 	perNode := size
@@ -561,6 +645,127 @@ func (s *Server) buildDSEStream(ctx context.Context, in dseInputs, ck cordoba.Ch
 	}
 
 	return renderStreamResponse(in, g, res), nil
+}
+
+// explicitSurrogateBudget returns the budget a surrogate request pinned
+// explicitly — from the request body, else the server's -surrogate-budget —
+// or 0 when both defer to the engine default.
+func explicitSurrogateBudget(req DSERequest, cfg Config) int64 {
+	if sp := req.Surrogate; sp != nil && sp.Budget != 0 {
+		return sp.Budget
+	}
+	return cfg.SurrogateBudget
+}
+
+// surrogateRunHooks carries the async runner's checkpoint/progress plumbing
+// into a surrogate run; the zero value runs synchronously without either.
+type surrogateRunHooks struct {
+	resume       *cordoba.SurrogateCheckpoint
+	every        int
+	onCheckpoint func(*cordoba.SurrogateCheckpoint) error
+	onProgress   func(cordoba.SurrogateProgress)
+}
+
+// buildDSESurrogate serves a knob-range request through the surrogate-guided
+// Pareto search: a fixed-seed, budgeted NSGA-style walk over the lazy grid
+// that shares the server's shape-profile memo with the exhaustive engine.
+// When the request asks for an oracle comparison, the exhaustive engine runs
+// on the same grid afterwards and the response carries the quality metrics.
+func (s *Server) buildDSESurrogate(ctx context.Context, in dseInputs, hooks surrogateRunHooks) (*DSEResponse, error) {
+	req, task, fab := in.req, in.task, in.fab
+	g, err := s.knobGrid(req, in.proc)
+	if err != nil {
+		return nil, err
+	}
+
+	if err := s.pool.Acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.pool.Release()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	opt := cordoba.SurrogateOptions{
+		StreamOptions: cordoba.StreamOptions{Workers: s.pool.Workers(), Memo: s.memo, Yield: in.acct.Yield},
+		Budget:        s.cfg.SurrogateBudget,
+		Population:    s.cfg.SurrogatePopulation,
+		Resume:        hooks.resume,
+		Every:         hooks.every,
+		OnCheckpoint:  hooks.onCheckpoint,
+		OnProgress:    hooks.onProgress,
+	}
+	if sp := req.Surrogate; sp != nil {
+		if sp.Seed != 0 {
+			opt.Seed = sp.Seed
+		}
+		if sp.Budget != 0 {
+			opt.Budget = sp.Budget
+		}
+		if sp.Population != 0 {
+			opt.Population = sp.Population
+		}
+		if sp.Generations != 0 {
+			opt.Generations = sp.Generations
+		}
+	}
+	if opt.Budget == 0 {
+		// Resolve the engine default here so the server's evaluation cap can
+		// bound it — auto-selected surrogate runs stay servable on any grid.
+		opt.Budget = cordoba.DefaultSurrogateBudget(g.Size(), opt.Population)
+		if opt.Budget > s.cfg.MaxGridPoints {
+			opt.Budget = s.cfg.MaxGridPoints
+		}
+	}
+	ci := cordoba.CarbonIntensity(req.CIUse)
+	res, err := cordoba.ExploreSurrogate(ctx, task, g, fab, ci, opt)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, errf(http.StatusBadRequest, "%v", err)
+	}
+	s.metrics.ObserveDSESurrogate(res.Evaluations, res.Skipped, int64(res.Generations))
+	// The evaluated subset is not guaranteed to split evenly across model
+	// backends, but the per-model counters are throughput telemetry, not an
+	// audit — attribute the uniform share like the exhaustive path does.
+	if len(g.Models) == 0 {
+		s.metrics.ObserveModelEvals("act", res.Evaluations)
+	} else {
+		for _, name := range g.Models {
+			s.metrics.ObserveModelEvals(name, res.Evaluations/int64(len(g.Models)))
+		}
+	}
+
+	resp := renderStreamResponse(in, g, res.StreamResult)
+	resp.Search = searchSurrogate
+	info := &SurrogateInfo{
+		Seed:            res.Seed,
+		Budget:          res.Budget,
+		Generations:     res.Generations,
+		GridPoints:      res.GridPoints,
+		EvaluationsUsed: res.Evaluations,
+		Skipped:         res.Skipped,
+	}
+	if res.GridPoints > 0 {
+		info.EvalFraction = float64(res.Evaluations) / float64(res.GridPoints)
+	}
+	if sp := req.Surrogate; sp != nil && sp.Oracle {
+		ck := cordoba.CheckpointOptions{StreamOptions: opt.StreamOptions}
+		oracle, err := cordoba.ExploreStreamCheckpointed(ctx, task, g, fab, ci, ck)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, errf(http.StatusBadRequest, "%v", err)
+		}
+		s.metrics.ObserveDSEStream(oracle.Total, oracle.Total-int64(oracle.Kept()))
+		q := cordoba.MeasureEnvelopeQuality(res.StreamResult, oracle)
+		info.HypervolumeRatio = &q.HypervolumeRatio
+		info.AdditiveEpsilon = &q.AdditiveEpsilon
+		info.Coverage = &q.Coverage
+	}
+	resp.Surrogate = info
+	return resp, nil
 }
 
 // renderStreamResponse renders a streaming result in the wire form. The

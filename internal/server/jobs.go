@@ -24,6 +24,11 @@ const (
 	// "shards"): dispatch shards to workers, merge envelopes, render the
 	// whole-grid response.
 	jobKindClusterDSE = "dse-cluster"
+	// jobKindSurrogateDSE is a knob-range request served by the budgeted
+	// surrogate search (search: "surrogate", or auto-selected for grids above
+	// the exhaustive cap). Checkpoints per generation; resumed runs are
+	// byte-identical to uninterrupted ones under the fixed seed.
+	jobKindSurrogateDSE = "dse-surrogate"
 )
 
 // initJobs assembles the async job subsystem: the bounded manager with the
@@ -43,6 +48,7 @@ func (s *Server) initJobs() {
 	m.SetRunner(jobKindDSE, s.runDSEJob)
 	m.SetRunner(jobKindShardDSE, s.runShardDSEJob)
 	m.SetRunner(jobKindClusterDSE, s.runClusterDSEJob)
+	m.SetRunner(jobKindSurrogateDSE, s.runSurrogateDSEJob)
 	s.jobs = m
 	s.metrics.SetJobStats(m.Counts)
 	m.Start()
@@ -81,12 +87,15 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	var gridSize int64
 	if req.Knobs != nil {
 		// Grid sizing and shard bounds are knobGrid's to judge; run it now
 		// so an over-cap or out-of-range request is a 400, not a failed job.
-		if _, err := s.knobGrid(req, in.proc); err != nil {
+		g, err := s.knobGrid(req, in.proc)
+		if err != nil {
 			return err
 		}
+		gridSize = g.Size()
 	}
 	kind := jobKindDSE
 	switch {
@@ -99,6 +108,8 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) error {
 				s.cfg.Role)
 		}
 		kind = jobKindClusterDSE
+	case req.Knobs != nil && s.dseSearchMode(req, gridSize) == searchSurrogate:
+		kind = jobKindSurrogateDSE
 	}
 	raw, err := json.Marshal(req)
 	if err != nil {
@@ -206,6 +217,9 @@ func jobStatusWire(st job.Status) api.JobStatus {
 			ShapesTotal: st.Progress.ShapesTotal,
 			ShardsDone:  st.Progress.ShardsDone,
 			ShardsTotal: st.Progress.ShardsTotal,
+			Generation:  st.Progress.Generation,
+			EvalsUsed:   st.Progress.EvalsUsed,
+			EvalsBudget: st.Progress.EvalsBudget,
 		},
 		CreatedAt:    st.Created,
 		Resumes:      st.Resumes,
@@ -232,6 +246,10 @@ func jobStatusWire(st job.Status) api.JobStatus {
 			// Cluster jobs progress in shards, not local shapes.
 			perShard := elapsed / float64(st.Progress.ShardsDone)
 			out.Progress.ETAS = perShard * float64(st.Progress.ShardsTotal-st.Progress.ShardsDone)
+		} else if st.State == job.StateRunning && st.Progress.EvalsUsed > 0 && st.Progress.EvalsBudget > st.Progress.EvalsUsed {
+			// Surrogate jobs progress in true evaluations against the budget.
+			perEval := elapsed / float64(st.Progress.EvalsUsed)
+			out.Progress.ETAS = perEval * float64(st.Progress.EvalsBudget-st.Progress.EvalsUsed)
 		}
 	}
 	return out
@@ -293,6 +311,56 @@ func (s *Server) runDSEJob(ctx context.Context, rc job.RunContext) (json.RawMess
 		}
 		resp, err = s.buildDSEStream(ctx, in, ck)
 	}
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// runSurrogateDSEJob executes one queued surrogate-search request. The
+// search checkpoints every cfg.CheckpointEvery generations (archive +
+// generation counter + RNG state) and resumes byte-identically after a crash
+// or redeploy; the result bytes match the synchronous POST /v1/dse form.
+func (s *Server) runSurrogateDSEJob(ctx context.Context, rc job.RunContext) (json.RawMessage, error) {
+	var req DSERequest
+	if err := json.Unmarshal(rc.Request(), &req); err != nil {
+		return nil, err
+	}
+	in, err := s.resolveDSE(req)
+	if err != nil {
+		return nil, err
+	}
+
+	hooks := surrogateRunHooks{every: s.cfg.CheckpointEvery}
+	if cp := rc.Checkpoint(); len(cp) > 0 {
+		var st cordoba.SurrogateCheckpoint
+		if err := json.Unmarshal(cp, &st); err != nil {
+			return nil, err
+		}
+		hooks.resume = &st
+	}
+	hooks.onCheckpoint = func(st *cordoba.SurrogateCheckpoint) error {
+		b, err := json.Marshal(st)
+		if err != nil {
+			return err
+		}
+		return rc.SaveCheckpoint(b)
+	}
+	hooks.onProgress = func(p cordoba.SurrogateProgress) {
+		rc.ReportProgress(job.Progress{
+			GridPoints:  p.GridPoints,
+			Streamed:    p.Evals,
+			Kept:        p.Kept,
+			Generation:  p.Generation,
+			EvalsUsed:   p.Evals,
+			EvalsBudget: p.Budget,
+		})
+	}
+	resp, err := s.buildDSESurrogate(ctx, in, hooks)
 	if err != nil {
 		return nil, err
 	}

@@ -68,6 +68,11 @@ type Metrics struct {
 	dseStreamed atomic.Int64 // grid points enumerated by the streaming engine
 	dsePruned   atomic.Int64 // of those, proven never-optimal and discarded
 
+	surrogateRuns        atomic.Int64 // surrogate searches served
+	surrogateEvals       atomic.Int64 // true evaluations they paid
+	surrogateSkipped     atomic.Int64 // candidates the RBF ranking filtered out
+	surrogateGenerations atomic.Int64 // NSGA generations run across them
+
 	modelEvals sync.Map // string backend name → *atomic.Int64 design evaluations
 
 	scheduleSearches atomic.Int64 // launch-window searches served
@@ -128,6 +133,22 @@ func (m *Metrics) ObserveDSEStream(streamed, pruned int64) {
 // DSEStreamCounts returns the (streamed, pruned) point totals.
 func (m *Metrics) DSEStreamCounts() (streamed, pruned int64) {
 	return m.dseStreamed.Load(), m.dsePruned.Load()
+}
+
+// ObserveDSESurrogate records one surrogate-guided search: the true
+// evaluations it paid, the candidates its ranking filtered without paying,
+// and the generations it ran.
+func (m *Metrics) ObserveDSESurrogate(evals, skipped, generations int64) {
+	m.surrogateRuns.Add(1)
+	m.surrogateEvals.Add(evals)
+	m.surrogateSkipped.Add(skipped)
+	m.surrogateGenerations.Add(generations)
+}
+
+// DSESurrogateCounts returns the (runs, evals, skipped, generations) totals.
+func (m *Metrics) DSESurrogateCounts() (runs, evals, skipped, generations int64) {
+	return m.surrogateRuns.Load(), m.surrogateEvals.Load(),
+		m.surrogateSkipped.Load(), m.surrogateGenerations.Load()
 }
 
 // ObserveModelEvals records n design evaluations priced by the named
@@ -254,6 +275,18 @@ func (m *Metrics) WriteProm(w io.Writer) error {
 	p("# HELP cordobad_dse_points_pruned_total Grid points proven never-optimal and discarded while streaming.\n")
 	p("# TYPE cordobad_dse_points_pruned_total counter\n")
 	p("cordobad_dse_points_pruned_total %d\n", m.dsePruned.Load())
+	p("# HELP cordobad_dse_surrogate_runs_total Surrogate-guided Pareto searches served.\n")
+	p("# TYPE cordobad_dse_surrogate_runs_total counter\n")
+	p("cordobad_dse_surrogate_runs_total %d\n", m.surrogateRuns.Load())
+	p("# HELP cordobad_dse_surrogate_evaluations_total True design evaluations paid by surrogate searches.\n")
+	p("# TYPE cordobad_dse_surrogate_evaluations_total counter\n")
+	p("cordobad_dse_surrogate_evaluations_total %d\n", m.surrogateEvals.Load())
+	p("# HELP cordobad_dse_surrogate_skipped_total Candidates filtered by the surrogate ranking without a true evaluation.\n")
+	p("# TYPE cordobad_dse_surrogate_skipped_total counter\n")
+	p("cordobad_dse_surrogate_skipped_total %d\n", m.surrogateSkipped.Load())
+	p("# HELP cordobad_dse_surrogate_generations_total NSGA generations run across surrogate searches.\n")
+	p("# TYPE cordobad_dse_surrogate_generations_total counter\n")
+	p("cordobad_dse_surrogate_generations_total %d\n", m.surrogateGenerations.Load())
 
 	evals := m.ModelEvalCounts()
 	models := make([]string, 0, len(evals))

@@ -62,6 +62,12 @@ type Config struct {
 	MemoEntries    int           // shape-profile memo entries, default cordoba.DefaultMemoEntries
 	Logger         *slog.Logger  // default slog.Default()
 
+	// Surrogate search defaults, used when a request's surrogate spec leaves
+	// the field unset. Zero selects the engine defaults (budget 2% of the
+	// grid clamped to [256, 8192]; population 48).
+	SurrogateBudget     int64 // true-evaluation budget per surrogate run
+	SurrogatePopulation int   // NSGA parent-pool size
+
 	// Async job subsystem (POST /v1/jobs). Zero values select the job
 	// package defaults; JobDir empty keeps jobs in memory only (no
 	// crash-resume across restarts).
@@ -98,6 +104,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxGridPoints <= 0 {
 		c.MaxGridPoints = 1 << 20
+	}
+	if c.SurrogateBudget < 0 {
+		c.SurrogateBudget = 0
+	}
+	if c.SurrogatePopulation < 0 {
+		c.SurrogatePopulation = 0
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()

@@ -150,7 +150,7 @@ func TestDSEKnobsErrors(t *testing.T) {
 			`{"task":"All kernels","knobs":{"mac_arrays":[],"sram_mb":[2]}}`,
 			"non-empty mac_arrays and sram_mb"},
 		{"over the grid cap",
-			`{"task":"All kernels","knobs":{"mac_arrays":[1,2,4,8,16],"sram_mb":[1,2,4,8]}}`,
+			`{"task":"All kernels","search":"exhaustive","knobs":{"mac_arrays":[1,2,4,8,16],"sram_mb":[1,2,4,8]}}`,
 			"above this server's cap of 16"},
 		{"unknown node",
 			`{"task":"All kernels","knobs":{"mac_arrays":[1],"sram_mb":[2],"nodes":["1nm"]}}`,

@@ -18,6 +18,8 @@ type (
 	DSEPoint      = api.DSEPoint
 	SweepEntry    = api.SweepEntry
 	DSEResponse   = api.DSEResponse
+	SurrogateSpec = api.SurrogateSpec
+	SurrogateInfo = api.SurrogateInfo
 
 	ShardSpec     = api.ShardSpec
 	ShardEnvelope = api.ShardEnvelope
