@@ -34,33 +34,34 @@ bench-server:
 	$(GO) test -run '^$$' -bench 'BenchmarkEvaluateParallel|BenchmarkServerDSE' -benchmem .
 
 # Guard the streaming-engine and window-search speedups: fail on a >2x ns/op
-# regression against the checked-in baseline. Regenerate after an intentional
-# perf change with `make bench-baseline` and review the diff (-update merges
-# per-package runs into the shared baseline).
+# regression — or a >1.3x B/op or allocs/op regression — against the
+# checked-in baseline. Regenerate after an intentional perf change with
+# `make bench-baseline` and review the diff (-update merges per-package runs
+# into the shared baseline).
 bench-check:
-	$(GO) test -run '^$$' -bench BenchmarkStreamingDSE -benchtime 1x . | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json
-	$(GO) test -run '^$$' -bench BenchmarkScheduleWindow -benchtime 1x ./internal/sched | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json
+	$(GO) test -run '^$$' -bench BenchmarkStreamingDSE -benchtime 1x -benchmem . | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json
+	$(GO) test -run '^$$' -bench BenchmarkScheduleWindow -benchtime 1x -benchmem ./internal/sched | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json
 
 # Guard the surrogate search's reason to exist: on the 105k-point reference
 # grid it must stay several times faster than exhaustive streaming (the
 # quality floor is pinned separately by internal/dse's golden tests).
 bench-surrogate:
-	$(GO) test -run '^$$' -bench BenchmarkSurrogateDSE -benchtime 1x . | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json
+	$(GO) test -run '^$$' -bench BenchmarkSurrogateDSE -benchtime 1x -benchmem . | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json
 
 # Guard the distributed-DSE paths: the single-node walk of the 2^20-point
 # acceptance grid, the same grid fanned out across three in-process workers
 # (the delta over `single` is the coordinator's whole fan-out overhead —
 # dispatch, polling, envelope decode, merge), and the isolated merge path.
 bench-cluster:
-	$(GO) test -run '^$$' -bench BenchmarkClusterDSE -benchtime 1x ./internal/cluster | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json
-	$(GO) test -run '^$$' -bench BenchmarkClusterMerge -benchtime 100x ./internal/cluster | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json
+	$(GO) test -run '^$$' -bench BenchmarkClusterDSE -benchtime 1x -benchmem ./internal/cluster | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json
+	$(GO) test -run '^$$' -bench BenchmarkClusterMerge -benchtime 100x -benchmem ./internal/cluster | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json
 
 bench-baseline:
-	$(GO) test -run '^$$' -bench BenchmarkStreamingDSE -benchtime 1x . | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
-	$(GO) test -run '^$$' -bench BenchmarkSurrogateDSE -benchtime 1x . | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
-	$(GO) test -run '^$$' -bench BenchmarkScheduleWindow -benchtime 1x ./internal/sched | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
-	$(GO) test -run '^$$' -bench BenchmarkClusterDSE -benchtime 1x ./internal/cluster | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
-	$(GO) test -run '^$$' -bench BenchmarkClusterMerge -benchtime 100x ./internal/cluster | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
+	$(GO) test -run '^$$' -bench BenchmarkStreamingDSE -benchtime 1x -benchmem . | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
+	$(GO) test -run '^$$' -bench BenchmarkSurrogateDSE -benchtime 1x -benchmem . | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
+	$(GO) test -run '^$$' -bench BenchmarkScheduleWindow -benchtime 1x -benchmem ./internal/sched | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
+	$(GO) test -run '^$$' -bench BenchmarkClusterDSE -benchtime 1x -benchmem ./internal/cluster | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
+	$(GO) test -run '^$$' -bench BenchmarkClusterMerge -benchtime 100x -benchmem ./internal/cluster | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
 
 # Ten seconds of coverage-guided fuzzing per target (one -fuzz per
 # invocation is a `go test` restriction). Seed corpora live under each

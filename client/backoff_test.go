@@ -1,0 +1,68 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// TestExpBackoffSaturates pins the overflow fix: retryBase << attempt went
+// negative around attempt 37 with the 100 ms default, and the old "d <= 0 →
+// retryBase" repair then collapsed a long-retrying client back to the base
+// delay — the opposite of backing off. The saturating doubler must clamp at
+// the cap for every attempt count, however large.
+func TestExpBackoffSaturates(t *testing.T) {
+	base := 100 * time.Millisecond
+	cap := 2 * time.Second
+	cases := []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{0, 100 * time.Millisecond},
+		{1, 200 * time.Millisecond},
+		{2, 400 * time.Millisecond},
+		{4, 1600 * time.Millisecond},
+		{5, cap}, // 3200 ms > cap
+		{36, cap},
+		{37, cap}, // 100ms << 37 overflows int64 negative
+		{63, cap},
+		{64, cap},
+		{100, cap},
+		{1000, cap},
+	}
+	for _, tc := range cases {
+		if got := expBackoff(base, cap, tc.attempt); got != tc.want {
+			t.Errorf("expBackoff(%v, %v, %d) = %v, want %v", base, cap, tc.attempt, got, tc.want)
+		}
+	}
+
+	// Monotone non-decreasing and never non-positive across the full range.
+	prev := time.Duration(0)
+	for attempt := 0; attempt <= 200; attempt++ {
+		d := expBackoff(base, cap, attempt)
+		if d <= 0 {
+			t.Fatalf("expBackoff(%d) = %v, non-positive", attempt, d)
+		}
+		if d < prev {
+			t.Fatalf("expBackoff(%d) = %v < previous %v", attempt, d, prev)
+		}
+		prev = d
+	}
+}
+
+// TestBackoffLargeAttempts drives the client method itself through the
+// attempt counts that used to overflow.
+func TestBackoffLargeAttempts(t *testing.T) {
+	c := New("http://example", WithRetry(1000, 100*time.Millisecond, 2*time.Second))
+	for _, attempt := range []int{37, 62, 63, 64, 100, 1 << 20} {
+		if d := c.backoff(attempt, 0); d != 2*time.Second {
+			t.Errorf("backoff(attempt=%d) = %v, want cap %v", attempt, d, 2*time.Second)
+		}
+	}
+	// Retry-After still wins over the computed delay, capped as before.
+	if d := c.backoff(50, 0.5); d != 500*time.Millisecond {
+		t.Errorf("backoff with Retry-After = %v, want 500ms", d)
+	}
+	if d := c.backoff(50, 30); d != 2*time.Second {
+		t.Errorf("backoff with huge Retry-After = %v, want cap", d)
+	}
+}

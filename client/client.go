@@ -328,7 +328,7 @@ func retryable(status int) bool {
 // backoff picks the next delay: the server's Retry-After hint when it gave
 // one, else retryBase doubled per attempt; both capped at retryCap.
 func (c *Client) backoff(attempt int, retryAfterS float64) time.Duration {
-	d := c.retryBase << attempt
+	d := expBackoff(c.retryBase, c.retryCap, attempt)
 	if retryAfterS > 0 {
 		d = time.Duration(retryAfterS * float64(time.Second))
 	}
@@ -337,6 +337,25 @@ func (c *Client) backoff(attempt int, retryAfterS float64) time.Duration {
 	}
 	if d <= 0 {
 		d = c.retryBase
+	}
+	return d
+}
+
+// expBackoff returns base·2^attempt saturated at cap. Doubling step by step
+// (instead of `base << attempt`) keeps large attempt counts from shifting
+// the duration negative — with a 100 ms base the shift went negative at
+// attempt 37, collapsing the backoff to the base and hammering an already
+// overloaded server.
+func expBackoff(base, cap time.Duration, attempt int) time.Duration {
+	d := base
+	for ; attempt > 0; attempt-- {
+		d *= 2
+		if d >= cap || d <= 0 {
+			return cap
+		}
+	}
+	if d > cap {
+		return cap
 	}
 	return d
 }

@@ -23,25 +23,32 @@ func TestParseBenchStripsSuffix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := map[string]float64{
-		"BenchmarkStreamingDSE/naive":     7613378000,
-		"BenchmarkStreamingDSE/streaming": 536123456,
-		"BenchmarkEvaluateParallel":       123456789,
+	want := map[string]benchResult{
+		"BenchmarkStreamingDSE/naive":     {NsOp: 7613378000, BOp: 93437848, AllocsOp: 316410},
+		"BenchmarkStreamingDSE/streaming": {NsOp: 536123456, BOp: 210000000, AllocsOp: 794000},
+		"BenchmarkEvaluateParallel":       {NsOp: 123456789, BOp: -1, AllocsOp: -1},
 	}
 	if len(results) != len(want) {
 		t.Fatalf("parsed %v, want %v", results, want)
 	}
-	for name, ns := range want {
-		if results[name] != ns {
-			t.Errorf("%s = %v, want %v", name, results[name], ns)
+	for name, res := range want {
+		if results[name] != res {
+			t.Errorf("%s = %v, want %v", name, results[name], res)
 		}
 	}
 }
 
 func TestCheckFlagsRegressionsAndMissing(t *testing.T) {
-	results := map[string]float64{"BenchmarkA": 900, "BenchmarkB": 2100, "BenchmarkC": 5}
-	baseline := map[string]float64{"BenchmarkA": 1000, "BenchmarkB": 1000}
-	got := check(results, baseline, 2.0)
+	results := map[string]benchResult{
+		"BenchmarkA": {NsOp: 900, BOp: -1, AllocsOp: -1},
+		"BenchmarkB": {NsOp: 2100, BOp: -1, AllocsOp: -1},
+		"BenchmarkC": {NsOp: 5, BOp: -1, AllocsOp: -1},
+	}
+	baseline := map[string]benchResult{
+		"BenchmarkA": {NsOp: 1000},
+		"BenchmarkB": {NsOp: 1000},
+	}
+	got := check(results, baseline, 2.0, 1.3)
 	if len(got) != 2 {
 		t.Fatalf("violations = %v, want a regression and a missing entry", got)
 	}
@@ -50,6 +57,60 @@ func TestCheckFlagsRegressionsAndMissing(t *testing.T) {
 	}
 	if !strings.Contains(got[1], "BenchmarkC") || !strings.Contains(got[1], "no baseline") {
 		t.Errorf("missing-baseline line = %q", got[1])
+	}
+}
+
+func TestCheckGatesAllocations(t *testing.T) {
+	baseline := map[string]benchResult{
+		"BenchmarkA": {NsOp: 1000, BOp: 1000, AllocsOp: 100},
+	}
+
+	// Within time budget but 2x the allocations: both memory axes fire.
+	results := map[string]benchResult{
+		"BenchmarkA": {NsOp: 1000, BOp: 2000, AllocsOp: 200},
+	}
+	got := check(results, baseline, 2.0, 1.3)
+	if len(got) != 2 {
+		t.Fatalf("violations = %v, want B/op and allocs/op regressions", got)
+	}
+	if !strings.Contains(got[0], "B/op") || !strings.Contains(got[1], "allocs/op") {
+		t.Errorf("violations = %v", got)
+	}
+
+	// A run without memory columns never trips the memory gate.
+	results = map[string]benchResult{
+		"BenchmarkA": {NsOp: 1000, BOp: -1, AllocsOp: -1},
+	}
+	if got := check(results, baseline, 2.0, 1.3); len(got) != 0 {
+		t.Fatalf("violations = %v, want none for a time-only run", got)
+	}
+
+	// A baseline without memory data never gates a memory-reporting run.
+	results = map[string]benchResult{
+		"BenchmarkA": {NsOp: 1000, BOp: 99999, AllocsOp: 99999},
+	}
+	if got := check(results, map[string]benchResult{"BenchmarkA": {NsOp: 1000, BOp: -1, AllocsOp: -1}}, 2.0, 1.3); len(got) != 0 {
+		t.Fatalf("violations = %v, want none against a time-only baseline", got)
+	}
+}
+
+func TestBaselineLegacyFormat(t *testing.T) {
+	// Pre-existing baselines are bare ns/op numbers; they must keep gating
+	// time and never gate memory.
+	dir := t.TempDir()
+	base := filepath.Join(dir, "baseline.json")
+	legacy := `{"BenchmarkStreamingDSE/naive": 7613378000, "BenchmarkStreamingDSE/streaming": 536123456, "BenchmarkEvaluateParallel": 123456789}`
+	if err := os.WriteFile(base, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-baseline", base},
+		strings.NewReader(sampleOutput), io.Discard, io.Discard); code != 0 {
+		t.Fatalf("legacy-baseline compare exited %d", code)
+	}
+	slow := strings.Replace(sampleOutput, "7613378000 ns/op", "22840134000 ns/op", 1)
+	if code := run([]string{"-baseline", base},
+		strings.NewReader(slow), io.Discard, io.Discard); code != 1 {
+		t.Fatalf("legacy-baseline regression exited %d, want 1", code)
 	}
 }
 
@@ -78,6 +139,17 @@ func TestRunUpdateThenPass(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "BenchmarkStreamingDSE/naive") {
 		t.Fatalf("regression output missing benchmark name:\n%s", errOut.String())
+	}
+
+	// 2x the allocations at unchanged speed: must also fail.
+	hungry := strings.Replace(sampleOutput, "316410 allocs/op", "632820 allocs/op", 1)
+	errOut.Reset()
+	if code := run([]string{"-baseline", base},
+		strings.NewReader(hungry), io.Discard, &errOut); code != 1 {
+		t.Fatalf("alloc regression exited %d, want 1\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "allocs/op") {
+		t.Fatalf("alloc regression output missing axis:\n%s", errOut.String())
 	}
 
 	// Empty input is an operator error, not a pass.

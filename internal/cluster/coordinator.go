@@ -477,11 +477,11 @@ func (c *Coordinator) runShard(ctx context.Context, w *workerState, req api.DSER
 
 	lastChange := time.Now()
 	var lastProgress api.JobProgress
+	poll := newPollTimer(c.cfg.PollEvery)
+	defer poll.Stop()
 	for {
-		select {
-		case <-ctx.Done():
-			return outcome{kind: outcomeRequeue, at: at, err: ctx.Err(), worker: w}
-		case <-time.After(c.cfg.PollEvery):
+		if err := poll.Wait(ctx); err != nil {
+			return outcome{kind: outcomeRequeue, at: at, err: err, worker: w}
 		}
 		js, err := c.call(ctx, func(cctx context.Context) (api.JobStatus, error) { return w.cli.JobStatus(cctx, st.ID) })
 		if err != nil {
@@ -522,6 +522,44 @@ func (c *Coordinator) runShard(ctx context.Context, w *workerState, req api.DSER
 		}
 	}
 }
+
+// pollTimer is a reusable poll-interval timer. The historical loop selected
+// on time.After(PollEvery) every iteration; each call allocates a fresh
+// runtime timer that is not collected until it fires, so every in-flight
+// shard leaked one pending timer per past poll for up to PollEvery. One
+// timer re-armed per wait keeps the watch loop allocation-free.
+type pollTimer struct {
+	t *time.Timer
+	d time.Duration
+}
+
+func newPollTimer(d time.Duration) *pollTimer {
+	t := time.NewTimer(0)
+	if !t.Stop() {
+		<-t.C
+	}
+	return &pollTimer{t: t, d: d}
+}
+
+// Wait blocks for one poll interval or until ctx is done, returning ctx's
+// error in the latter case. The timer is armed on entry — the interval runs
+// from after the loop body, matching the historical time.After cadence —
+// and is always left stopped and drained, so re-arming is race-free.
+func (p *pollTimer) Wait(ctx context.Context) error {
+	p.t.Reset(p.d)
+	select {
+	case <-ctx.Done():
+		if !p.t.Stop() {
+			<-p.t.C
+		}
+		return ctx.Err()
+	case <-p.t.C:
+		return nil
+	}
+}
+
+// Stop releases the timer; Wait must not be called afterwards.
+func (p *pollTimer) Stop() { p.t.Stop() }
 
 // call runs one worker RPC under a ShardTimeout-bounded child context, so a
 // hung connection surfaces as a worker loss instead of wedging the run.

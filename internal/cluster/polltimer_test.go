@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestPollTimerFiresRepeatedly: one pollTimer serves the whole watch loop —
+// sequential waits each block for roughly the interval.
+func TestPollTimerFiresRepeatedly(t *testing.T) {
+	p := newPollTimer(5 * time.Millisecond)
+	defer p.Stop()
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		if err := p.Wait(context.Background()); err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+		if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+			t.Fatalf("wait %d returned after %v, want ~5ms", i, elapsed)
+		}
+	}
+}
+
+// TestPollTimerRespectsContext: cancellation interrupts a pending wait
+// promptly, and the timer is reusable afterwards (the drain in Wait leaves
+// it stopped, so the next Reset is race-free).
+func TestPollTimerRespectsContext(t *testing.T) {
+	p := newPollTimer(time.Hour)
+	defer p.Stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if err := p.Wait(ctx); err != context.Canceled {
+		t.Fatalf("wait = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("canceled wait took %v", elapsed)
+	}
+
+	p.d = time.Millisecond
+	if err := p.Wait(context.Background()); err != nil {
+		t.Fatalf("wait after cancel: %v", err)
+	}
+}
+
+// TestPollTimerDoesNotAllocatePerWait pins the time.After regression: the
+// historical loop allocated a fresh runtime timer per poll (pending until it
+// fired — a leak proportional to polls × in-flight shards). The reused
+// timer must not allocate per iteration.
+func TestPollTimerDoesNotAllocatePerWait(t *testing.T) {
+	p := newPollTimer(10 * time.Microsecond)
+	defer p.Stop()
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := p.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("pollTimer.Wait allocates %.1f objects per poll, want 0", allocs)
+	}
+}

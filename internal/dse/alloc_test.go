@@ -1,0 +1,130 @@
+package dse
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"cordoba/internal/carbon"
+	"cordoba/internal/units"
+	"cordoba/internal/workload"
+)
+
+// allocTestGrid returns a grid with several shapes and a many-cell DVFS/node
+// sweep per shape, small enough to evaluate quickly.
+func allocTestGrid() Grid {
+	return Grid{
+		MACArrays: []int{8, 16, 32},
+		SRAMMB:    []float64{2, 4},
+		VDDScales: []float64{1.0, 0.9, 0.8},
+		Nodes:     []string{"7nm", "5nm", "3nm"},
+	}
+}
+
+// evalShapeAllocs measures steady-state allocations of one evalShape call
+// on grid g after a full warm-up pass (memo fill, scratch growth).
+func evalShapeAllocs(t *testing.T, g Grid) float64 {
+	t.Helper()
+	cg, err := g.compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := []workload.Task{paperTask(t, workload.TaskXR5)}
+	kernels := kernelUnion(tasks)
+	memo := NewMemoCache(0)
+	fab := carbon.FabCoal
+	sc := newEvalScratch(cg, kernels)
+	buffers := make([][]Point, len(tasks))
+	for ti := range buffers {
+		buffers[ti] = make([]Point, 0, len(cg.cells))
+	}
+	for si := 0; si < cg.shapes(); si++ {
+		if err := evalShape(cg, si, kernels, tasks, memo, fab, nil, sc, buffers); err != nil {
+			t.Fatal(err)
+		}
+	}
+	si := 0
+	return testing.AllocsPerRun(20, func() {
+		if err := evalShape(cg, si, kernels, tasks, memo, fab, nil, sc, buffers); err != nil {
+			t.Fatal(err)
+		}
+		si = (si + 1) % cg.shapes()
+	})
+}
+
+// TestEvalShapeSteadyStateAllocs pins the tentpole: after warm-up, the
+// streaming inner loop — batched memo lookup, profile replay, point
+// buffering — allocates nothing per cell. The only remaining allocations
+// are the per-(shape, embodied-class) EmbodiedWith calls, which depend on
+// the node/model axes, not the cell count — so widening the V_DD axis 8×
+// (8× the cells per shape, same classes) must not add a single allocation,
+// and the per-shape total must stay far below one object per cell. The
+// historical loop allocated ~9 objects per cell.
+func TestEvalShapeSteadyStateAllocs(t *testing.T) {
+	narrow := allocTestGrid() // 9 cells per shape
+	wide := allocTestGrid()
+	wide.VDDScales = []float64{1.0, 0.95, 0.9, 0.85, 0.8, 0.75, 0.7, 0.65} // 24 cells per shape
+
+	aNarrow := evalShapeAllocs(t, narrow)
+	aWide := evalShapeAllocs(t, wide)
+	if aWide > aNarrow {
+		t.Fatalf("per-cell allocations crept back: %.1f allocs at %d cells/shape vs %.1f at %d", aWide, 24, aNarrow, 9)
+	}
+	if perCell := aWide / 24; perCell >= 1 {
+		t.Fatalf("steady-state evalShape allocates %.2f objects per cell, want 0", perCell)
+	}
+}
+
+// TestOfferChunkSteadyStateAllocs: the accumulator side of the hot path.
+// Offers of all-dominated chunks (the overwhelmingly common case at steady
+// state) must not allocate; envelope insertions may.
+func TestOfferChunkSteadyStateAllocs(t *testing.T) {
+	acc := &taskAcc{payload: make(map[int64]Point)}
+
+	pts := make([]Point, 16)
+	for i := range pts {
+		// One clear winner at index 0; the rest strictly dominated.
+		pts[i] = Point{Delay: units.Time(1 + i), Energy: units.Energy(1 + i), Embodied: units.Carbon(1 + i)}
+	}
+	// Warm up: sizes the scratch and admits the surviving envelope.
+	acc.offerChunk(0, pts)
+
+	base := int64(len(pts))
+	allocs := testing.AllocsPerRun(50, func() {
+		acc.offerChunk(base, pts[1:]) // every point dominated by the resident envelope
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state offerChunk allocates %.1f objects per chunk, want 0", allocs)
+	}
+}
+
+// TestStreamingAllocsScaleWithShapesNotCells: end-to-end guard that total
+// engine allocations track the shape count, not the cell count. Two grids
+// with identical shapes but a 9×-different cell count must stay within a
+// small factor of each other — before the scratch refactor the ratio
+// tracked the cell ratio.
+func TestStreamingAllocsScaleWithShapesNotCells(t *testing.T) {
+	task := paperTask(t, workload.TaskXR5)
+	fab := carbon.FabCoal
+	run := func(g Grid) uint64 {
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		if _, err := EvaluateStream(context.Background(), task, g, fab, 100, StreamOptions{Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+		runtime.ReadMemStats(&ms1)
+		return ms1.Mallocs - ms0.Mallocs
+	}
+
+	small := Grid{MACArrays: []int{8, 16, 32}, SRAMMB: []float64{2, 4}, VDDScales: []float64{1.0}, Nodes: []string{"7nm"}}
+	big := Grid{MACArrays: []int{8, 16, 32}, SRAMMB: []float64{2, 4}, VDDScales: []float64{1.0, 0.9, 0.8}, Nodes: []string{"7nm", "5nm", "3nm"}}
+
+	run(small) // warm-up: one-time laziness (device tables, paper tasks)
+	aSmall := run(small)
+	aBig := run(big)
+	// 9× the cells should cost well under 3× the allocations (fixed
+	// per-run overhead dominates; the inner loop contributes ~nothing).
+	if aBig > 3*aSmall {
+		t.Fatalf("allocations scale with cells: %d cells → %d mallocs, %d cells → %d mallocs", small.Size(), aSmall, big.Size(), aBig)
+	}
+}

@@ -326,19 +326,36 @@ func EvaluateStreamCheckpointedTasks(ctx context.Context, tasks []workload.Task,
 	}
 	shapeCh := make(chan int)
 	chunkCh := make(chan chunk, workers)
+	// freeBufs recycles chunk buffers from the sequencer back to the workers:
+	// offerChunk copies everything it keeps, so a buffer set is reusable the
+	// moment its shape is accumulated. In-flight sets are bounded by the
+	// workers' hands plus chunkCh plus the reorder buffer, so after a short
+	// warm-up the pool satisfies every request and the engine stops
+	// allocating chunk storage entirely.
+	freeBufs := make(chan [][]Point, 2*workers+1)
+	newBuffers := func() [][]Point {
+		buffers := make([][]Point, len(tasks))
+		for ti := range buffers {
+			buffers[ti] = make([]Point, 0, cells)
+		}
+		return buffers
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := newEvalScratch(cg, kernels)
 			for si := range shapeCh {
 				if ctx.Err() != nil || failed.Load() {
 					continue // drain the channel without evaluating
 				}
-				buffers := make([][]Point, len(tasks))
-				for ti := range buffers {
-					buffers[ti] = make([]Point, 0, cells)
+				var buffers [][]Point
+				select {
+				case buffers = <-freeBufs:
+				default:
+					buffers = newBuffers()
 				}
-				if err := evalShape(cg, si, kernels, tasks, memo, fab, opt.Yield, buffers); err != nil {
+				if err := evalShape(cg, si, kernels, tasks, memo, fab, opt.Yield, sc, buffers); err != nil {
 					fail(err)
 					continue
 				}
@@ -376,6 +393,10 @@ func EvaluateStreamCheckpointedTasks(ctx context.Context, tasks []workload.Task,
 			base := int64(next) * cells
 			for ti := range tasks {
 				accs[ti].offerChunk(base, bufs[ti])
+			}
+			select {
+			case freeBufs <- bufs:
+			default: // pool full — let the set be collected
 			}
 			next++
 			accumulated++

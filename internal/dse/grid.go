@@ -2,6 +2,7 @@ package dse
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 
 	"cordoba/internal/accel"
@@ -86,13 +87,21 @@ type gridCell struct {
 	energyR float64 // dynamic energy per cycle ratio
 	leakR   float64 // leakage power ratio
 	areaR   float64 // area per gate ratio
+
+	// embClass indexes the cell's embodied-carbon equivalence class: cells
+	// sharing (node process, accounting model, area ratio) price any given
+	// shape to bit-identical embodied carbon, so the streaming engine
+	// computes it once per (shape, class) instead of once per cell — V_DD
+	// only rescales clock/energy/leakage, never the fab footprint.
+	embClass int
 }
 
 // compiledGrid is a validated grid with its cells priced by the device
 // model, ready for O(1) random access.
 type compiledGrid struct {
-	g     Grid
-	cells []gridCell
+	g          Grid
+	cells      []gridCell
+	embClasses int // distinct embodied-carbon classes across cells
 }
 
 // compile validates the grid and prices every (V_DD, node) cell.
@@ -177,6 +186,29 @@ func (g Grid) compile() (*compiledGrid, error) {
 			}
 		}
 	}
+
+	// Partition the cells into embodied-carbon equivalence classes. The
+	// footprint of a cell depends only on the shape's area (scaled by areaR),
+	// the node's process and the accounting model — identical inputs give
+	// bit-identical results, so the class representative's value stands for
+	// every member.
+	type embKey struct {
+		node  string
+		model string
+		areaR uint64
+	}
+	classes := make(map[embKey]int)
+	for i := range cg.cells {
+		c := &cg.cells[i]
+		k := embKey{node: c.node, model: c.modelName, areaR: math.Float64bits(c.areaR)}
+		id, ok := classes[k]
+		if !ok {
+			id = len(classes)
+			classes[k] = id
+		}
+		c.embClass = id
+	}
+	cg.embClasses = len(classes)
 	return cg, nil
 }
 
@@ -198,14 +230,27 @@ func (cg *compiledGrid) shapeConfig(si int) accel.Config {
 // compiled cell — the node's embodied process plus the accounting model.
 // IDs are "k1" … "kN" in enumeration order.
 func (cg *compiledGrid) at(i int64) (accel.Config, gridCell) {
+	c, cell := cg.atNoID(i)
+	c.ID = gridPointID(i)
+	return c, cell
+}
+
+// atNoID is at without materializing the "k<N>" ID string. The streaming
+// engine evaluates every grid cell but keeps only envelope survivors, so it
+// prices cells anonymously and stamps gridPointID on the handful of points
+// that are actually accepted — one string allocation per survivor instead of
+// one per cell.
+func (cg *compiledGrid) atNoID(i int64) (accel.Config, gridCell) {
 	cells := int64(len(cg.cells))
 	si, ci := int(i/cells), int(i%cells)
 	cell := cg.cells[ci]
 	c := cg.shapeConfig(si)
-	c.ID = "k" + strconv.FormatInt(i+1, 10)
 	applyCell(&c, cell)
 	return c, cell
 }
+
+// gridPointID renders the global grid index as the public point ID.
+func gridPointID(i int64) string { return "k" + strconv.FormatInt(i+1, 10) }
 
 // applyCell rescales the simulator parameters to a grid cell. Clock and
 // per-op dynamic energies follow the device model's DVFS/node ratios; so do

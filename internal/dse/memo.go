@@ -15,6 +15,13 @@ import (
 // worth of distinct shapes on top.
 const DefaultMemoEntries = 8192
 
+// memoEvictFraction is the share of entries dropped when an insert finds the
+// cache full. Partial eviction keeps the surviving ~3/4 of the working set
+// hot: the historical full-map flush meant a working set one entry over the
+// bound forced every worker to recompute every profile — a thundering-herd
+// recomputation exactly when the cache was most needed.
+const memoEvictFraction = 4 // evict len/memoEvictFraction entries
+
 // memoKey identifies a cached profile: the (kernel, config-signature) pair
 // of the issue spec, with accel.ShapeKey as the signature — the exact set
 // of Config fields a kernel's layer shapes depend on.
@@ -29,16 +36,18 @@ type memoKey struct {
 // per shape per worker-pool run and replayed across every DVFS/node cell,
 // every task sharing the kernel, and every request sharing the cache.
 //
-// The cache is bounded: when an insert would exceed the limit the whole map
-// is flushed (profiles are cheap to recompute and real workloads cycle
-// through a bounded shape set, so an LRU chain would buy little here).
+// The cache is bounded: when an insert would exceed the limit, a random
+// ~25% of the entries are evicted under the lock (Go's map iteration order
+// is randomized, so walking the map is a cheap random sample). Evictions are
+// counted and exported as cordobad_memo_evictions_total.
 type MemoCache struct {
 	mu  sync.RWMutex
 	max int
 	m   map[memoKey]*accel.ShapeProfile
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 // NewMemoCache returns a cache bounded to max profiles; max < 1 selects
@@ -48,6 +57,36 @@ func NewMemoCache(max int) *MemoCache {
 		max = DefaultMemoEntries
 	}
 	return &MemoCache{max: max, m: make(map[memoKey]*accel.ShapeProfile)}
+}
+
+// evictLocked makes room for one insert by dropping a random fraction of the
+// map. Called with mu held for writing and len(m) >= max.
+func (mc *MemoCache) evictLocked() {
+	drop := len(mc.m) / memoEvictFraction
+	if drop < 1 {
+		drop = 1
+	}
+	mc.evictions.Add(int64(drop))
+	for k := range mc.m {
+		delete(mc.m, k)
+		if drop--; drop == 0 {
+			break
+		}
+	}
+}
+
+// insertLocked stores sp under k, evicting if full. When another worker
+// already inserted the key, the previous profile wins so every caller replays
+// one canonical pointer. Returns the canonical profile.
+func (mc *MemoCache) insertLocked(k memoKey, sp *accel.ShapeProfile) *accel.ShapeProfile {
+	if prev, ok := mc.m[k]; ok {
+		return prev
+	}
+	if len(mc.m) >= mc.max {
+		mc.evictLocked()
+	}
+	mc.m[k] = sp
+	return sp
 }
 
 // Profile returns the shape profile of kernel id on configuration c,
@@ -68,16 +107,52 @@ func (mc *MemoCache) Profile(c accel.Config, id nn.KernelID) (*accel.ShapeProfil
 		return nil, err
 	}
 	mc.mu.Lock()
-	if prev, ok := mc.m[k]; ok {
-		sp = prev // another worker won the race; keep one canonical profile
-	} else {
-		if len(mc.m) >= mc.max {
-			mc.m = make(map[memoKey]*accel.ShapeProfile)
-		}
-		mc.m[k] = sp
-	}
+	sp = mc.insertLocked(k, sp)
 	mc.mu.Unlock()
 	return sp, nil
+}
+
+// Profiles fills dst (parallel to kernels) with the shape profiles of every
+// kernel on configuration c, taking one read-lock round-trip per shape
+// instead of one per kernel — the batched lookup the streaming engine's
+// per-shape hot path rides. The ShapeKey is computed once; on a full hit the
+// call performs no allocations. Missing profiles are computed outside the
+// lock and inserted with a single write-lock round-trip.
+func (mc *MemoCache) Profiles(c accel.Config, kernels []nn.KernelID, dst []*accel.ShapeProfile) error {
+	key := c.ShapeKey()
+
+	missing := 0
+	mc.mu.RLock()
+	for i, id := range kernels {
+		sp, ok := mc.m[memoKey{kernel: id, key: key}]
+		dst[i] = sp // nil on miss
+		if !ok {
+			missing++
+		}
+	}
+	mc.mu.RUnlock()
+	mc.hits.Add(int64(len(kernels) - missing))
+	if missing == 0 {
+		return nil
+	}
+	mc.misses.Add(int64(missing))
+
+	for i, id := range kernels {
+		if dst[i] != nil {
+			continue
+		}
+		sp, err := c.ShapeProfile(id)
+		if err != nil {
+			return err
+		}
+		dst[i] = sp
+	}
+	mc.mu.Lock()
+	for i, id := range kernels {
+		dst[i] = mc.insertLocked(memoKey{kernel: id, key: key}, dst[i])
+	}
+	mc.mu.Unlock()
+	return nil
 }
 
 // Len returns the number of cached profiles.
@@ -90,4 +165,11 @@ func (mc *MemoCache) Len() int {
 // Stats returns the lifetime hit and miss counters.
 func (mc *MemoCache) Stats() (hits, misses int64) {
 	return mc.hits.Load(), mc.misses.Load()
+}
+
+// Evictions returns the number of entries dropped by capacity eviction
+// (each eviction event drops a random ~25% of the cache). Exported as
+// cordobad_memo_evictions_total.
+func (mc *MemoCache) Evictions() int64 {
+	return mc.evictions.Load()
 }

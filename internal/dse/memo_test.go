@@ -1,0 +1,109 @@
+package dse
+
+import (
+	"testing"
+
+	"cordoba/internal/accel"
+	"cordoba/internal/nn"
+	"cordoba/internal/units"
+)
+
+// memoTestConfigs returns n configurations with n distinct shape keys.
+func memoTestConfigs(n int) []accel.Config {
+	out := make([]accel.Config, n)
+	for i := range out {
+		out[i] = accel.New("m", 8+i, 4*units.MiB)
+	}
+	return out
+}
+
+// TestMemoPartialEviction pins the flush-stampede fix: the cache used to
+// clear the whole map when an insert found it full, so a working set one
+// entry over the bound flushed everything on every cycle — a steady-state
+// hit rate of zero exactly when the cache mattered most. Partial eviction
+// keeps ~3/4 of the working set resident, so cycling max+1 distinct shapes
+// must retain a hit rate well above half.
+func TestMemoPartialEviction(t *testing.T) {
+	const max = 8
+	mc := NewMemoCache(max)
+	cfgs := memoTestConfigs(max + 1)
+
+	for round := 0; round < 20; round++ {
+		for _, c := range cfgs {
+			if _, err := mc.Profile(c, nn.RN18); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	hits, misses := mc.Stats()
+	total := hits + misses
+	if rate := float64(hits) / float64(total); rate < 0.5 {
+		t.Fatalf("hit rate %.2f (hits %d / %d) with working set max+1; full-map flush regression", rate, hits, total)
+	}
+	if mc.Evictions() == 0 {
+		t.Fatal("no evictions counted despite working set exceeding the bound")
+	}
+	if n := mc.Len(); n > max {
+		t.Fatalf("cache holds %d entries, bound is %d", n, max)
+	}
+}
+
+// TestMemoEvictionCounter: each capacity eviction drops len/4 (min 1)
+// entries and counts every one of them.
+func TestMemoEvictionCounter(t *testing.T) {
+	const max = 4
+	mc := NewMemoCache(max)
+	cfgs := memoTestConfigs(max + 1)
+	for _, c := range cfgs {
+		if _, err := mc.Profile(c, nn.RN18); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The 5th insert found the cache full and dropped max/4 = 1 entry.
+	if got := mc.Evictions(); got != 1 {
+		t.Fatalf("Evictions() = %d, want 1", got)
+	}
+	if n := mc.Len(); n != max {
+		t.Fatalf("Len() = %d, want %d", n, max)
+	}
+}
+
+// TestMemoProfilesBatchedLookup: the batched per-shape lookup returns the
+// same canonical pointers as the per-kernel path and counts hits/misses
+// identically.
+func TestMemoProfilesBatchedLookup(t *testing.T) {
+	mc := NewMemoCache(0)
+	cfg := accel.New("m", 16, 4*units.MiB)
+	kernels := []nn.KernelID{nn.RN18, nn.RN50, nn.GN}
+
+	dst := make([]*accel.ShapeProfile, len(kernels))
+	if err := mc.Profiles(cfg, kernels, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range kernels {
+		if dst[i] == nil || dst[i].Kernel != id {
+			t.Fatalf("dst[%d] = %+v, want profile of %s", i, dst[i], id)
+		}
+		single, err := mc.Profile(cfg, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single != dst[i] {
+			t.Fatalf("Profile(%s) returned a different pointer than the batched lookup", id)
+		}
+	}
+
+	// A second batched pass is a full hit: no new misses, no allocations.
+	_, missesBefore := mc.Stats()
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := mc.Profiles(cfg, kernels, dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if _, missesAfter := mc.Stats(); missesAfter != missesBefore {
+		t.Fatalf("repeat batched lookup missed (%d → %d)", missesBefore, missesAfter)
+	}
+	if allocs > 0 {
+		t.Fatalf("hot batched lookup allocates %.1f objects, want 0", allocs)
+	}
+}

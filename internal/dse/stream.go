@@ -120,33 +120,53 @@ type taskAcc struct {
 
 	sumEDP, sumEmbD  float64
 	total, prePruned int64
+
+	// Offer scratch, guarded by mu. Offers are effectively single-caller —
+	// the sequencer goroutine for the exhaustive engine, the generation loop
+	// for the surrogate — so reusing one id/objective buffer per accumulator
+	// makes the steady-state offer path allocation-free; the lock exists for
+	// concurrent snapshot/progress readers.
+	ids []int64
+	lp  []pareto.Point
+	fs  pareto.FrontScratch
 }
 
 // offerChunk feeds one evaluated chunk of contiguous grid indices
 // [base, base+len) into the accumulator. See offerBatch.
 func (a *taskAcc) offerChunk(base int64, pts []Point) {
-	ids := make([]int64, len(pts))
-	for i := range ids {
-		ids[i] = base + int64(i)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ids := a.ids[:0]
+	for i := range pts {
+		ids = append(ids, base+int64(i))
 	}
-	a.offerBatch(ids, pts)
+	a.ids = ids
+	a.offerLocked(ids, pts)
 }
 
 // offerBatch feeds one evaluated batch (ids parallel to pts, any ids) into
-// the accumulator: dominance pre-pruning first (cheap, lock-free), then the
-// envelope under the lock. Evicted points drop their payloads immediately,
-// so memory stays O(survivors + batch). The exhaustive engine offers
-// contiguous shape chunks through offerChunk; the surrogate search offers
-// its evaluated candidate batches directly.
+// the accumulator. The exhaustive engine offers contiguous shape chunks
+// through offerChunk; the surrogate search offers its evaluated candidate
+// batches directly.
 func (a *taskAcc) offerBatch(ids []int64, pts []Point) {
-	lp := make([]pareto.Point, len(pts))
-	for i, p := range pts {
-		lp[i] = pareto.Point{X: p.EDP(), Y: p.EmbodiedDelay()}
-	}
-	front := pareto.Front(lp)
-
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	a.offerLocked(ids, pts)
+}
+
+// offerLocked is the shared offer path: dominance pre-pruning over the
+// chunk, then the incremental envelope. Evicted points drop their payloads
+// immediately, so memory stays O(survivors + batch). Points are priced
+// anonymously; the "k<N>" ID is stamped only on envelope acceptance, so the
+// per-cell hot path never materializes ID strings.
+func (a *taskAcc) offerLocked(ids []int64, pts []Point) {
+	lp := a.lp[:0]
+	for _, p := range pts {
+		lp = append(lp, pareto.Point{X: p.EDP(), Y: p.EmbodiedDelay()})
+	}
+	a.lp = lp
+	front := a.fs.Front(lp)
+
 	a.total += int64(len(pts))
 	a.prePruned += int64(len(pts) - len(front))
 	for _, p := range lp {
@@ -157,7 +177,9 @@ func (a *taskAcc) offerBatch(ids []int64, pts []Point) {
 		id := ids[idx]
 		accepted, evicted := a.stream.Offer(id, lp[idx])
 		if accepted {
-			a.payload[id] = pts[idx]
+			pt := pts[idx]
+			pt.Config.ID = gridPointID(id)
+			a.payload[id] = pt
 		}
 		for _, ev := range evicted {
 			delete(a.payload, ev)
@@ -187,28 +209,82 @@ func (a *taskAcc) result(task workload.Task, ci units.CarbonIntensity) *StreamRe
 // profiles, memoizing per-kernel costs so tasks sharing a kernel price it
 // once per configuration. Replay goes through the same layerCostOf helper
 // as the direct simulator path, so costs are bit-identical to Evaluate's.
+//
+// Storage is dense — indexed by nn.KernelIndex instead of per-cell maps —
+// and the platform is reused across cells: reset() advances a generation
+// counter, invalidating every memoized cost in O(1) without clearing, so
+// the steady-state evaluation loop performs no allocations at all.
 type streamPlatform struct {
-	cfg      accel.Config
-	leak     units.Power
-	profiles map[nn.KernelID]*accel.ShapeProfile
-	costs    map[nn.KernelID]workload.KernelCost
+	cfg  accel.Config
+	leak units.Power
+
+	// profiles holds the current shape's kernel profiles, dense by kernel
+	// index; nil slots fall back to the direct simulator path.
+	profiles []*accel.ShapeProfile
+
+	// costs[i] is valid iff costGen[i] == gen.
+	costs   []workload.KernelCost
+	costGen []uint64
+	gen     uint64
+}
+
+func newStreamPlatform() *streamPlatform {
+	n := nn.NumKernels()
+	return &streamPlatform{
+		profiles: make([]*accel.ShapeProfile, n),
+		costs:    make([]workload.KernelCost, n),
+		costGen:  make([]uint64, n),
+	}
+}
+
+// reset points the platform at a new cell, invalidating the cost memo.
+// gen starts at 0 and costGen slots are 0, so reset must run before the
+// first KernelCost call — it always does: every caller resets per cell.
+func (p *streamPlatform) reset(cfg accel.Config) {
+	p.cfg = cfg
+	p.leak = cfg.LeakagePower()
+	p.gen++
 }
 
 func (p *streamPlatform) KernelCost(id nn.KernelID) (workload.KernelCost, error) {
-	if kc, ok := p.costs[id]; ok {
-		return kc, nil
-	}
-	sp, ok := p.profiles[id]
-	if !ok {
+	i, ok := nn.KernelIndex(id)
+	if !ok || p.profiles[i] == nil {
 		// A kernel outside the profiled union — fall back to the direct path.
 		return p.cfg.KernelCost(id)
 	}
-	kc := sp.Cost(p.cfg)
-	p.costs[id] = kc
+	if p.costGen[i] == p.gen {
+		return p.costs[i], nil
+	}
+	kc := p.profiles[i].Cost(p.cfg)
+	p.costs[i] = kc
+	p.costGen[i] = p.gen
 	return kc, nil
 }
 
 func (p *streamPlatform) LeakagePower() units.Power { return p.leak }
+
+// evalScratch is one worker's reusable evaluation state: the replay
+// platform, the batched memo-lookup buffer, and the per-shape embodied
+// carbon memo (embodied depends only on the cell's (node, model, area-ratio)
+// equivalence class — V_DD never enters it — so each class is priced once
+// per shape instead of once per cell). One scratch serves any number of
+// shapes; nothing escapes it, so the whole inner loop is allocation-free
+// after warm-up.
+type evalScratch struct {
+	plat    *streamPlatform
+	kprof   []*accel.ShapeProfile // parallel to the kernel union
+	embSeen []bool                // indexed by gridCell.embClass
+	emb     []units.Carbon
+}
+
+func newEvalScratch(cg *compiledGrid, kernels []nn.KernelID) *evalScratch {
+	return &evalScratch{
+		plat:    newStreamPlatform(),
+		kprof:   make([]*accel.ShapeProfile, len(kernels)),
+		embSeen: make([]bool, cg.embClasses),
+		emb:     make([]units.Carbon, cg.embClasses),
+	}
+}
 
 // kernelUnion returns the kernels referenced by any task, in the canonical
 // nn.AllKernels order.
@@ -255,19 +331,26 @@ func EvaluateStreamTasks(ctx context.Context, tasks []workload.Task, g Grid, fab
 }
 
 // evalShape evaluates every cell of shape si for every task: the shape's
-// kernel profiles are computed once through the memo and replayed across
-// the cells. buffers holds one slice per task, reset and filled in cell
-// order — evaluation semantics are bit-identical to the direct path (the
-// property suite holds them equal).
-func evalShape(cg *compiledGrid, si int, kernels []nn.KernelID, tasks []workload.Task, memo *MemoCache, fab carbon.Fab, yield carbon.YieldModel, buffers [][]Point) error {
+// kernel profiles are fetched in one batched memo round-trip and replayed
+// across the cells through the scratch's reusable platform. buffers holds
+// one slice per task, reset and filled in cell order — evaluation semantics
+// are bit-identical to the direct path (the property suite holds them
+// equal). Cells are enumerated without IDs (gridPointID strings are stamped
+// on envelope acceptance), and embodied carbon is computed once per
+// (shape, embodied-class) instead of once per cell; with pre-sized buffers
+// the loop allocates nothing in steady state.
+func evalShape(cg *compiledGrid, si int, kernels []nn.KernelID, tasks []workload.Task, memo *MemoCache, fab carbon.Fab, yield carbon.YieldModel, sc *evalScratch, buffers [][]Point) error {
 	shapeCfg := cg.shapeConfig(si)
-	profiles := make(map[nn.KernelID]*accel.ShapeProfile, len(kernels))
-	for _, id := range kernels {
-		sp, err := memo.Profile(shapeCfg, id)
-		if err != nil {
-			return err
-		}
-		profiles[id] = sp
+	if err := memo.Profiles(shapeCfg, kernels, sc.kprof); err != nil {
+		return err
+	}
+	for i, id := range kernels {
+		// kernelUnion only emits canonical kernels, so the index always resolves.
+		ki, _ := nn.KernelIndex(id)
+		sc.plat.profiles[ki] = sc.kprof[i]
+	}
+	for i := range sc.embSeen {
+		sc.embSeen[i] = false
 	}
 	for ti := range buffers {
 		buffers[ti] = buffers[ti][:0]
@@ -275,20 +358,20 @@ func evalShape(cg *compiledGrid, si int, kernels []nn.KernelID, tasks []workload
 	cells := int64(len(cg.cells))
 	base := int64(si) * cells
 	for off := int64(0); off < cells; off++ {
-		cfg, cell := cg.at(base + off)
-		emb, err := cfg.EmbodiedWith(cell.model, yield, cell.process, fab)
-		if err != nil {
-			return err
+		cfg, cell := cg.atNoID(base + off)
+		if !sc.embSeen[cell.embClass] {
+			emb, err := cfg.EmbodiedWith(cell.model, yield, cell.process, fab)
+			if err != nil {
+				return err
+			}
+			sc.emb[cell.embClass] = emb
+			sc.embSeen[cell.embClass] = true
 		}
+		emb := sc.emb[cell.embClass]
 		area := cfg.TotalArea()
-		plat := &streamPlatform{
-			cfg:      cfg,
-			leak:     cfg.LeakagePower(),
-			profiles: profiles,
-			costs:    make(map[nn.KernelID]workload.KernelCost, len(kernels)),
-		}
+		sc.plat.reset(cfg)
 		for ti, task := range tasks {
-			cost, err := workload.Evaluate(task, plat)
+			cost, err := workload.Evaluate(task, sc.plat)
 			if err != nil {
 				return err
 			}

@@ -11,7 +11,6 @@ import (
 	"sort"
 	"sync"
 
-	"cordoba/internal/accel"
 	"cordoba/internal/carbon"
 	"cordoba/internal/nn"
 	"cordoba/internal/units"
@@ -648,29 +647,23 @@ func (m *sgRBF) predict(space *sgSpace, idx [5]int) (x, y float64) {
 // shape's kernel profiles come from the shared memo (computed on first use)
 // and are replayed through the same streamPlatform, so a surrogate-evaluated
 // point is bit-identical to its exhaustive twin.
-func sgEval(cg *compiledGrid, id int64, kernels []nn.KernelID, task workload.Task, memo *MemoCache, fab carbon.Fab, yield carbon.YieldModel) (Point, error) {
+func sgEval(cg *compiledGrid, id int64, kernels []nn.KernelID, task workload.Task, memo *MemoCache, fab carbon.Fab, yield carbon.YieldModel, sc *evalScratch) (Point, error) {
 	si := int(id / int64(len(cg.cells)))
 	shapeCfg := cg.shapeConfig(si)
-	profiles := make(map[nn.KernelID]*accel.ShapeProfile, len(kernels))
-	for _, kid := range kernels {
-		sp, err := memo.Profile(shapeCfg, kid)
-		if err != nil {
-			return Point{}, err
-		}
-		profiles[kid] = sp
+	if err := memo.Profiles(shapeCfg, kernels, sc.kprof); err != nil {
+		return Point{}, err
+	}
+	for i, kid := range kernels {
+		ki, _ := nn.KernelIndex(kid)
+		sc.plat.profiles[ki] = sc.kprof[i]
 	}
 	cfg, cell := cg.at(id)
 	emb, err := cfg.EmbodiedWith(cell.model, yield, cell.process, fab)
 	if err != nil {
 		return Point{}, err
 	}
-	plat := &streamPlatform{
-		cfg:      cfg,
-		leak:     cfg.LeakagePower(),
-		profiles: profiles,
-		costs:    make(map[nn.KernelID]workload.KernelCost, len(kernels)),
-	}
-	cost, err := workload.Evaluate(task, plat)
+	sc.plat.reset(cfg)
+	cost, err := workload.Evaluate(task, sc.plat)
 	if err != nil {
 		return Point{}, err
 	}
@@ -705,11 +698,12 @@ func sgEvalBatch(ctx context.Context, cg *compiledGrid, ids []int64, kernels []n
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := newEvalScratch(cg, kernels)
 			for i := range next {
 				if ctx.Err() != nil {
 					continue
 				}
-				pt, err := sgEval(cg, ids[i], kernels, task, memo, fab, yield)
+				pt, err := sgEval(cg, ids[i], kernels, task, memo, fab, yield, sc)
 				if err != nil {
 					errOnce.Do(func() { firstErr = err })
 					continue

@@ -44,23 +44,39 @@ func (p Point) Dominates(q Point) bool {
 // front. Duplicate coordinates are all retained: identical points do not
 // dominate each other.
 func Front(points []Point) []int {
-	idx := make([]int, 0, len(points))
+	var s FrontScratch
+	front := s.Front(points)
+	s.front = nil // detach so the caller owns the slice
+	return front
+}
+
+// FrontScratch computes fronts without per-call heap allocations: the index
+// buffers are reused across calls, so a steady caller (the streaming DSE
+// engine offers one chunk per grid shape) amortizes to zero allocations. The
+// zero value is ready to use. Not safe for concurrent use.
+type FrontScratch struct {
+	sorter frontSorter
+	front  []int
+}
+
+// Front is Front computed on the reusable scratch. The returned slice is
+// owned by the scratch and valid only until the next call.
+func (s *FrontScratch) Front(points []Point) []int {
+	idx := s.sorter.idx[:0]
 	for i, p := range points {
 		if p.valid() {
 			idx = append(idx, i)
 		}
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		pa, pb := points[idx[a]], points[idx[b]]
-		if pa.X != pb.X {
-			return pa.X < pb.X
-		}
-		if pa.Y != pb.Y {
-			return pa.Y < pb.Y
-		}
-		return idx[a] < idx[b]
-	})
-	front := make([]int, 0, len(idx))
+	s.sorter.points = points
+	s.sorter.idx = idx
+	// sort.Sort on the embedded sorter: same total order as the historical
+	// sort.Slice comparator (ties broken by index make it deterministic),
+	// without the per-call closure and interface-boxing allocations.
+	sort.Sort(&s.sorter)
+	s.sorter.points = nil
+
+	front := s.front[:0]
 	bestY := math.Inf(1)
 	for _, i := range idx {
 		p := points[i]
@@ -76,7 +92,27 @@ func Front(points []Point) []int {
 			}
 		}
 	}
+	s.front = front
 	return front
+}
+
+// frontSorter orders candidate indices by (X, Y, index) — the Front order.
+type frontSorter struct {
+	points []Point
+	idx    []int
+}
+
+func (f *frontSorter) Len() int      { return len(f.idx) }
+func (f *frontSorter) Swap(a, b int) { f.idx[a], f.idx[b] = f.idx[b], f.idx[a] }
+func (f *frontSorter) Less(a, b int) bool {
+	pa, pb := f.points[f.idx[a]], f.points[f.idx[b]]
+	if pa.X != pb.X {
+		return pa.X < pb.X
+	}
+	if pa.Y != pb.Y {
+		return pa.Y < pb.Y
+	}
+	return f.idx[a] < f.idx[b]
 }
 
 // Envelope returns the indices of points on the lower convex envelope: the

@@ -1,0 +1,125 @@
+package pareto
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveAdditiveEpsilon is the textbook O(n·m) scan the staircase sweep
+// replaced; the property tests below pin the two exactly equal — not merely
+// close — on randomized inputs, which is what licenses the sweep inside the
+// byte-identical oracle-equivalence harness.
+func naiveAdditiveEpsilon(candidate, oracle []Point) float64 {
+	eps := math.Inf(-1)
+	for _, o := range oracle {
+		if !o.valid() {
+			continue
+		}
+		best := math.Inf(1)
+		for _, c := range candidate {
+			if !c.valid() {
+				continue
+			}
+			if need := math.Max(c.X-o.X, c.Y-o.Y); need < best {
+				best = need
+			}
+		}
+		if best > eps {
+			eps = best
+		}
+	}
+	return eps
+}
+
+// naiveCoverage is the historical O(n·m) Coverage.
+func naiveCoverage(candidate, oracle []Point) float64 {
+	var total, covered int
+	for _, o := range oracle {
+		if !o.valid() {
+			continue
+		}
+		total++
+		for _, c := range candidate {
+			if !c.valid() {
+				continue
+			}
+			if c.X <= o.X && c.Y <= o.Y {
+				covered++
+				break
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(covered) / float64(total)
+}
+
+// qualityRandPoints draws clustered coordinates (including exact duplicates
+// and shared axes, via rounding) so the sweeps' tie handling is exercised.
+func qualityRandPoints(rng *rand.Rand, n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{
+			X: math.Round(rng.Float64()*20) / 2,
+			Y: math.Round(rng.Float64()*20) / 2,
+		}
+		if rng.Intn(10) == 0 {
+			pts[i].X = math.NaN() // invalid points must be ignored identically
+		}
+	}
+	return pts
+}
+
+// TestAdditiveEpsilonMatchesNaive: the staircase sweep equals the O(n·m)
+// scan bit for bit — both metrics only ever combine inputs with the same
+// max/subtract operations, so exact equality is the correct bar.
+func TestAdditiveEpsilonMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		cand := qualityRandPoints(rng, rng.Intn(40))
+		oracle := qualityRandPoints(rng, rng.Intn(40))
+		got := AdditiveEpsilon(cand, oracle)
+		want := naiveAdditiveEpsilon(cand, oracle)
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Fatalf("trial %d: AdditiveEpsilon = %v, naive = %v\ncand %v\noracle %v", trial, got, want, cand, oracle)
+		}
+	}
+}
+
+// TestCoverageMatchesNaive: same bar for Coverage.
+func TestCoverageMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		cand := qualityRandPoints(rng, rng.Intn(40))
+		oracle := qualityRandPoints(rng, rng.Intn(40))
+		got := Coverage(cand, oracle)
+		want := naiveCoverage(cand, oracle)
+		if got != want {
+			t.Fatalf("trial %d: Coverage = %v, naive = %v\ncand %v\noracle %v", trial, got, want, cand, oracle)
+		}
+	}
+}
+
+// TestQualityEdgeCasesMatchNaive pins the empty/invalid conventions the
+// sweeps must preserve.
+func TestQualityEdgeCasesMatchNaive(t *testing.T) {
+	some := []Point{{X: 1, Y: 2}}
+	invalid := []Point{{X: math.NaN(), Y: 1}}
+	for _, tc := range []struct{ cand, oracle []Point }{
+		{nil, nil},
+		{nil, some},
+		{some, nil},
+		{invalid, some},
+		{some, invalid},
+		{invalid, invalid},
+	} {
+		if got, want := AdditiveEpsilon(tc.cand, tc.oracle), naiveAdditiveEpsilon(tc.cand, tc.oracle); got != want {
+			t.Errorf("AdditiveEpsilon(%v, %v) = %v, naive = %v", tc.cand, tc.oracle, got, want)
+		}
+		if got, want := Coverage(tc.cand, tc.oracle), naiveCoverage(tc.cand, tc.oracle); got != want {
+			t.Errorf("Coverage(%v, %v) = %v, naive = %v", tc.cand, tc.oracle, got, want)
+		}
+	}
+}

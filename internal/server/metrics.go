@@ -80,8 +80,8 @@ type Metrics struct {
 	traceLookups     atomic.Int64 // named-trace resolutions (schedule + dse)
 
 	// memoStats, when set, reports the shared shape-profile memo cache
-	// (hits, misses, live entries) at exposition time.
-	memoStats func() (hits, misses int64, entries int)
+	// (hits, misses, capacity evictions, live entries) at exposition time.
+	memoStats func() (hits, misses, evictions int64, entries int)
 
 	// jobStats, when set, samples the async job manager's counters at
 	// exposition time (queue depth, running jobs, lifecycle totals).
@@ -193,7 +193,7 @@ func (m *Metrics) ObserveTraceLookup() { m.traceLookups.Add(1) }
 func (m *Metrics) TraceLookups() int64 { return m.traceLookups.Load() }
 
 // SetMemoStats installs the memo-cache reporter sampled by WriteProm.
-func (m *Metrics) SetMemoStats(f func() (hits, misses int64, entries int)) {
+func (m *Metrics) SetMemoStats(f func() (hits, misses, evictions int64, entries int)) {
 	m.memoStats = f
 }
 
@@ -311,13 +311,16 @@ func (m *Metrics) WriteProm(w io.Writer) error {
 	p("cordobad_trace_lookups_total %d\n", m.traceLookups.Load())
 
 	if m.memoStats != nil {
-		hits, misses, entries := m.memoStats()
+		hits, misses, evictions, entries := m.memoStats()
 		p("# HELP cordobad_memo_hits_total Shape-profile memo cache hits.\n")
 		p("# TYPE cordobad_memo_hits_total counter\n")
 		p("cordobad_memo_hits_total %d\n", hits)
 		p("# HELP cordobad_memo_misses_total Shape-profile memo cache misses.\n")
 		p("# TYPE cordobad_memo_misses_total counter\n")
 		p("cordobad_memo_misses_total %d\n", misses)
+		p("# HELP cordobad_memo_evictions_total Shape profiles dropped by capacity eviction.\n")
+		p("# TYPE cordobad_memo_evictions_total counter\n")
+		p("cordobad_memo_evictions_total %d\n", evictions)
 		p("# HELP cordobad_memo_entries Shape profiles currently cached.\n")
 		p("# TYPE cordobad_memo_entries gauge\n")
 		p("cordobad_memo_entries %d\n", entries)

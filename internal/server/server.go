@@ -188,9 +188,9 @@ func New(cfg Config) *Server {
 	s.metrics = pm
 	s.cache = NewCache(cfg.CacheSize)
 	s.memo = cordoba.NewMemoCache(cfg.MemoEntries)
-	pm.SetMemoStats(func() (hits, misses int64, entries int) {
+	pm.SetMemoStats(func() (hits, misses, evictions int64, entries int) {
 		hits, misses = s.memo.Stats()
-		return hits, misses, s.memo.Len()
+		return hits, misses, s.memo.Evictions(), s.memo.Len()
 	})
 
 	s.initJobs()

@@ -121,6 +121,11 @@ type Cost struct {
 	Energy units.Energy // E_T  (eq. IV.4), dynamic + leakage
 }
 
+// canonicalKernels caches the canonical kernel order once: Evaluate runs for
+// every cell of every DSE grid, and re-materializing the order per call was
+// one heap allocation per evaluated point. The slice is read-only.
+var canonicalKernels = nn.AllKernels()
+
 // Evaluate computes eq. IV.2 and IV.4 for one task:
 //
 //	D_T = Σ_K N_{T,K}·D_K
@@ -131,7 +136,7 @@ func Evaluate(t Task, p Platform) (Cost, error) {
 	// floating-point accumulation — and therefore every downstream result —
 	// is deterministic across runs.
 	visited := 0
-	for _, id := range nn.AllKernels() {
+	for _, id := range canonicalKernels {
 		n, ok := t.Calls[id]
 		if !ok {
 			continue
