@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt-check race ci bench bench-server bench-check bench-cluster bench-surrogate bench-baseline fuzz-smoke run-daemon
+.PHONY: build test vet fmt-check race ci bench bench-server bench-check bench-cluster bench-surrogate bench-partition bench-baseline fuzz-smoke run-daemon
 
 build:
 	$(GO) build ./...
@@ -56,9 +56,17 @@ bench-cluster:
 	$(GO) test -run '^$$' -bench BenchmarkClusterDSE -benchtime 1x -benchmem ./internal/cluster | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json
 	$(GO) test -run '^$$' -bench BenchmarkClusterMerge -benchtime 100x -benchmem ./internal/cluster | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json
 
+# Guard the partition axis: widening a grid with the chiplet knobs (12x the
+# cells of its flat projection) must keep pricing through the shared
+# per-(shape, embodied-class) path, so time, B/op, and allocs/op on both the
+# flat and partitioned runs are gated against the checked-in baseline.
+bench-partition:
+	$(GO) test -run '^$$' -bench BenchmarkPartitionDSE -benchtime 1x -benchmem . | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json
+
 bench-baseline:
 	$(GO) test -run '^$$' -bench BenchmarkStreamingDSE -benchtime 1x -benchmem . | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
 	$(GO) test -run '^$$' -bench BenchmarkSurrogateDSE -benchtime 1x -benchmem . | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
+	$(GO) test -run '^$$' -bench BenchmarkPartitionDSE -benchtime 1x -benchmem . | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
 	$(GO) test -run '^$$' -bench BenchmarkScheduleWindow -benchtime 1x -benchmem ./internal/sched | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
 	$(GO) test -run '^$$' -bench BenchmarkClusterDSE -benchtime 1x -benchmem ./internal/cluster | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
 	$(GO) test -run '^$$' -bench BenchmarkClusterMerge -benchtime 100x -benchmem ./internal/cluster | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
@@ -71,6 +79,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDSERequest -fuzztime 10s ./internal/server
 	$(GO) test -run '^$$' -fuzz FuzzSurrogateRequest -fuzztime 10s ./internal/server
 	$(GO) test -run '^$$' -fuzz FuzzAccountingRequest -fuzztime 10s ./internal/server
+	$(GO) test -run '^$$' -fuzz FuzzPartitionSpec -fuzztime 10s ./internal/server
 	$(GO) test -run '^$$' -fuzz FuzzTraceIntegrate -fuzztime 10s ./internal/grid
 	$(GO) test -run '^$$' -fuzz FuzzAccountingModel -fuzztime 10s ./internal/carbon
 

@@ -8,6 +8,11 @@ const (
 	// CodeInvalidRequest marks malformed or semantically invalid requests
 	// (HTTP 400).
 	CodeInvalidRequest = "invalid_request"
+	// CodeInvalidKnobs marks knob-range (dse "knobs") requests whose axes
+	// fail up-front validation — empty or duplicate axis values, unknown
+	// node/model/integration/carrier names, or unsupported
+	// model-integration pairings (400).
+	CodeInvalidKnobs = "invalid_knobs"
 	// CodeNotFound marks unknown routes and unknown resource IDs (404).
 	CodeNotFound = "not_found"
 	// CodePayloadTooLarge marks bodies beyond the server's limit (413).

@@ -42,6 +42,12 @@ func goldenCases() map[string]any {
 				MACArrays: []int{16, 32}, SRAMMB: []float64{4, 8},
 				VDDScales: []float64{1, 0.9}, Nodes: []string{"7nm", "5nm"},
 				Models: []string{"act", "chiplet"},
+				Partition: &PartitionSpec{
+					Integrations: []string{"monolithic", "2.5d"},
+					Chiplets:     []int{2, 4},
+					ChipletNodes: []string{"14nm"},
+					Carrier:      "rdl-fanout",
+				},
 			},
 			Sweep: &SweepSpec{Lo: 1, Hi: 1e12, Points: 13},
 		},
@@ -50,6 +56,7 @@ func goldenCases() map[string]any {
 			Yield: "murphy", CIUse: 380, CITrace: "solar-heavy", TraceLifeS: 3.1536e7,
 			Points: []DSEPoint{{
 				ID: "a64", MACArrays: 64, SRAMMB: 16, Is3D: true, Model: "act",
+				Integration: "2.5d", Chiplets: 4, ChipletNode: "14nm", Carrier: "rdl-fanout",
 				DelayS: 0.25, EnergyJ: 1.5, EmbodiedG: 900, AreaCM2: 1.2,
 				EDPJS: 0.375, EmbodiedDelayG: 225,
 			}},
@@ -80,7 +87,10 @@ func goldenCases() map[string]any {
 			ID: "s3", MACArrays: 64, TotalMACs: 16384, SRAMMB: 16, Is3D: true, MemDies: 2, AreaCM2: 1.9,
 		},
 		"models_response": ModelsResponse{
-			Models:      []ModelInfo{{Name: "act", Description: "ACT-style model"}},
+			Models: []ModelInfo{{
+				Name: "act", Description: "ACT-style model",
+				Integrations: []string{"monolithic", "3d"},
+			}},
 			YieldModels: []string{"murphy", "poisson"},
 		},
 		"error_envelope": ErrorEnvelope{Error: ErrorBody{

@@ -129,6 +129,31 @@ type KnobRangeSpec struct {
 	// Models turns the embodied-carbon backend into a sweep axis: every
 	// listed backend prices every cell. Defaults to the request's model.
 	Models []string `json:"models,omitempty"`
+	// Partition turns die partitioning into sweep axes: integration style,
+	// chiplet count, and chiplet node are crossed with every other knob.
+	// Absent, every design is priced monolithic — exactly the historical
+	// behavior.
+	Partition *PartitionSpec `json:"partition,omitempty"`
+}
+
+// PartitionSpec adds die-partitioning axes to a knob-range exploration.
+// Each listed integration style is crossed with every chiplet count and
+// chiplet node; "monolithic" entries ignore the other partition knobs, so a
+// single request can sweep monolithic-vs-2.5d-vs-3d head to head.
+type PartitionSpec struct {
+	// Integrations lists the integration styles to sweep: "monolithic",
+	// "2.5d" (chiplets beside a memory die on a carrier), "3d" (stacked
+	// memory tiers).
+	Integrations []string `json:"integrations"`
+	// Chiplets lists compute-chiplet (2.5d) or memory-tier (3d) counts;
+	// empty sweeps the default split.
+	Chiplets []int `json:"chiplets,omitempty"`
+	// ChipletNodes lists technology nodes for the partitioned memory die —
+	// the mixed-node reuse lever; empty keeps memory on the cell's node.
+	ChipletNodes []string `json:"chiplet_nodes,omitempty"`
+	// Carrier names the 2.5d carrier technology ("rdl-fanout" default,
+	// "silicon-interposer", "emib").
+	Carrier string `json:"carrier,omitempty"`
 }
 
 // SurrogateSpec tunes the surrogate-guided Pareto search (search:
@@ -226,11 +251,18 @@ type DSERequest struct {
 
 // DSEPoint is one evaluated design in the response.
 type DSEPoint struct {
-	ID             string  `json:"id"`
-	MACArrays      int     `json:"mac_arrays"`
-	SRAMMB         float64 `json:"sram_mb"`
-	Is3D           bool    `json:"is_3d,omitempty"`
-	Model          string  `json:"model,omitempty"` // backend that priced the point
+	ID        string  `json:"id"`
+	MACArrays int     `json:"mac_arrays"`
+	SRAMMB    float64 `json:"sram_mb"`
+	Is3D      bool    `json:"is_3d,omitempty"`
+	Model     string  `json:"model,omitempty"` // backend that priced the point
+	// Partition provenance (knob-range requests with partition axes only):
+	// the integration style, chiplet/tier count, memory-die node, and
+	// carrier that produced this design. Absent for monolithic points.
+	Integration    string  `json:"integration,omitempty"`
+	Chiplets       int     `json:"chiplets,omitempty"`
+	ChipletNode    string  `json:"chiplet_node,omitempty"`
+	Carrier        string  `json:"carrier,omitempty"`
 	DelayS         float64 `json:"delay_s"`
 	EnergyJ        float64 `json:"energy_j"`
 	EmbodiedG      float64 `json:"embodied_gco2e"`
@@ -355,6 +387,9 @@ type ConfigInfo struct {
 type ModelInfo struct {
 	Name        string `json:"name"`
 	Description string `json:"description"`
+	// Integrations lists the partition integration styles the backend can
+	// price ("monolithic", "2.5d", "3d").
+	Integrations []string `json:"integrations,omitempty"`
 }
 
 // ModelsResponse lists the selectable accounting backends and yield models.

@@ -291,3 +291,63 @@ func BenchmarkSurrogateDSE(b *testing.B) {
 		}
 	})
 }
+
+// partitionBenchGrid is a ~3k-shape knob grid crossed with the full partition
+// axis (3 integration styles × 2 chiplet counts × 2 memory nodes — 12× the
+// cells of its flat projection).
+func partitionBenchGrid() dse.Grid {
+	macs := make([]int, 16)
+	for i := range macs {
+		macs[i] = 4 * (i + 1)
+	}
+	sram := make([]float64, 8)
+	for i := range sram {
+		sram[i] = 1 + float64(i)*4
+	}
+	return dse.Grid{
+		MACArrays:    macs,
+		SRAMMB:       sram,
+		VDDScales:    []float64{1.0, 0.85, 0.7},
+		Nodes:        []string{"7nm", "3nm"},
+		Integrations: []string{"monolithic", "2.5d", "3d"},
+		Chiplets:     []int{2, 4},
+		ChipletNodes: []string{"10nm", "14nm"},
+	}
+}
+
+// BenchmarkPartitionDSE times the streaming engine over the partition axes
+// against the same grid's flat (monolithic-only) projection. The partition
+// axes multiply the cell count 12× but price through the shared per-(shape,
+// embodied-class) path, so the marginal cost per extra cell must stay small
+// and the allocation count must track embodied classes, not cells — the
+// baseline entries in testdata/bench_baseline.json gate time, B/op, and
+// allocs/op on both runs.
+func BenchmarkPartitionDSE(b *testing.B) {
+	task, err := cordoba.PaperTask(cordoba.TaskAllKernels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	part := partitionBenchGrid()
+	flat := part
+	flat.Integrations, flat.Chiplets, flat.ChipletNodes = nil, nil, nil
+	for _, c := range []struct {
+		name string
+		grid dse.Grid
+	}{
+		{"flat", flat},
+		{"partition", part},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := dse.EvaluateStream(context.Background(), task, c.grid, carbon.FabCoal, 380, dse.StreamOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Kept() == 0 {
+					b.Fatal("empty envelope")
+				}
+			}
+		})
+	}
+}

@@ -58,6 +58,54 @@ func TestDSERoundTrip(t *testing.T) {
 	}
 }
 
+// TestPartitionDSERoundTrip drives a partition-axis knob request through the
+// typed client: the grid crosses integration styles with every other knob,
+// axis validation surfaces the machine-readable invalid_knobs code, and the
+// models listing reports each backend's integration styles.
+func TestPartitionDSERoundTrip(t *testing.T) {
+	c, _ := newPair(t, server.Config{})
+	ctx := context.Background()
+	resp, err := c.DSE(ctx, api.DSERequest{
+		Task: "All kernels",
+		Knobs: &api.KnobRangeSpec{
+			MACArrays: []int{1, 2}, SRAMMB: []float64{1, 2},
+			Partition: &api.PartitionSpec{
+				Integrations: []string{"monolithic", "2.5d"},
+				Chiplets:     []int{4},
+				ChipletNodes: []string{"14nm"},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.PointsStreamed != 8 {
+		t.Fatalf("points streamed = %d, want 8 (4 shapes x 2 integrations)", resp.PointsStreamed)
+	}
+
+	_, err = c.DSE(ctx, api.DSERequest{
+		Task: "All kernels",
+		Knobs: &api.KnobRangeSpec{
+			MACArrays: []int{1, 2}, SRAMMB: []float64{1, 2},
+			Partition: &api.PartitionSpec{Integrations: []string{"2.5d", "2.5d"}},
+		},
+	})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeInvalidKnobs {
+		t.Fatalf("duplicate integration axis: err = %v, want code %q", err, api.CodeInvalidKnobs)
+	}
+
+	models, err := c.Models(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range models.Models {
+		if len(m.Integrations) == 0 {
+			t.Fatalf("model %q reports no integration styles: %+v", m.Name, m)
+		}
+	}
+}
+
 func TestScheduleRoundTrip(t *testing.T) {
 	c, _ := newPair(t, server.Config{})
 	resp, err := c.Schedule(context.Background(), api.ScheduleRequest{

@@ -245,8 +245,28 @@ const (
 // ---- accelerators (§V, §VI-B, §VI-E) ----
 
 // AcceleratorConfig is one accelerator design point (MAC arrays + SRAM,
-// optionally 3D-stacked).
+// optionally 3D-stacked or explicitly partitioned into chiplets/tiers).
 type AcceleratorConfig = accel.Config
+
+// AccelPartition describes how a configuration's silicon is split into dies:
+// the integration style ("monolithic", "2.5d", "3d"), the chiplet/tier count,
+// the (possibly older) node of the partitioned memory die, and the 2.5d
+// carrier. The zero value is monolithic — the historical behavior.
+type AccelPartition = accel.Partition
+
+// Partition integration styles.
+const (
+	IntegrationMonolithic = accel.IntegrationMonolithic
+	Integration25D        = accel.Integration25D
+	Integration3D         = accel.Integration3D
+)
+
+// Integrations lists the supported partition integration styles.
+func Integrations() []string { return accel.Integrations() }
+
+// CarrierNames lists the 2.5d carrier technologies the chiplet backend
+// prices ("rdl-fanout", "silicon-interposer", "emib").
+func CarrierNames() []string { return carbon.CarrierNames() }
 
 // NewAccelerator returns a 2D configuration with calibrated 7 nm parameters.
 func NewAccelerator(id string, macArrays int, sram Bytes) AcceleratorConfig {
@@ -311,8 +331,9 @@ func LogSpace(lo, hi float64, k int) []float64 { return dse.LogSpace(lo, hi, k) 
 // ---- streaming exploration (DSE engine v2) ----
 
 // KnobGrid describes a design space as cartesian knob ranges — MAC-array
-// count, SRAM capacity, DVFS supply scaling, technology node — enumerated
-// lazily instead of materialized.
+// count, SRAM capacity, DVFS supply scaling, technology node, embodied-carbon
+// backend, and die partitioning (integration style, chiplet count, chiplet
+// node) — enumerated lazily instead of materialized.
 type KnobGrid = dse.Grid
 
 // StreamResult is a streaming exploration's outcome: the surviving

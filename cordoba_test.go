@@ -119,7 +119,7 @@ func TestFacadeTraces(t *testing.T) {
 }
 
 func TestFacadeExperiments(t *testing.T) {
-	if got := len(cordoba.Experiments()); got != 18 {
+	if got := len(cordoba.Experiments()); got != 19 {
 		t.Fatalf("experiments = %d", got)
 	}
 	var b strings.Builder

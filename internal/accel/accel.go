@@ -91,6 +91,19 @@ type Params struct {
 	SRAM3DEnergyScale float64
 	TSVAreaOverhead   float64
 	DRAM3DBWScale     float64 // processor–memory bandwidth gain of stacking
+
+	// D2D interconnect penalty for partitioned configurations (CarbonPATH /
+	// ECO-CHIP style): activation traffic that crosses the die-to-die cut
+	// pays link energy per byte, shares the link bandwidth, and each layer
+	// pays a hop latency. 3D hybrid bonding is a much shorter wire: it
+	// scales the energy and hop latency by D2D3DScale and multiplies the
+	// bandwidth by 1/D2D3DScale. Each die also grows by D2DAreaOverhead for
+	// the link PHY and redistribution.
+	D2DEnergyPerByte   units.Energy
+	D2DBandwidth       units.Bandwidth
+	D2DLatencyPerLayer units.Time
+	D2D3DScale         float64
+	D2DAreaOverhead    float64
 }
 
 // DefaultParams returns the calibrated 7 nm constants used throughout the
@@ -128,7 +141,102 @@ func DefaultParams() Params {
 		SRAM3DEnergyScale: 0.7,
 		TSVAreaOverhead:   0.08,
 		DRAM3DBWScale:     4.0,
+
+		// 2.5D organic/RDL links run ≈0.25 pJ/bit over a few hundred GB/s;
+		// hybrid bonding cuts the wire an order of magnitude.
+		D2DEnergyPerByte:   2e-12,
+		D2DBandwidth:       units.GBps(256),
+		D2DLatencyPerLayer: units.Time(50e-9),
+		D2D3DScale:         0.1,
+		D2DAreaOverhead:    0.05,
 	}
+}
+
+// Integration styles a Partition can request. Monolithic (the zero value)
+// keeps everything on one die — the exact legacy cost and carbon path.
+const (
+	IntegrationMonolithic = "monolithic"
+	Integration25D        = "2.5d"
+	Integration3D         = "3d"
+)
+
+// Integrations lists the valid partition integration styles.
+func Integrations() []string {
+	return []string{IntegrationMonolithic, Integration25D, Integration3D}
+}
+
+// Partition describes how a configuration is cut into dies before packaging
+// — the chiplet-pathfinding axis the DSE sweeps. The zero value means
+// monolithic: single die, no interconnect penalty, bit-identical to the
+// pre-partition pipeline.
+type Partition struct {
+	// Chiplets is the compute-chiplet count for 2.5d integration (the MAC
+	// logic is split into equal chiplets beside one memory chiplet), or the
+	// memory-tier count for 3d integration. 0 and 1 mean one compute die /
+	// one memory tier.
+	Chiplets int
+
+	// Integration selects the assembly: "" or "monolithic" (single die),
+	// "2.5d" (chiplets side by side on a carrier), "3d" (stacked tiers).
+	Integration string
+
+	// ChipletNode names the technology node the memory chiplet is
+	// fabricated on — the mixed-node reuse lever: SRAM barely shrinks past
+	// 14 nm, so an older, lower-footprint node often prices better. Empty
+	// keeps the logic node.
+	ChipletNode string
+
+	// Carrier names the 2.5d carrier technology ("rdl-fanout",
+	// "silicon-interposer", "emib"); empty keeps the carbon backend's
+	// default. Ignored for monolithic and 3d integration.
+	Carrier string
+
+	// MemAreaScale rescales the memory chiplet's silicon area to
+	// ChipletNode (the area-per-gate ratio between the memory node and the
+	// logic node); 0 keeps the logic node's density. The DSE grid sets it
+	// from internal/device's node table; direct users who leave it zero get
+	// a same-density approximation.
+	MemAreaScale float64
+}
+
+// Active reports whether the partition actually cuts the die.
+func (p Partition) Active() bool {
+	return p.Integration == Integration25D || p.Integration == Integration3D
+}
+
+func (p Partition) is3D() bool { return p.Integration == Integration3D }
+
+// count returns the compute-chiplet (2.5d) or memory-tier (3d) count,
+// defaulting to 1.
+func (p Partition) count() int {
+	if p.Chiplets > 1 {
+		return p.Chiplets
+	}
+	return 1
+}
+
+// memScale returns the memory-node area ratio, defaulting to 1.
+func (p Partition) memScale() float64 {
+	if p.MemAreaScale > 0 {
+		return p.MemAreaScale
+	}
+	return 1
+}
+
+// validate checks the partition spec in isolation.
+func (p Partition) validate() error {
+	switch p.Integration {
+	case "", IntegrationMonolithic, Integration25D, Integration3D:
+	default:
+		return fmt.Errorf("unknown integration style %q (want monolithic, 2.5d or 3d)", p.Integration)
+	}
+	if p.Chiplets < 0 {
+		return fmt.Errorf("chiplet count must be non-negative, got %d", p.Chiplets)
+	}
+	if p.MemAreaScale < 0 {
+		return fmt.Errorf("memory area scale must be non-negative, got %v", p.MemAreaScale)
+	}
+	return nil
 }
 
 // Config is one accelerator design point: the (MAC arrays, SRAM capacity)
@@ -140,9 +248,14 @@ type Config struct {
 
 	// Is3D marks a 3D-stacked configuration: the activation memory lives on
 	// MemDies separately fabricated dies hybrid-bonded on top of the logic
-	// die [54].
+	// die [54]. It predates Partition and stays supported for the legacy
+	// Fig. 11 path; it cannot be combined with an active Partition.
 	Is3D    bool
 	MemDies int
+
+	// Partition cuts the design into chiplets or tiers; the zero value is
+	// monolithic (see Partition).
+	Partition Partition
 
 	Params Params
 }
@@ -163,6 +276,11 @@ func (c Config) Validate() error {
 		return fmt.Errorf("accel: %s: 3D config needs at least one memory die", c.ID)
 	case c.Params.Clock <= 0 || c.Params.DRAMBW <= 0:
 		return fmt.Errorf("accel: %s: params not initialized (use New or set Params)", c.ID)
+	case c.Is3D && c.Partition.Active():
+		return fmt.Errorf("accel: %s: legacy Is3D and an active Partition are mutually exclusive", c.ID)
+	}
+	if err := c.Partition.validate(); err != nil {
+		return fmt.Errorf("accel: %s: partition: %v", c.ID, err)
 	}
 	return nil
 }
@@ -175,7 +293,7 @@ func (c Config) TotalMACs() int { return c.MACArrays * MACsPerArray }
 func (c Config) sramEnergyPerByte() units.Energy {
 	mb := c.SRAM.InMB()
 	e := c.Params.SRAMEnergyBase + c.Params.SRAMEnergySlope*units.Energy(math.Sqrt(mb))
-	if c.Is3D {
+	if c.Is3D || c.Partition.is3D() {
 		e *= units.Energy(c.Params.SRAM3DEnergyScale)
 	}
 	return e
@@ -183,28 +301,59 @@ func (c Config) sramEnergyPerByte() units.Energy {
 
 // dramBandwidth returns the effective processor–memory bandwidth.
 func (c Config) dramBandwidth() units.Bandwidth {
-	if c.Is3D {
+	if c.Is3D || c.Partition.is3D() {
 		return c.Params.DRAMBW * units.Bandwidth(c.Params.DRAM3DBWScale)
 	}
 	return c.Params.DRAMBW
+}
+
+// d2dCost is a partition's resolved interconnect pricing, hoisted out of the
+// per-layer loop so the memoized shape replay (ShapeProfile.Cost) and the
+// direct path share it without drift.
+type d2dCost struct {
+	energyPB units.Energy
+	bw       float64 // bytes per second across the cut
+	hop      units.Time
+}
+
+// d2d resolves the partition's interconnect pricing; ok is false for
+// monolithic configurations, which keep the exact legacy cost path.
+func (c Config) d2d() (d2dCost, bool) {
+	if !c.Partition.Active() {
+		return d2dCost{}, false
+	}
+	d := d2dCost{
+		energyPB: c.Params.D2DEnergyPerByte,
+		bw:       c.Params.D2DBandwidth.BytesPerSecond(),
+		hop:      c.Params.D2DLatencyPerLayer,
+	}
+	if c.Partition.is3D() {
+		s := c.Params.D2D3DScale
+		d.energyPB *= units.Energy(s)
+		d.bw /= s
+		d.hop *= units.Time(s)
+	}
+	return d, true
 }
 
 // LayerCost breaks down the simulation of one layer.
 type LayerCost struct {
 	ComputeTime units.Time
 	MemoryTime  units.Time
-	Time        units.Time // max(compute, memory) + overhead
+	D2DTime     units.Time // die-to-die link transfer (partitioned configs)
+	Time        units.Time // max(compute, memory, d2d) + overhead (+ hop)
 
 	MACEnergy  units.Energy
 	SRAMEnergy units.Energy
 	DRAMEnergy units.Energy
+	D2DEnergy  units.Energy // link energy of activation bytes crossing the cut
 
 	DRAMTraffic units.Bytes // weights + spilled activations
 }
 
 // Energy returns the layer's total dynamic energy.
 func (lc LayerCost) Energy() units.Energy {
-	return lc.MACEnergy + lc.SRAMEnergy + lc.DRAMEnergy
+	return lc.MACEnergy + lc.SRAMEnergy + lc.DRAMEnergy + lc.D2DEnergy
 }
 
 // utilization returns the MAC-array utilization for a layer kind.
@@ -288,11 +437,26 @@ func (c Config) layerCostOf(ls layerShape) LayerCost {
 	lc.DRAMEnergy = c.Params.DRAMEnergyPerByte * units.Energy(ls.dram)
 	lc.MemoryTime = units.Time(float64(ls.dram) / c.dramBandwidth().BytesPerSecond())
 
+	// Partitioned configurations pay for the cut: every activation byte
+	// crosses the die-to-die link. Monolithic configs take none of these
+	// branches and stay bit-identical to the legacy path.
+	d2, cut := c.d2d()
+	if cut {
+		lc.D2DEnergy = d2.energyPB * units.Energy(ls.sram)
+		lc.D2DTime = units.Time(float64(ls.sram) / d2.bw)
+	}
+
 	lc.Time = lc.ComputeTime
 	if lc.MemoryTime > lc.Time {
 		lc.Time = lc.MemoryTime
 	}
+	if lc.D2DTime > lc.Time {
+		lc.Time = lc.D2DTime
+	}
 	lc.Time += c.Params.LayerOverhead
+	if cut {
+		lc.Time += d2.hop
+	}
 	return lc
 }
 
@@ -314,6 +478,7 @@ type KernelProfile struct {
 	MACEnergy   units.Energy
 	SRAMEnergy  units.Energy
 	DRAMEnergy  units.Energy
+	D2DEnergy   units.Energy // zero for monolithic configurations
 }
 
 // Profile simulates a kernel end-to-end.
@@ -336,6 +501,7 @@ func (c Config) Profile(id nn.KernelID) (KernelProfile, error) {
 		p.MACEnergy += lc.MACEnergy
 		p.SRAMEnergy += lc.SRAMEnergy
 		p.DRAMEnergy += lc.DRAMEnergy
+		p.D2DEnergy += lc.D2DEnergy
 	}
 	return p, nil
 }
@@ -376,7 +542,7 @@ func (c Config) LeakagePower() units.Power {
 // LogicArea returns the logic-die area: control plus MAC arrays, plus — for
 // 2D designs — the activation SRAM on the same die.
 func (c Config) LogicArea() units.Area {
-	a := c.Params.BaseArea + c.Params.AreaPerArray*units.Area(c.MACArrays)
+	a := c.coreLogicArea()
 	if !c.Is3D {
 		a += c.SRAMArea()
 	}
@@ -384,6 +550,12 @@ func (c Config) LogicArea() units.Area {
 		a *= units.Area(1 + c.Params.TSVAreaOverhead)
 	}
 	return a
+}
+
+// coreLogicArea is the MAC + control logic area, excluding the activation
+// SRAM — the part a partition splits across compute chiplets.
+func (c Config) coreLogicArea() units.Area {
+	return c.Params.BaseArea + c.Params.AreaPerArray*units.Area(c.MACArrays)
 }
 
 // SRAMArea returns the silicon area of the activation memory.
@@ -403,8 +575,25 @@ func (c Config) MemDieArea() units.Area {
 
 // TotalArea returns the total silicon area across all dies.
 func (c Config) TotalArea() units.Area {
-	if c.Is3D {
+	switch {
+	case c.Partition.Active():
+		return c.partitionArea()
+	case c.Is3D:
 		return c.LogicArea() + c.MemDieArea()*units.Area(c.MemDies)
 	}
 	return c.LogicArea()
+}
+
+// partitionArea sums the silicon across the dies of a partitioned
+// configuration: the compute logic plus the memory chiplet rescaled to its
+// node, each inflated by the integration's per-die overhead (TSV field for
+// 3d, link PHY for 2.5d). The compute split cancels out of the sum — n
+// chiplets of core/n·overhead total core·overhead.
+func (c Config) partitionArea() units.Area {
+	mem := c.SRAMArea() * units.Area(c.Partition.memScale())
+	oh := units.Area(1 + c.Params.D2DAreaOverhead)
+	if c.Partition.is3D() {
+		oh = units.Area(1 + c.Params.TSVAreaOverhead)
+	}
+	return (c.coreLogicArea() + mem) * oh
 }

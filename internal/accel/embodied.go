@@ -1,6 +1,8 @@
 package accel
 
 import (
+	"fmt"
+
 	"cordoba/internal/carbon"
 	"cordoba/internal/units"
 )
@@ -8,11 +10,16 @@ import (
 // DesignSpec lowers the configuration onto the backend-neutral die/bond
 // description that carbon.Model backends price: the logic die (for 2D
 // designs including the on-die SRAM), the separately fabricated memory dies
-// of a 3D stack, and the configuration's packaging constants. The yield
-// model is left unset — callers select it (nil means Murphy).
+// of a 3D stack, and the configuration's packaging constants. Configurations
+// with an active Partition synthesize a multi-die, possibly mixed-node spec
+// instead (see partitionSpec). The yield model is left unset — callers
+// select it (nil means Murphy).
 func (c Config) DesignSpec(p carbon.Process, fab carbon.Fab) (carbon.DesignSpec, error) {
 	if err := c.Validate(); err != nil {
 		return carbon.DesignSpec{}, err
+	}
+	if c.Partition.Active() {
+		return c.partitionSpec(p, fab)
 	}
 	spec := carbon.DesignSpec{
 		Name: c.ID,
@@ -31,6 +38,58 @@ func (c Config) DesignSpec(p carbon.Process, fab carbon.Fab) (carbon.DesignSpec,
 			Process: p,
 			Count:   c.MemDies,
 		})
+	}
+	return spec, nil
+}
+
+// partitionSpec synthesizes the multi-die carbon.DesignSpec of an explicitly
+// partitioned configuration:
+//
+//   - 2.5d: Chiplets equal compute chiplets (core logic split n ways, each
+//     inflated by the D2D PHY overhead) beside one memory chiplet carrying
+//     the whole activation SRAM — fabricated on ChipletNode when set, the
+//     mixed-node reuse lever. Priced side by side on the spec's Carrier.
+//   - 3d: the core logic as the base tier with Chiplets memory tiers stacked
+//     on top, every die inflated by the TSV-field overhead.
+//
+// Each die is yielded separately at its own node, so the split's yield
+// advantage (many small dies beat one big die under Murphy/Poisson defect
+// models) prices automatically in any backend.
+func (c Config) partitionSpec(p carbon.Process, fab carbon.Fab) (carbon.DesignSpec, error) {
+	memProc := p
+	if n := c.Partition.ChipletNode; n != "" && n != p.Node {
+		mp, err := carbon.ProcessByName(n)
+		if err != nil {
+			return carbon.DesignSpec{}, fmt.Errorf("accel: %s: chiplet node: %v", c.ID, err)
+		}
+		memProc = mp
+	}
+	memArea := c.SRAMArea() * units.Area(c.Partition.memScale())
+	spec := carbon.DesignSpec{
+		Name:        c.ID,
+		Fab:         fab,
+		Integration: c.Partition.Integration,
+		Carrier:     c.Partition.Carrier,
+		Packaging: carbon.Packaging{
+			PerDie:  c.Params.PackagingPerDie,
+			PerBond: c.Params.PackagingPerBond,
+		},
+	}
+	n := c.Partition.count()
+	switch c.Partition.Integration {
+	case Integration25D:
+		oh := units.Area(1 + c.Params.D2DAreaOverhead)
+		spec.Dies = []carbon.DieSpec{
+			{Name: "compute", Area: c.coreLogicArea() / units.Area(n) * oh, Process: p, Count: n},
+			{Name: "mem", Area: memArea * oh, Process: memProc},
+		}
+	case Integration3D:
+		spec.Stacked = true
+		tsv := units.Area(1 + c.Params.TSVAreaOverhead)
+		spec.Dies = []carbon.DieSpec{
+			{Name: "logic", Area: c.coreLogicArea() * tsv, Process: p},
+			{Name: "mem", Area: memArea / units.Area(n) * tsv, Process: memProc, Count: n},
+		}
 	}
 	return spec, nil
 }

@@ -1,0 +1,270 @@
+package accel
+
+import (
+	"testing"
+
+	"cordoba/internal/carbon"
+	"cordoba/internal/nn"
+	"cordoba/internal/units"
+)
+
+// partitioned returns a mid-grid configuration carrying the given partition.
+func partitioned(p Partition) Config {
+	c := Grid()[60]
+	c.Partition = p
+	return c
+}
+
+// TestPartitionSpecMixedNodeAreas pins the multi-die synthesis of DesignSpec
+// against hand-computed die areas, nodes, and counts for both integration
+// styles, including the mixed-node memory chiplet.
+func TestPartitionSpecMixedNodeAreas(t *testing.T) {
+	proc := carbon.Process7nm()
+	mem14, err := carbon.ProcessByName("14nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := partitioned(Partition{
+		Chiplets:     4,
+		Integration:  Integration25D,
+		ChipletNode:  "14nm",
+		Carrier:      "silicon-interposer",
+		MemAreaScale: 1.8,
+	})
+	spec, err := c.DesignSpec(proc, carbon.FabCoal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Integration != Integration25D || spec.Carrier != "silicon-interposer" {
+		t.Fatalf("spec integration/carrier = %q/%q", spec.Integration, spec.Carrier)
+	}
+	if spec.Stacked {
+		t.Fatal("2.5d spec must not be stacked")
+	}
+	if len(spec.Dies) != 2 {
+		t.Fatalf("2.5d spec has %d dies, want compute+mem", len(spec.Dies))
+	}
+	oh := units.Area(1 + c.Params.D2DAreaOverhead)
+	compute, mem := spec.Dies[0], spec.Dies[1]
+	if want := c.coreLogicArea() / 4 * oh; compute.Area != want {
+		t.Errorf("compute chiplet area = %v, want %v (logic/4 x %.2f)", compute.Area, want, oh)
+	}
+	if compute.Count != 4 || compute.Process.Node != proc.Node {
+		t.Errorf("compute chiplet count/node = %d/%s, want 4/%s", compute.Count, compute.Process.Node, proc.Node)
+	}
+	if want := c.SRAMArea() * units.Area(1.8) * oh; mem.Area != want {
+		t.Errorf("mem chiplet area = %v, want %v (SRAM x scale x %.2f)", mem.Area, want, oh)
+	}
+	if mem.Process.Node != mem14.Node {
+		t.Errorf("mem chiplet node = %s, want 14nm", mem.Process.Node)
+	}
+
+	c3 := partitioned(Partition{Chiplets: 3, Integration: Integration3D})
+	spec3, err := c3.DesignSpec(proc, carbon.FabCoal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec3.Stacked || len(spec3.Dies) != 2 {
+		t.Fatalf("3d spec stacked=%v dies=%d, want stacked logic+mem", spec3.Stacked, len(spec3.Dies))
+	}
+	tsv := units.Area(1 + c3.Params.TSVAreaOverhead)
+	if want := c3.coreLogicArea() * tsv; spec3.Dies[0].Area != want {
+		t.Errorf("3d logic tier area = %v, want %v", spec3.Dies[0].Area, want)
+	}
+	if want := c3.SRAMArea() / 3 * tsv; spec3.Dies[1].Area != want {
+		t.Errorf("3d mem tier area = %v, want %v (SRAM/3 x %.2f)", spec3.Dies[1].Area, want, tsv)
+	}
+	if spec3.Dies[1].Count != 3 {
+		t.Errorf("3d mem tier count = %d, want 3", spec3.Dies[1].Count)
+	}
+}
+
+// TestPartitionPerDieDefectDensities pins the yield side of the split: every
+// synthesized die is derated at its own area and node under the fab's defect
+// density, so four small chiplets must each yield strictly better than the
+// monolithic die they came from, and the breakdown must carry the exact
+// Murphy yields of the synthesized areas.
+func TestPartitionPerDieDefectDensities(t *testing.T) {
+	proc := carbon.Process7nm()
+	fab := carbon.FabCoal
+	c := partitioned(Partition{Chiplets: 4, Integration: Integration25D})
+
+	spec, err := c.DesignSpec(proc, fab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := c.EmbodiedBreakdown(carbon.ChipletModel{}, carbon.MurphyYield{}, proc, fab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bd.Dies) != 2 {
+		t.Fatalf("breakdown has %d die entries, want 2", len(bd.Dies))
+	}
+	murphy := carbon.MurphyYield{}
+	for i, d := range bd.Dies {
+		if want := murphy.Yield(spec.Dies[i].Area, fab.DefectDensity); d.Yield != want {
+			t.Errorf("die %q yield = %v, want Murphy(%v) = %v", d.Name, d.Yield, spec.Dies[i].Area, want)
+		}
+	}
+	monoYield := murphy.Yield(c.coreLogicArea(), fab.DefectDensity)
+	if bd.Dies[0].Yield <= monoYield {
+		t.Errorf("chiplet yield %v should beat monolithic-logic yield %v", bd.Dies[0].Yield, monoYield)
+	}
+}
+
+// TestPartitionCarrierTerms pins the 2.5d carrier carbon against values
+// hand-computed from the documented model: RDL fanout pays 75 gCO2e/cm² over
+// 1.10x the silicon area; a silicon interposer pays mature-node (28 nm-class)
+// silicon over the same area; EMIB pays 10 % of the interposer rate over a
+// 1.05x carrier.
+func TestPartitionCarrierTerms(t *testing.T) {
+	proc := carbon.Process7nm()
+	fab := carbon.FabCoal
+	mature := carbon.Processes()[0]
+
+	base := partitioned(Partition{Chiplets: 4, Integration: Integration25D})
+	spec, err := base.DesignSpec(proc, fab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var silicon units.Area
+	for _, d := range spec.Dies {
+		n := d.Count
+		if n == 0 {
+			n = 1
+		}
+		silicon += d.Area * units.Area(n)
+	}
+
+	perCM2 := map[string]float64{
+		"rdl-fanout":         75.0,
+		"silicon-interposer": mature.CarbonPerArea(fab).Grams(),
+		"emib":               0.10 * mature.CarbonPerArea(fab).Grams(),
+	}
+	overhead := map[string]float64{"rdl-fanout": 1.10, "silicon-interposer": 1.10, "emib": 1.05}
+
+	pkgOnly, err := carbon.Packaging{
+		PerDie:  base.Params.PackagingPerDie,
+		PerBond: base.Params.PackagingPerBond,
+	}.Assembly(5) // 4 compute chiplets + 1 mem die
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, rate := range perCM2 {
+		c := partitioned(Partition{Chiplets: 4, Integration: Integration25D, Carrier: name})
+		bd, err := c.EmbodiedBreakdown(carbon.ChipletModel{}, nil, proc, fab)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		wantCarrier := rate * (silicon * units.Area(overhead[name])).CM2()
+		gotCarrier := (bd.Packaging - pkgOnly).Grams()
+		if diff := gotCarrier - wantCarrier; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s: carrier carbon = %.6f g, hand-computed %.6f g", name, gotCarrier, wantCarrier)
+		}
+	}
+}
+
+// TestPartitionMonolithicBitIdentical is the refactor's safety differential:
+// a "monolithic" partition (and the zero value) must route through the exact
+// historical code path — identical design spec, embodied carbon, total area,
+// and per-layer cost model, to the bit.
+func TestPartitionMonolithicBitIdentical(t *testing.T) {
+	proc := carbon.Process7nm()
+	for _, base := range append(Grid()[:8:8], Stacked3D()...) {
+		mono := base
+		mono.Partition = Partition{Integration: IntegrationMonolithic, Chiplets: 4, ChipletNode: "14nm"}
+
+		for _, fab := range carbon.Fabs() {
+			want, err := base.Embodied(proc, fab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := mono.Embodied(proc, fab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("%s/%s: monolithic partition embodied = %v, base = %v", base.ID, fab.Name, got, want)
+			}
+		}
+		if got, want := mono.TotalArea(), base.TotalArea(); got != want {
+			t.Fatalf("%s: monolithic partition area = %v, base = %v", base.ID, got, want)
+		}
+		wantProf, err := base.Profile(nn.RN50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotProf, err := mono.Profile(nn.RN50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotProf != wantProf {
+			t.Fatalf("%s: monolithic partition profile = %+v, base = %+v", base.ID, gotProf, wantProf)
+		}
+		if gotProf.D2DEnergy != 0 {
+			t.Fatalf("%s: monolithic profile carries D2D energy %v", base.ID, gotProf.D2DEnergy)
+		}
+	}
+}
+
+// TestPartitionD2DPenalty: an active partition must pay for die-to-die
+// traffic — strictly more energy and no less time than the identical
+// monolithic design — and a 3d partition must pay less D2D than 2.5d (shorter
+// vertical hops).
+func TestPartitionD2DPenalty(t *testing.T) {
+	base := Grid()[60]
+	flat, err := base.Profile(nn.RN50)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c25 := partitioned(Partition{Chiplets: 4, Integration: Integration25D})
+	p25, err := c25.Profile(nn.RN50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p25.D2DEnergy <= 0 {
+		t.Fatalf("2.5d profile has no D2D energy: %+v", p25)
+	}
+	if p25.Energy <= flat.Energy {
+		t.Errorf("2.5d energy %v should exceed monolithic %v", p25.Energy, flat.Energy)
+	}
+	if p25.Delay < flat.Delay {
+		t.Errorf("2.5d delay %v should be >= monolithic %v", p25.Delay, flat.Delay)
+	}
+
+	c3 := partitioned(Partition{Chiplets: 4, Integration: Integration3D})
+	p3, err := c3.Profile(nn.RN50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.D2DEnergy <= 0 || p3.D2DEnergy >= p25.D2DEnergy {
+		t.Errorf("3d D2D energy %v should be positive and below 2.5d %v", p3.D2DEnergy, p25.D2DEnergy)
+	}
+}
+
+// TestPartitionValidate covers the partition-spec invariants enforced by
+// Config.Validate.
+func TestPartitionValidate(t *testing.T) {
+	bad := []Partition{
+		{Integration: "stacked"},                    // unknown style
+		{Integration: Integration25D, Chiplets: -1}, // negative count
+		{Integration: Integration25D, MemAreaScale: -0.5},
+	}
+	for _, p := range bad {
+		c := partitioned(p)
+		if err := c.Validate(); err == nil {
+			t.Errorf("partition %+v should fail validation", p)
+		}
+	}
+	c := Stacked3D()[1]
+	c.Partition = Partition{Integration: Integration25D, Chiplets: 2}
+	if err := c.Validate(); err == nil {
+		t.Error("Is3D with an active partition should fail validation")
+	}
+	good := partitioned(Partition{Integration: Integration3D, Chiplets: 8})
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid partition rejected: %v", err)
+	}
+}

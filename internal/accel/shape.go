@@ -84,6 +84,7 @@ func (sp *ShapeProfile) Cost(c Config) workload.KernelCost {
 		bw     = c.dramBandwidth().BytesPerSecond()
 		oh     = c.Params.LayerOverhead
 	)
+	d2, cut := c.d2d()
 	var kc workload.KernelCost
 	for _, ls := range sp.layers {
 		var ct units.Time
@@ -96,13 +97,31 @@ func (sp *ShapeProfile) Cost(c Config) workload.KernelCost {
 		sramEnergy := sramPB * units.Energy(ls.sram)
 		dramEnergy := dramPB * units.Energy(ls.dram)
 		mt := units.Time(float64(ls.dram) / bw)
+		var d2dEnergy units.Energy
+		var dt units.Time
+		if cut {
+			d2dEnergy = d2.energyPB * units.Energy(ls.sram)
+			dt = units.Time(float64(ls.sram) / d2.bw)
+		}
 		t := ct
 		if mt > t {
 			t = mt
 		}
+		if dt > t {
+			t = dt
+		}
 		t += oh
+		if cut {
+			t += d2.hop
+		}
 		kc.Delay += t
-		kc.DynamicEnergy += macEnergy + sramEnergy + dramEnergy
+		// Grouped exactly as Profile sums LayerCost.Energy():
+		// ((MAC + SRAM) + DRAM) + D2D.
+		e := macEnergy + sramEnergy + dramEnergy
+		if cut {
+			e += d2dEnergy
+		}
+		kc.DynamicEnergy += e
 	}
 	return kc
 }

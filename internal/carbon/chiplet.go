@@ -35,6 +35,35 @@ func (t PackagingTech) String() string {
 	}
 }
 
+// Carriers lists the registered 2.5D carrier technologies.
+func Carriers() []PackagingTech {
+	return []PackagingTech{RDLFanout, SiliconInterposer, EMIB}
+}
+
+// CarrierNames lists the carrier technology names.
+func CarrierNames() []string {
+	techs := Carriers()
+	names := make([]string, len(techs))
+	for i, t := range techs {
+		names[i] = t.String()
+	}
+	return names
+}
+
+// CarrierByName resolves a carrier technology by name; the empty string
+// selects the default (RDL fanout).
+func CarrierByName(name string) (PackagingTech, error) {
+	switch name {
+	case "", "rdl-fanout":
+		return RDLFanout, nil
+	case "silicon-interposer":
+		return SiliconInterposer, nil
+	case "emib":
+		return EMIB, nil
+	}
+	return 0, fmt.Errorf("carbon: unknown carrier technology %q (try one of %v)", name, CarrierNames())
+}
+
 // Chiplet-carrier constants, following the ECO-CHIP characterization
 // [Sudarshan et al., arXiv:2306.09434]: an organic RDL build-up carries a
 // small fixed footprint per area, a silicon interposer is priced as
@@ -144,6 +173,14 @@ func (m ChipletModel) EmbodiedDesign(spec DesignSpec) (Breakdown, error) {
 	if err := spec.Validate(); err != nil {
 		return Breakdown{}, err
 	}
+	tech := m.Tech
+	if spec.Carrier != "" {
+		t, err := CarrierByName(spec.Carrier)
+		if err != nil {
+			return Breakdown{}, fmt.Errorf("carbon: design %q: %w", spec.Name, err)
+		}
+		tech = t
+	}
 	dies := m.chiplets(spec)
 	bd := Breakdown{Model: m.Name(), Dies: make([]DieCarbon, 0, len(dies))}
 
@@ -164,8 +201,8 @@ func (m ChipletModel) EmbodiedDesign(spec DesignSpec) (Breakdown, error) {
 	}
 
 	// Carrier: priced per area of the (over-sized) package substrate.
-	carrierArea := totalArea * units.Area(m.Tech.carrierAreaOverhead())
-	carrier := m.Tech.carrierCarbonPerCM2(spec.Fab) * units.Carbon(carrierArea.CM2())
+	carrierArea := totalArea * units.Area(tech.carrierAreaOverhead())
+	carrier := tech.carrierCarbonPerCM2(spec.Fab) * units.Carbon(carrierArea.CM2())
 
 	// Conventional assembly constants: one package plus per-attach bonds.
 	pkg, err := spec.Packaging.Assembly(attached)

@@ -59,6 +59,16 @@ type DesignSpec struct {
 	// that synthesize their own die partitioning (chiplet splits, tier
 	// splits) leave stacked specs as-is.
 	Stacked bool
+
+	// Integration records the partition style that produced this spec
+	// ("monolithic", "2.5d", "3d"); informational — backends price the die
+	// list, but validation uses it to match specs to capable backends.
+	Integration string
+
+	// Carrier, when set, overrides the chiplet backend's carrier technology
+	// by name ("rdl-fanout", "silicon-interposer", "emib"). Other backends
+	// ignore it.
+	Carrier string
 }
 
 // yieldModel returns the spec's yield model, defaulting to Murphy.
@@ -220,13 +230,62 @@ func ModelNames() []string {
 type ModelInfo struct {
 	Name        string
 	Description string
+	// Integrations lists the partition integration styles the backend can
+	// price (see ModelIntegrations).
+	Integrations []string
 }
 
 // ModelInfos returns the registry with one-line descriptions.
 func ModelInfos() []ModelInfo {
 	return []ModelInfo{
-		{"act", "ACT monolithic/stacked-die accounting (eq. IV.5): per-die yield, Count-weighted dies, conventional packaging"},
-		{"chiplet", "ECO-CHIP-style 2.5D disaggregation: per-chiplet yield at possibly heterogeneous nodes plus RDL/interposer/EMIB carrier carbon and assembly-yield scrap"},
-		{"stacked-3d", "3D-Carbon-style die stacking: per-tier yield, hybrid-bonding interface yield loss, and bonding energy at the fab grid's intensity"},
+		{"act", "ACT monolithic/stacked-die accounting (eq. IV.5): per-die yield, Count-weighted dies, conventional packaging", ModelIntegrations("act")},
+		{"chiplet", "ECO-CHIP-style 2.5D disaggregation: per-chiplet yield at possibly heterogeneous nodes plus RDL/interposer/EMIB carrier carbon and assembly-yield scrap", ModelIntegrations("chiplet")},
+		{"stacked-3d", "3D-Carbon-style die stacking: per-tier yield, hybrid-bonding interface yield loss, and bonding energy at the fab grid's intensity", ModelIntegrations("stacked-3d")},
 	}
+}
+
+// ModelIntegrations lists the partition integration styles a backend can
+// price. Every backend handles monolithic specs; 2.5d assemblies need the
+// chiplet backend's carrier terms, and stacked tiers are priced either by
+// the stacked-3d backend (full bonding treatment) or by ACT (the legacy
+// Fig. 11 per-die accounting). The empty name is the default (ACT) backend.
+func ModelIntegrations(name string) []string {
+	switch name {
+	case "", "act":
+		return []string{"monolithic", "3d"}
+	case "chiplet":
+		return []string{"monolithic", "2.5d"}
+	case "stacked-3d":
+		return []string{"monolithic", "3d"}
+	}
+	return nil
+}
+
+// ModelSupportsIntegration reports whether the named backend can price specs
+// of the given integration style ("" counts as monolithic).
+func ModelSupportsIntegration(model, integration string) bool {
+	if integration == "" {
+		integration = "monolithic"
+	}
+	for _, s := range ModelIntegrations(model) {
+		if s == integration {
+			return true
+		}
+	}
+	return false
+}
+
+// ModelForIntegration returns the registry name of the natural backend for an
+// integration style: the default (ACT) pipeline for monolithic specs, the
+// chiplet backend for 2.5d carriers, the stacked-3d backend for tiers.
+func ModelForIntegration(integration string) (string, error) {
+	switch integration {
+	case "", "monolithic":
+		return "", nil
+	case "2.5d":
+		return "chiplet", nil
+	case "3d":
+		return "stacked-3d", nil
+	}
+	return "", fmt.Errorf("carbon: unknown integration style %q (want monolithic, 2.5d or 3d)", integration)
 }

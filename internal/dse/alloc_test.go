@@ -75,6 +75,42 @@ func TestEvalShapeSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestEvalShapeSteadyStateAllocsWithPartitionAxes: the zero-marginal-
+// allocation invariant must survive the partition axes. Widening the grid
+// with integration/chiplets/chiplet-node axes multiplies the cells per shape
+// but must not add per-cell allocations: the partition is priced through the
+// same per-(shape, embodied-class) path as the node/model axes, so the
+// per-cell average has to stay below one object.
+func TestEvalShapeSteadyStateAllocsWithPartitionAxes(t *testing.T) {
+	flat := allocTestGrid() // 9 cells per shape
+	part := allocTestGrid()
+	part.Integrations = []string{"monolithic", "2.5d", "3d"}
+	part.Chiplets = []int{2, 4}
+	part.ChipletNodes = []string{"10nm", "14nm"} // 108 cells per shape
+
+	aFlat := evalShapeAllocs(t, flat)
+	aPart := evalShapeAllocs(t, part)
+	if perCell := aPart / 108; perCell >= 1 {
+		t.Fatalf("steady-state evalShape with partition axes allocates %.2f objects per cell, want < 1", perCell)
+	}
+	// The absolute count grows with the embodied-class count (each class is
+	// one multi-die pricing per shape; a partitioned spec allocates a couple
+	// more objects than a monolithic one), never with the cell count: the
+	// per-class cost must stay a small constant regardless of how many cells
+	// share each class.
+	classesOf := func(g Grid) float64 {
+		cg, err := g.compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(cg.embClasses)
+	}
+	if perClass := aPart / classesOf(part); perClass > 6 {
+		t.Fatalf("per-class allocations = %.2f with partition axes (flat grid: %.2f), want a small constant",
+			perClass, aFlat/classesOf(flat))
+	}
+}
+
 // TestOfferChunkSteadyStateAllocs: the accumulator side of the hot path.
 // Offers of all-dominated chunks (the overwhelmingly common case at steady
 // state) must not allocate; envelope insertions may.

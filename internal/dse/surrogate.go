@@ -44,10 +44,19 @@ import (
 // surrogate envelope against it.
 
 // DefaultSurrogatePopulation is the NSGA population size when options leave
-// it unset: large enough to hold every corner of a five-axis lattice plus a
-// stratified sample, small enough that the O(n²) sort and the RBF solve stay
-// trivial.
+// it unset: large enough to hold a stratified sample plus the corners of a
+// typical knob lattice (partition-free grids span five non-degenerate axes;
+// grids with partition axes may exceed the population and are truncated by
+// the budget-capped dedupe), small enough that the O(n²) sort and the RBF
+// solve stay trivial.
 const DefaultSurrogatePopulation = 48
+
+// sgLegacyAxes is how many leading lattice axes predate the partition axes.
+// Variation operators draw RNG for these unconditionally — exactly as the
+// historical five-axis implementation did — and for the partition axes only
+// when present, so partition-free searches consume the identical RNG stream
+// and reproduce historical results byte for byte.
+const sgLegacyAxes = 5
 
 // Surrogate budget bounds when SurrogateOptions.Budget is unset: 2 % of the
 // grid, floored so small searches still converge and capped so huge grids
@@ -145,10 +154,10 @@ type SurrogateResult struct {
 // SurrogateIndiv is one lattice individual: its knob indices, grid index,
 // and evaluated objectives (X = E·D, Y = C_emb·D).
 type SurrogateIndiv struct {
-	ID  int64   `json:"id"`
-	Idx [5]int  `json:"idx"`
-	X   float64 `json:"x"`
-	Y   float64 `json:"y"`
+	ID  int64       `json:"id"`
+	Idx [sgAxes]int `json:"idx"`
+	X   float64     `json:"x"`
+	Y   float64     `json:"y"`
 }
 
 // SurrogateCheckpoint is a resumable snapshot of the search, taken at a
@@ -263,41 +272,52 @@ func (r *sgRand) perm(n int) []int {
 
 // ---- lattice geometry ----
 
+// sgAxes is the knob-lattice dimensionality, in canonical order: MAC
+// arrays, SRAM, V_DD, node, model, integration, chiplets, chiplet node.
+// Absent axes have length 1 and collapse out of every id computation, so
+// partition-free grids keep their historical indices (and old checkpoints,
+// whose Idx vectors unmarshal with trailing zeros, resume bit-identically).
+const sgAxes = 8
+
 // sgSpace is the knob lattice of a compiled grid: per-axis lengths in the
-// canonical order (MAC arrays, SRAM, V_DD, node, model) and the conversion
-// between index vectors and shape-major grid indices — the same indices
-// cg.at enumerates, so surrogate points keep whole-grid identity.
+// canonical order above and the conversion between index vectors and
+// shape-major grid indices — the same indices cg.at enumerates, so surrogate
+// points keep whole-grid identity.
 type sgSpace struct {
 	cg    *compiledGrid
-	lens  [5]int
+	lens  [sgAxes]int
 	cells int64
 }
 
 func newSgSpace(cg *compiledGrid) *sgSpace {
-	models := len(cg.g.Models)
-	if models == 0 {
-		models = 1
-	}
+	g := cg.g
 	return &sgSpace{
-		cg:    cg,
-		lens:  [5]int{len(cg.g.MACArrays), len(cg.g.SRAMMB), len(cg.g.VDDScales), len(cg.g.Nodes), models},
+		cg: cg,
+		lens: [sgAxes]int{
+			len(g.MACArrays), len(g.SRAMMB), len(g.VDDScales), len(g.Nodes),
+			int(axisLen(len(g.Models))), int(axisLen(len(g.Integrations))),
+			int(axisLen(len(g.Chiplets))), int(axisLen(len(g.ChipletNodes))),
+		},
 		cells: int64(len(cg.cells)),
 	}
 }
 
 // id maps an index vector to its shape-major grid index, matching the
 // enumeration order of compiledGrid.at (cells are V_DD-major, then node,
-// with the model innermost).
-func (s *sgSpace) id(idx [5]int) int64 {
+// model, integration, chiplets, with the chiplet node innermost).
+func (s *sgSpace) id(idx [sgAxes]int) int64 {
 	shape := idx[0]*s.lens[1] + idx[1]
-	cell := (idx[2]*s.lens[3]+idx[3])*s.lens[4] + idx[4]
+	cell := idx[2]
+	for k := 3; k < sgAxes; k++ {
+		cell = cell*s.lens[k] + idx[k]
+	}
 	return int64(shape)*s.cells + int64(cell)
 }
 
 // coords maps an index vector to normalized [0,1] coordinates for the RBF
 // surrogate; degenerate axes (length 1) collapse to 0.
-func (s *sgSpace) coords(idx [5]int) [5]float64 {
-	var out [5]float64
+func (s *sgSpace) coords(idx [sgAxes]int) [sgAxes]float64 {
+	var out [sgAxes]float64
 	for k, l := range s.lens {
 		if l > 1 {
 			out[k] = float64(idx[k]) / float64(l-1)
@@ -307,14 +327,14 @@ func (s *sgSpace) coords(idx [5]int) [5]float64 {
 }
 
 // corners returns every combination of extreme indices (2^(non-degenerate
-// axes) vectors, ≤ 32): the anchors of both objective extremes.
-func (s *sgSpace) corners() [][5]int {
-	out := [][5]int{{}}
+// axes) vectors, ≤ 2^sgAxes): the anchors of both objective extremes.
+func (s *sgSpace) corners() [][sgAxes]int {
+	out := [][sgAxes]int{{}}
 	for k, l := range s.lens {
 		if l <= 1 {
 			continue
 		}
-		next := make([][5]int, 0, 2*len(out))
+		next := make([][sgAxes]int, 0, 2*len(out))
 		for _, idx := range out {
 			lo, hi := idx, idx
 			hi[k] = l - 1
@@ -328,19 +348,19 @@ func (s *sgSpace) corners() [][5]int {
 // latin returns n stratified samples: a Latin-hypercube-like design where
 // each axis is cut into n strata and every stratum is used exactly once, in
 // an independent random permutation per axis.
-func (s *sgSpace) latin(rng *sgRand, n int) [][5]int {
+func (s *sgSpace) latin(rng *sgRand, n int) [][sgAxes]int {
 	if n <= 0 {
 		return nil
 	}
-	var perms [5][]int
+	var perms [sgAxes][]int
 	for k, l := range s.lens {
 		if l > 1 {
 			perms[k] = rng.perm(n)
 		}
 	}
-	out := make([][5]int, n)
+	out := make([][sgAxes]int, n)
 	for j := 0; j < n; j++ {
-		var idx [5]int
+		var idx [sgAxes]int
 		for k, l := range s.lens {
 			if l <= 1 {
 				continue
@@ -489,7 +509,7 @@ func sgSelect(pop []SurrogateIndiv, n int) []SurrogateIndiv {
 // sgOffspring breeds one child: per-axis uniform crossover between two
 // tournament winners, then reflected local mutation on the knob indices —
 // mostly ±small steps, with a rare uniform jump for exploration.
-func sgOffspring(rng *sgRand, space *sgSpace, pop []SurrogateIndiv) [5]int {
+func sgOffspring(rng *sgRand, space *sgSpace, pop []SurrogateIndiv) [sgAxes]int {
 	// Binary tournaments; pop is sorted best-first, so lower index wins.
 	ai, bi := rng.intn(len(pop)), rng.intn(len(pop))
 	if bi < ai {
@@ -501,8 +521,11 @@ func sgOffspring(rng *sgRand, space *sgSpace, pop []SurrogateIndiv) [5]int {
 	}
 	a, b := pop[ai].Idx, pop[ci].Idx
 
-	var child [5]int
+	var child [sgAxes]int
 	for k, l := range space.lens {
+		if l <= 1 && k >= sgLegacyAxes {
+			continue // absent partition axis: no knob, no RNG draw
+		}
 		if rng.next()&1 == 0 {
 			child[k] = a[k]
 		} else {
@@ -548,7 +571,7 @@ func sgOffspring(rng *sgRand, space *sgSpace, pop []SurrogateIndiv) [5]int {
 // only rank offspring — they never enter the archive — so interpolation
 // error costs evaluations, not correctness.
 type sgRBF struct {
-	centers [][5]float64
+	centers [][sgAxes]float64
 	wx, wy  []float64
 }
 
@@ -557,7 +580,7 @@ const sgRBFShape2 = 0.09
 
 func sgPhi(r2 float64) float64 { return math.Sqrt(r2 + sgRBFShape2) }
 
-func sgDist2(a, b [5]float64) float64 {
+func sgDist2(a, b [sgAxes]float64) float64 {
 	var d2 float64
 	for k := range a {
 		d := a[k] - b[k]
@@ -574,7 +597,7 @@ func sgFitRBF(space *sgSpace, train []SurrogateIndiv) *sgRBF {
 	if n < 4 {
 		return nil
 	}
-	m := &sgRBF{centers: make([][5]float64, n)}
+	m := &sgRBF{centers: make([][sgAxes]float64, n)}
 	for i, ind := range train {
 		m.centers[i] = space.coords(ind.Idx)
 	}
@@ -631,7 +654,7 @@ func sgFitRBF(space *sgSpace, train []SurrogateIndiv) *sgRBF {
 
 // predict returns the interpolated log-objectives at an index vector.
 // Dominance comparisons on logs equal dominance on the raw objectives.
-func (m *sgRBF) predict(space *sgSpace, idx [5]int) (x, y float64) {
+func (m *sgRBF) predict(space *sgSpace, idx [sgAxes]int) (x, y float64) {
 	c := space.coords(idx)
 	for i, ctr := range m.centers {
 		phi := sgPhi(sgDist2(c, ctr))
@@ -777,7 +800,7 @@ func EvaluateSurrogate(ctx context.Context, task workload.Task, g Grid, fab carb
 
 	// evaluate prices a batch of unseen candidate ids (ascending) and folds
 	// them into the archive, the population, and the evaluated set.
-	evaluate := func(ids []int64, idxs [][5]int) error {
+	evaluate := func(ids []int64, idxs [][sgAxes]int) error {
 		pts, err := sgEvalBatch(ctx, cg, ids, kernels, task, memo, fab, opt.Yield, opt.Workers)
 		if err != nil {
 			return err
@@ -865,7 +888,7 @@ func EvaluateSurrogate(ctx context.Context, task workload.Task, g Grid, fab carb
 		// Breed up to 4× the evaluation slots; the surrogate ranks them and
 		// only the most promising fraction pays a real evaluation.
 		target := 4 * want
-		raw := make([][5]int, 0, target)
+		raw := make([][sgAxes]int, 0, target)
 		local := make(map[int64]bool, target)
 		for attempts := 0; len(raw) < target && attempts < 16*target; attempts++ {
 			child := sgOffspring(rng, space, pop)
@@ -944,10 +967,10 @@ func snapshotSurrogate(fp string, size int64, gen int, skipped int64, rng *sgRan
 // selection on the predictions keeps a non-dominated, well-spread subset.
 // When the fit is unusable the first want children by grid id are taken —
 // the search stays correct, just less sample-efficient.
-func sgRankOffspring(space *sgSpace, parents []SurrogateIndiv, raw [][5]int, want int) [][5]int {
+func sgRankOffspring(space *sgSpace, parents []SurrogateIndiv, raw [][sgAxes]int, want int) [][sgAxes]int {
 	model := sgFitRBF(space, parents)
 	if model == nil {
-		byID := append([][5]int(nil), raw...)
+		byID := append([][sgAxes]int(nil), raw...)
 		sort.Slice(byID, func(i, j int) bool { return space.id(byID[i]) < space.id(byID[j]) })
 		return byID[:want]
 	}
@@ -957,7 +980,7 @@ func sgRankOffspring(space *sgSpace, parents []SurrogateIndiv, raw [][5]int, wan
 		preds[i] = SurrogateIndiv{ID: space.id(idx), Idx: idx, X: x, Y: y}
 	}
 	best := sgSelect(preds, want)
-	out := make([][5]int, len(best))
+	out := make([][sgAxes]int, len(best))
 	for i, ind := range best {
 		out[i] = ind.Idx
 	}
@@ -967,10 +990,10 @@ func sgRankOffspring(space *sgSpace, parents []SurrogateIndiv, raw [][5]int, wan
 // dedupeCandidates resolves candidate index vectors to unique, unseen grid
 // ids, caps them at limit, and returns them sorted ascending by id so
 // accumulation order is canonical.
-func dedupeCandidates(space *sgSpace, cands [][5]int, seen map[int64]bool, limit int64) ([]int64, [][5]int) {
+func dedupeCandidates(space *sgSpace, cands [][sgAxes]int, seen map[int64]bool, limit int64) ([]int64, [][sgAxes]int) {
 	type c struct {
 		id  int64
-		idx [5]int
+		idx [sgAxes]int
 	}
 	uniq := make([]c, 0, len(cands))
 	local := make(map[int64]bool, len(cands))
@@ -987,7 +1010,7 @@ func dedupeCandidates(space *sgSpace, cands [][5]int, seen map[int64]bool, limit
 		uniq = uniq[:limit]
 	}
 	ids := make([]int64, len(uniq))
-	idxs := make([][5]int, len(uniq))
+	idxs := make([][sgAxes]int, len(uniq))
 	for i, u := range uniq {
 		ids[i], idxs[i] = u.id, u.idx
 	}
@@ -996,9 +1019,9 @@ func dedupeCandidates(space *sgSpace, cands [][5]int, seen map[int64]bool, limit
 
 // unseenSweep returns up to n unseen ids in ascending order — the
 // exhaustive-degradation path for budgets that approach the grid size.
-func unseenSweep(space *sgSpace, seen map[int64]bool, n int) ([]int64, [][5]int) {
+func unseenSweep(space *sgSpace, seen map[int64]bool, n int) ([]int64, [][sgAxes]int) {
 	var ids []int64
-	var idxs [][5]int
+	var idxs [][sgAxes]int
 	size := space.cg.size()
 	for id := int64(0); id < size && len(ids) < n; id++ {
 		if seen[id] {
@@ -1011,13 +1034,15 @@ func unseenSweep(space *sgSpace, seen map[int64]bool, n int) ([]int64, [][5]int)
 }
 
 // idxOf inverts id: the index vector of a shape-major grid index.
-func (s *sgSpace) idxOf(id int64) [5]int {
+func (s *sgSpace) idxOf(id int64) [sgAxes]int {
 	shape := int(id / s.cells)
 	cell := int(id % s.cells)
-	var idx [5]int
+	var idx [sgAxes]int
 	idx[0], idx[1] = shape/s.lens[1], shape%s.lens[1]
-	idx[4] = cell % s.lens[4]
-	nv := cell / s.lens[4]
-	idx[2], idx[3] = nv/s.lens[3], nv%s.lens[3]
+	for k := sgAxes - 1; k >= 3; k-- {
+		idx[k] = cell % s.lens[k]
+		cell /= s.lens[k]
+	}
+	idx[2] = cell
 	return idx
 }

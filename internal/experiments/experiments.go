@@ -42,6 +42,7 @@ func All() []Experiment {
 		{"lifetime", "Lifetime study (§VII): tCDP-optimal hardware refresh cadence", RenderLifetime},
 		{"schedule", "Carbon-aware scheduling: lowest-CI_use launch windows per reference grid", RenderSchedule},
 		{"chiplet", "Chiplet study: monolithic vs 2-/4-chiplet disaggregation across yield models", RenderChiplet},
+		{"partition", "Partition pathfinding: monolithic vs 2.5d chiplets vs 3d stacking across operational time", RenderPartition},
 	}
 }
 

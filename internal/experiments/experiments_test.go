@@ -12,8 +12,8 @@ import (
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
-		t.Fatalf("expected 18 experiments, got %d", len(all))
+	if len(all) != 19 {
+		t.Fatalf("expected 19 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -444,6 +444,51 @@ func TestDVFSClaims(t *testing.T) {
 			if pts[i].Delay >= pts[i-1].Delay {
 				t.Error("delay should fall with V_DD")
 			}
+		}
+	}
+}
+
+// TestPartitionClaims pins the headline of the partition-pathfinding study:
+// on every task, the chiplet front dominates the monolithic front somewhere
+// on the operational-time sweep, monolithic still wins somewhere else (the
+// axis is a real trade-off, not a one-sided upgrade), and the ever-optimal
+// envelope mixes both kinds of design.
+func TestPartitionClaims(t *testing.T) {
+	res, err := PartitionStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tasks) != 2 {
+		t.Fatalf("expected 2 tasks, got %d", len(res.Tasks))
+	}
+	for _, tr := range res.Tasks {
+		if tr.BestGain <= 1 {
+			t.Errorf("%s: no partitioned design ever beats monolithic (best gain %v)", tr.Task, tr.BestGain)
+		}
+		var partWins, monoWins bool
+		for _, r := range tr.Rows {
+			if r.Winner == accel.IntegrationMonolithic {
+				monoWins = true
+			} else {
+				partWins = true
+			}
+			if r.Gain < 1 {
+				t.Errorf("%s at N=%g: gain %v < 1 — the winner must never lose to monolithic", tr.Task, r.Inferences, r.Gain)
+			}
+		}
+		if !partWins || !monoWins {
+			t.Errorf("%s: sweep is one-sided (partition wins: %v, monolithic wins: %v)", tr.Task, partWins, monoWins)
+		}
+		var partEnv, monoEnv bool
+		for _, label := range tr.EverOptimal {
+			if strings.Contains(label, "die") {
+				partEnv = true
+			} else {
+				monoEnv = true
+			}
+		}
+		if !partEnv || !monoEnv {
+			t.Errorf("%s: envelope %v should mix monolithic and partitioned designs", tr.Task, tr.EverOptimal)
 		}
 	}
 }

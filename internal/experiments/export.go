@@ -48,6 +48,8 @@ func Result(key string) (any, error) {
 		return Schedule()
 	case "chiplet":
 		return Chiplet()
+	case "partition":
+		return PartitionStudy()
 	default:
 		return nil, fmt.Errorf("experiments: no typed result for %q", key)
 	}
@@ -226,6 +228,30 @@ func ExportCSV(key string, w io.Writer) error {
 				f(r.SiliconG), f(r.PackagingG), f(r.BondingG), f(r.TotalG), f(r.VsMonolithic)}
 			if err := cw.Write(row); err != nil {
 				return err
+			}
+		}
+		return nil
+
+	case "partition":
+		res, err := PartitionStudy()
+		if err != nil {
+			return err
+		}
+		header := []string{"task", "inferences", "mono_label", "mono_tcdp_gs",
+			"c25d_label", "c25d_tcdp_gs", "c3d_label", "c3d_tcdp_gs", "winner", "gain_vs_mono"}
+		if err := cw.Write(header); err != nil {
+			return err
+		}
+		for _, tr := range res.Tasks {
+			for _, r := range tr.Rows {
+				row := []string{tr.Task, f(r.Inferences),
+					r.Monolithic.Label, f(r.Monolithic.TCDP),
+					r.Chiplet25D.Label, f(r.Chiplet25D.TCDP),
+					r.Stacked3D.Label, f(r.Stacked3D.TCDP),
+					r.Winner, f(r.Gain)}
+				if err := cw.Write(row); err != nil {
+					return err
+				}
 			}
 		}
 		return nil

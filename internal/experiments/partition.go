@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"cordoba/internal/accel"
+	"cordoba/internal/carbon"
+	"cordoba/internal/dse"
+	"cordoba/internal/table"
+	"cordoba/internal/workload"
+)
+
+// PartitionTasks are the workloads of the partition-pathfinding study: a
+// compute-heavy and a memory-heavy five-kernel mix, so the monolithic vs
+// chiplet crossover is shown on both sides of the roofline.
+var PartitionTasks = []string{workload.TaskAI5, workload.TaskXR5}
+
+// PartitionGrid is the knob grid of the study: the large end of the Fig. 8
+// shape space (where yield losses make disaggregation interesting) crossed
+// with the full partition axis — monolithic, 2.5d chiplets on an interposer,
+// and 3d stacking — at 2 and 4 dies with the memory chiplet on mature 14 nm
+// silicon.
+func PartitionGrid() dse.Grid {
+	return dse.Grid{
+		MACArrays:    []int{16, 64},
+		SRAMMB:       []float64{8, 64},
+		Integrations: []string{"monolithic", "2.5d", "3d"},
+		Chiplets:     []int{2, 4},
+		ChipletNodes: []string{"14nm"},
+	}
+}
+
+// partitionCI is the paper's anchor use-phase carbon intensity (g/kWh).
+const partitionCI = 380
+
+// partitionStyle buckets a design by its integration style.
+func partitionStyle(c accel.Config) string {
+	if !c.Partition.Active() {
+		return accel.IntegrationMonolithic
+	}
+	return c.Partition.Integration
+}
+
+// partitionLabel names a design with its partition, e.g. "k9 (4-die 2.5d)".
+func partitionLabel(c accel.Config) string {
+	if !c.Partition.Active() {
+		return c.ID
+	}
+	return fmt.Sprintf("%s (%d-die %s)", c.ID, c.Partition.Chiplets, c.Partition.Integration)
+}
+
+// PartitionBest is the tCDP-optimal design of one integration style at one
+// operational time.
+type PartitionBest struct {
+	Label string
+	TCDP  float64
+}
+
+// PartitionRow is one operational-time sample of the study.
+type PartitionRow struct {
+	Inferences float64
+	Monolithic PartitionBest
+	Chiplet25D PartitionBest
+	Stacked3D  PartitionBest
+	Winner     string  // integration style of the overall tCDP optimum
+	Gain       float64 // monolithic-best tCDP / overall-best tCDP (1.0 = monolithic wins)
+}
+
+// PartitionTaskResult is the study on one task.
+type PartitionTaskResult struct {
+	Task        string
+	Points      int
+	EverOptimal []string // envelope designs, long-operational-time end first
+	Rows        []PartitionRow
+	BestGain    float64 // peak chiplet advantage over monolithic
+	BestGainAt  float64 // inferences where the peak occurs
+}
+
+// PartitionResult carries the full monolithic-vs-chiplet-vs-3D study.
+type PartitionResult struct {
+	Fab         string
+	CIUse       float64
+	Chiplets    []int
+	ChipletNode string
+	Tasks       []PartitionTaskResult
+}
+
+var (
+	partitionOnce sync.Once
+	partitionVal  PartitionResult
+	partitionErr  error
+)
+
+// PartitionStudy sweeps operational time over the partitioned design space
+// and reports, per task and inference count, the best design of each
+// integration style — the chiplet front versus the monolithic front that
+// makes partitioning a first-class DSE axis rather than a fixed backend
+// choice.
+func PartitionStudy() (PartitionResult, error) {
+	partitionOnce.Do(func() { partitionVal, partitionErr = runPartitionStudy() })
+	return partitionVal, partitionErr
+}
+
+func runPartitionStudy() (PartitionResult, error) {
+	g := PartitionGrid()
+	fab := carbon.FabCoal
+	res := PartitionResult{
+		Fab:         fab.Name,
+		CIUse:       partitionCI,
+		Chiplets:    g.Chiplets,
+		ChipletNode: g.ChipletNodes[0],
+	}
+	sweep := Fig8Sweep()
+	for _, name := range PartitionTasks {
+		task, err := workload.PaperTask(name)
+		if err != nil {
+			return PartitionResult{}, err
+		}
+		s, err := dse.EvaluateGrid(task, g, fab, partitionCI)
+		if err != nil {
+			return PartitionResult{}, err
+		}
+		tr := PartitionTaskResult{Task: name, Points: len(s.Points)}
+		for _, idx := range s.EverOptimal() {
+			tr.EverOptimal = append(tr.EverOptimal, partitionLabel(s.Points[idx].Config))
+		}
+		for _, n := range sweep {
+			row := PartitionRow{Inferences: n}
+			best := map[string]*PartitionBest{
+				accel.IntegrationMonolithic: &row.Monolithic,
+				accel.Integration25D:        &row.Chiplet25D,
+				accel.Integration3D:         &row.Stacked3D,
+			}
+			for _, p := range s.Points {
+				b := best[partitionStyle(p.Config)]
+				if v := p.TCDP(s.CIUse, n); b.Label == "" || v < b.TCDP {
+					b.Label, b.TCDP = partitionLabel(p.Config), v
+				}
+			}
+			overall := row.Monolithic.TCDP
+			row.Winner = accel.IntegrationMonolithic
+			for _, style := range []string{accel.Integration25D, accel.Integration3D} {
+				if b := best[style]; b.TCDP < overall {
+					overall, row.Winner = b.TCDP, style
+				}
+			}
+			row.Gain = row.Monolithic.TCDP / overall
+			if row.Gain > tr.BestGain {
+				tr.BestGain, tr.BestGainAt = row.Gain, n
+			}
+			tr.Rows = append(tr.Rows, row)
+		}
+		res.Tasks = append(res.Tasks, tr)
+	}
+	return res, nil
+}
+
+// RenderPartition writes the partition-pathfinding study.
+func RenderPartition(w io.Writer) error {
+	res, err := PartitionStudy()
+	if err != nil {
+		return err
+	}
+	for _, tr := range res.Tasks {
+		t := table.New(fmt.Sprintf(
+			"Partition pathfinding — %s: best tCDP (gCO2e·s) per integration style, %s fab, CI_use = %.0f g/kWh",
+			tr.Task, res.Fab, res.CIUse),
+			"inferences", "monolithic", "tCDP", "2.5d chiplets", "tCDP", "3d stack", "tCDP", "winner", "vs mono")
+		for _, r := range tr.Rows {
+			t.AddRow(fmt.Sprintf("%.0e", r.Inferences),
+				r.Monolithic.Label, table.F(r.Monolithic.TCDP),
+				r.Chiplet25D.Label, table.F(r.Chiplet25D.TCDP),
+				r.Stacked3D.Label, table.F(r.Stacked3D.TCDP),
+				r.Winner, table.F(r.Gain)+"×")
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "ever-optimal set (%d of %d designs): %v\n", len(tr.EverOptimal), tr.Points, tr.EverOptimal)
+		fmt.Fprintf(w, "peak partition advantage: %s× monolithic tCDP at N=%.0e inferences\n\n",
+			table.F(tr.BestGain), tr.BestGainAt)
+	}
+	_, err = fmt.Fprintln(w,
+		"vs mono > 1: a partitioned design beats every monolithic one — the die-split yield win outruns the D2D energy tax.")
+	return err
+}

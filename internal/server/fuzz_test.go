@@ -87,6 +87,31 @@ func FuzzSurrogateRequest(f *testing.F) {
 	})
 }
 
+// FuzzPartitionSpec drives the partition knob axes through the full stack.
+// Every malformed spec — duplicate axis values, unknown integration styles,
+// chiplet nodes, or carriers, chiplet counts without an integration axis,
+// negative or overflowing counts — must answer 400 with the uniform envelope
+// and the invalid_knobs code path, never a 500 or a panic; valid specs are
+// bounded by the fuzz server's 64-point grid cap. Seed corpus lives in
+// testdata/fuzz/FuzzPartitionSpec.
+func FuzzPartitionSpec(f *testing.F) {
+	knobs := `"mac_arrays":[1,2],"sram_mb":[1,2]`
+	f.Add([]byte(`{"task":"All kernels","knobs":{` + knobs + `,"partition":{"integrations":["monolithic","2.5d"],"chiplets":[2,4],"chiplet_nodes":["14nm"],"carrier":"rdl-fanout"}}}`))
+	f.Add([]byte(`{"task":"All kernels","knobs":{` + knobs + `,"partition":{"integrations":["3d"],"chiplets":[64],"carrier":"emib"}}}`))
+	f.Add([]byte(`{"task":"All kernels","knobs":{` + knobs + `,"partition":{"integrations":["2.5d","2.5d"]}}}`))
+	f.Add([]byte(`{"task":"All kernels","knobs":{` + knobs + `,"partition":{"integrations":["5d"]}}}`))
+	f.Add([]byte(`{"task":"All kernels","knobs":{` + knobs + `,"partition":{"integrations":["3d"],"chiplet_nodes":["6nm"]}}}`))
+	f.Add([]byte(`{"task":"All kernels","knobs":{` + knobs + `,"partition":{"integrations":["2.5d"],"carrier":"glass"}}}`))
+	f.Add([]byte(`{"task":"All kernels","knobs":{` + knobs + `,"partition":{"chiplets":[4]}}}`))
+	f.Add([]byte(`{"task":"All kernels","knobs":{` + knobs + `,"partition":{"integrations":["3d"],"chiplets":[-1,9223372036854775807]}}}`))
+	f.Add([]byte(`{"task":"All kernels","knobs":{` + knobs + `,"models":["act"],"partition":{"integrations":["2.5d"]}}}`))
+	f.Add([]byte(`{"task":"All kernels","knobs":{` + knobs + `,"partition":{"integrations":[`))
+	f.Add([]byte(`{"task":"All kernels","knobs":{` + knobs + `,"partition":null}}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		fuzzPost(t, "/v1/dse", body)
+	})
+}
+
 func FuzzAccountingRequest(f *testing.F) {
 	f.Add([]byte(`{"process":"7nm","fab":"coal-heavy","area_cm2":1.0,"yield":0.95}`))
 	f.Add([]byte(`{"accelerator":{"id":"a48"}}`))

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"cordoba"
+	"cordoba/api"
 )
 
 // decodeJSON strictly decodes the request body into v, bounding the read at
@@ -509,7 +510,7 @@ func (s *Server) resolveAccounting(req DSERequest) (cordoba.ExploreAccounting, e
 
 // dsePoint renders one evaluated design for the response.
 func dsePoint(p cordoba.DesignPoint) DSEPoint {
-	return DSEPoint{
+	pt := DSEPoint{
 		ID:             p.Config.ID,
 		MACArrays:      p.Config.MACArrays,
 		SRAMMB:         p.Config.SRAM.InMB(),
@@ -522,6 +523,13 @@ func dsePoint(p cordoba.DesignPoint) DSEPoint {
 		EDPJS:          p.EDP(),
 		EmbodiedDelayG: p.EmbodiedDelay(),
 	}
+	if part := p.Config.Partition; part.Active() {
+		pt.Integration = part.Integration
+		pt.Chiplets = part.Chiplets
+		pt.ChipletNode = part.ChipletNode
+		pt.Carrier = part.Carrier
+	}
+	return pt
 }
 
 // buildDSEStream serves the knob-range form of POST /v1/dse through the v2
@@ -538,15 +546,11 @@ func (s *Server) knobGrid(req DSERequest, proc cordoba.Process) (cordoba.KnobGri
 	}
 	k := req.Knobs
 	if len(k.MACArrays) == 0 || len(k.SRAMMB) == 0 {
-		return g, errf(http.StatusBadRequest, "knobs needs non-empty mac_arrays and sram_mb")
+		return g, errc(http.StatusBadRequest, api.CodeInvalidKnobs,
+			"knobs needs non-empty mac_arrays and sram_mb")
 	}
 	if len(k.Models) > 0 && req.Model != "" {
 		return g, errf(http.StatusBadRequest, "give either model or knobs.models, not both")
-	}
-	for _, name := range k.Models {
-		if _, err := cordoba.CarbonModelByName(name); err != nil {
-			return g, errf(http.StatusBadRequest, "%v (see GET /v1/models)", err)
-		}
 	}
 	g = cordoba.KnobGrid{
 		MACArrays: k.MACArrays,
@@ -555,6 +559,12 @@ func (s *Server) knobGrid(req DSERequest, proc cordoba.Process) (cordoba.KnobGri
 		Nodes:     k.Nodes,
 		Models:    k.Models,
 	}
+	if p := k.Partition; p != nil {
+		g.Integrations = p.Integrations
+		g.Chiplets = p.Chiplets
+		g.ChipletNodes = p.ChipletNodes
+		g.Carrier = p.Carrier
+	}
 	if len(g.Nodes) == 0 {
 		// The scalar process field names the single node to explore.
 		g.Nodes = []string{proc.Node}
@@ -562,6 +572,13 @@ func (s *Server) knobGrid(req DSERequest, proc cordoba.Process) (cordoba.KnobGri
 	if len(g.Models) == 0 && req.Model != "" {
 		// The scalar model field names the single backend to price with.
 		g.Models = []string{req.Model}
+	}
+	// Up-front axis validation: empty or duplicate axis values, unknown
+	// node/model/integration/carrier names, and unsupported model-integration
+	// pairings all fail here with the machine-readable invalid_knobs code
+	// instead of surfacing later from inside the engine.
+	if err := g.Validate(); err != nil {
+		return g, errc(http.StatusBadRequest, api.CodeInvalidKnobs, "%v", err)
 	}
 	size := g.Size()
 	if s.dseSearchMode(req, size) == searchSurrogate {
@@ -931,7 +948,11 @@ func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) error {
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) error {
 	resp := modelsResponse{YieldModels: cordoba.YieldModelNames()}
 	for _, mi := range cordoba.CarbonModelInfos() {
-		resp.Models = append(resp.Models, modelInfo{Name: mi.Name, Description: mi.Description})
+		resp.Models = append(resp.Models, modelInfo{
+			Name:         mi.Name,
+			Description:  mi.Description,
+			Integrations: mi.Integrations,
+		})
 	}
 	_, err := writeJSON(w, http.StatusOK, resp)
 	return err
