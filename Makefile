@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt-check race ci bench bench-server bench-check bench-cluster bench-surrogate bench-partition bench-baseline fuzz-smoke run-daemon
+.PHONY: build test vet fmt-check race ci bench bench-server bench-check bench-cluster bench-surrogate bench-partition bench-queue bench-baseline fuzz-smoke run-daemon
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 race:
-	$(GO) test -race -short . ./internal/server/... ./internal/job/... ./internal/cluster/... ./internal/dse/... ./internal/pareto/... ./internal/grid/... ./internal/sched/... ./internal/carbon/... ./internal/accel/... ./client/... ./api/...
+	$(GO) test -race -short . ./internal/server/... ./internal/job/... ./internal/tenant/... ./internal/cluster/... ./internal/dse/... ./internal/pareto/... ./internal/grid/... ./internal/sched/... ./internal/carbon/... ./internal/accel/... ./client/... ./api/...
 
 ci: build vet fmt-check test race
 
@@ -63,6 +63,12 @@ bench-cluster:
 bench-partition:
 	$(GO) test -run '^$$' -bench BenchmarkPartitionDSE -benchtime 1x -benchmem . | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json
 
+# Guard the fair-share scheduler's hot path: one weighted pick + requeue
+# over a populated 32-tenant queue must stay fast and allocation-light —
+# it runs between every job the fleet serves.
+bench-queue:
+	$(GO) test -run '^$$' -bench BenchmarkFairShareDequeue -benchtime 100x -benchmem ./internal/job | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json
+
 bench-baseline:
 	$(GO) test -run '^$$' -bench BenchmarkStreamingDSE -benchtime 1x -benchmem . | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
 	$(GO) test -run '^$$' -bench BenchmarkSurrogateDSE -benchtime 1x -benchmem . | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
@@ -70,6 +76,7 @@ bench-baseline:
 	$(GO) test -run '^$$' -bench BenchmarkScheduleWindow -benchtime 1x -benchmem ./internal/sched | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
 	$(GO) test -run '^$$' -bench BenchmarkClusterDSE -benchtime 1x -benchmem ./internal/cluster | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
 	$(GO) test -run '^$$' -bench BenchmarkClusterMerge -benchtime 100x -benchmem ./internal/cluster | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
+	$(GO) test -run '^$$' -bench BenchmarkFairShareDequeue -benchtime 100x -benchmem ./internal/job | $(GO) run ./cmd/benchcheck -baseline testdata/bench_baseline.json -update
 
 # Ten seconds of coverage-guided fuzzing per target (one -fuzz per
 # invocation is a `go test` restriction). Seed corpora live under each
@@ -80,6 +87,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzSurrogateRequest -fuzztime 10s ./internal/server
 	$(GO) test -run '^$$' -fuzz FuzzAccountingRequest -fuzztime 10s ./internal/server
 	$(GO) test -run '^$$' -fuzz FuzzPartitionSpec -fuzztime 10s ./internal/server
+	$(GO) test -run '^$$' -fuzz FuzzJobListQuery -fuzztime 10s ./internal/server
 	$(GO) test -run '^$$' -fuzz FuzzTraceIntegrate -fuzztime 10s ./internal/grid
 	$(GO) test -run '^$$' -fuzz FuzzAccountingModel -fuzztime 10s ./internal/carbon
 

@@ -24,6 +24,16 @@ const (
 	// CodeQueueFull marks job submissions rejected by admission control
 	// (429); the response carries a Retry-After header.
 	CodeQueueFull = "queue_full"
+	// CodeUnauthorized marks requests with a missing or unknown API key when
+	// the daemon runs with a tenant registry (401).
+	CodeUnauthorized = "unauthorized"
+	// CodeQuotaExceeded marks requests rejected by a per-tenant quota — the
+	// request token bucket, the queued-jobs cap, or the grid-points-in-flight
+	// cap (429); the response carries a Retry-After header.
+	CodeQuotaExceeded = "quota_exceeded"
+	// CodePriorityInvalid marks job submissions naming an unknown priority
+	// class (400); valid classes are interactive, batch, and deferrable.
+	CodePriorityInvalid = "priority_invalid"
 	// CodeNotReady marks result fetches for jobs that have not finished
 	// (409).
 	CodeNotReady = "not_ready"

@@ -141,6 +141,51 @@ func goldenCases() map[string]any {
 			},
 			ShardsDispatched: 11, ShardsRetried: 1, ShardsMerged: 10,
 		},
+		"tenant_status": TenantStatus{
+			Tenant: TenantInfo{
+				Name: "acme", Weight: 4,
+				MaxQueuedJobs: 8, MaxGridPoints: 1 << 20,
+				RatePerSec: 50, Burst: 100,
+			},
+			Quota: QuotaStatus{
+				QueuedJobs: 3, MaxQueuedJobs: 8,
+				GridPointsInFlight: 262144, MaxGridPoints: 1 << 20,
+				RateRemaining: 87.5,
+			},
+		},
+		"job_event": JobEvent{
+			Seq: 7, Type: EventProgress,
+			Job: JobStatus{
+				ID: "j0123456789ab", Kind: "dse", State: JobRunning,
+				Tenant: "acme", Priority: PriorityBatch,
+				Progress: JobProgress{
+					GridPoints: 480, Streamed: 240, Pruned: 236, Kept: 4,
+					ShapesDone: 60, ShapesTotal: 120, ElapsedS: 3.5, ETAS: 3.5,
+				},
+				CreatedAt: t0, StartedAt: &t1,
+			},
+		},
+		"job_status_deferred": JobStatus{
+			ID: "jdef012345678", Kind: "dse", State: JobQueued,
+			Tenant: "acme", Priority: PriorityDeferrable,
+			CreatedAt: t0, NotBefore: &t2, CO2AvoidedG: 12.75,
+		},
+		"job_list_page": JobList{
+			Jobs: []JobStatus{{
+				ID: "j0123456789ab", Kind: "dse", State: JobQueued,
+				Tenant: "acme", Priority: PriorityInteractive, CreatedAt: t0,
+			}},
+			NextCursor: "MTc3MDI5MjgwMDAwMDAwMDAwMHxqMDEyMzQ1Njc4OWFi",
+		},
+		"dse_request_deferrable": DSERequest{
+			Task: "All kernels", CIUse: 380,
+			Knobs:    &KnobRangeSpec{MACArrays: []int{16, 32}, SRAMMB: []float64{4, 8}},
+			Priority: PriorityDeferrable, DeferDeadlineS: 86400,
+		},
+		"error_envelope_quota": ErrorEnvelope{Error: ErrorBody{
+			Status: 429, Code: CodeQuotaExceeded,
+			Message: `tenant "acme" has 8 queued jobs (max 8); retry after the queue drains`,
+		}},
 		"job_status_cluster": JobStatus{
 			ID: "jc0ffee123456", Kind: "dse-cluster", State: JobRunning,
 			Progress: JobProgress{
@@ -241,6 +286,10 @@ func newSameType(v any) any {
 		return new(ShardEnvelope)
 	case ClusterStatus:
 		return new(ClusterStatus)
+	case TenantStatus:
+		return new(TenantStatus)
+	case JobEvent:
+		return new(JobEvent)
 	default:
 		panic("add the type to newSameType")
 	}

@@ -55,6 +55,11 @@ type JobStatus struct {
 	ID    string   `json:"id"`
 	Kind  string   `json:"kind"`
 	State JobState `json:"state"`
+	// Tenant names the owning tenant; empty for the anonymous tenant, so a
+	// daemon without a tenant registry renders exactly the historical form.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority is the job's scheduling class; empty means batch.
+	Priority Priority `json:"priority,omitempty"`
 	// Error carries the failure message for failed jobs.
 	Error    string      `json:"error,omitempty"`
 	Progress JobProgress `json:"progress"`
@@ -62,6 +67,13 @@ type JobStatus struct {
 	CreatedAt  time.Time  `json:"created_at"`
 	StartedAt  *time.Time `json:"started_at,omitempty"`
 	FinishedAt *time.Time `json:"finished_at,omitempty"`
+
+	// NotBefore, on deferrable jobs, is the launch-window start the
+	// scheduler holds the job for; CO2AvoidedG is the operational carbon the
+	// deferral avoids versus running immediately (grams, from the region CI
+	// trace).
+	NotBefore   *time.Time `json:"not_before,omitempty"`
+	CO2AvoidedG float64    `json:"co2_avoided_g,omitempty"`
 
 	// Resumes counts checkpoint restarts (crash recovery / redeploys).
 	Resumes int `json:"resumes"`
@@ -71,7 +83,12 @@ type JobStatus struct {
 	HasResult bool `json:"has_result"`
 }
 
-// JobList is the GET /v1/jobs response, newest first.
+// JobList is the GET /v1/jobs response, newest first. The listing is
+// paginated: when a page fills, NextCursor carries an opaque token the
+// client passes back as ?cursor= to continue exactly where the page ended,
+// stable under concurrent submissions.
 type JobList struct {
 	Jobs []JobStatus `json:"jobs"`
+	// NextCursor is empty on the final page.
+	NextCursor string `json:"next_cursor,omitempty"`
 }

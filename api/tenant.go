@@ -1,0 +1,94 @@
+package api
+
+// ---- multi-tenant serving (PR 11) ----
+
+// Priority is a job's scheduling class. Interactive jobs dequeue before
+// batch ones within a tenant; deferrable jobs are additionally routed
+// through the launch-window search over the server's region CI trace and
+// held until their lowest-carbon start. An empty priority means batch.
+type Priority string
+
+const (
+	PriorityInteractive Priority = "interactive"
+	PriorityBatch       Priority = "batch"
+	PriorityDeferrable  Priority = "deferrable"
+)
+
+// Priorities lists the valid classes in dequeue order.
+func Priorities() []Priority {
+	return []Priority{PriorityInteractive, PriorityBatch, PriorityDeferrable}
+}
+
+// Valid reports whether p names a known class; the empty string is valid
+// and means PriorityBatch.
+func (p Priority) Valid() bool {
+	switch p {
+	case "", PriorityInteractive, PriorityBatch, PriorityDeferrable:
+		return true
+	}
+	return false
+}
+
+// OrDefault resolves the empty priority to the batch default.
+func (p Priority) OrDefault() Priority {
+	if p == "" {
+		return PriorityBatch
+	}
+	return p
+}
+
+// TenantInfo describes one tenant's identity and configured limits
+// (GET /v1/tenant). Zero limits mean unlimited.
+type TenantInfo struct {
+	Name string `json:"name"`
+	// Weight is the tenant's fair-share weight: a weight-2 tenant dequeues
+	// twice as often as a weight-1 tenant under contention.
+	Weight float64 `json:"weight"`
+	// MaxQueuedJobs caps the tenant's jobs waiting in the queue.
+	MaxQueuedJobs int `json:"max_queued_jobs,omitempty"`
+	// MaxGridPoints caps the sum of grid points across the tenant's queued
+	// and running jobs.
+	MaxGridPoints int64 `json:"max_grid_points,omitempty"`
+	// RatePerSec and Burst shape the tenant's request token bucket.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	Burst      int     `json:"burst,omitempty"`
+}
+
+// QuotaStatus is the tenant's live usage against its limits.
+type QuotaStatus struct {
+	QueuedJobs    int `json:"queued_jobs"`
+	MaxQueuedJobs int `json:"max_queued_jobs,omitempty"`
+	// GridPointsInFlight sums grid points over queued + running jobs.
+	GridPointsInFlight int64 `json:"grid_points_in_flight"`
+	MaxGridPoints      int64 `json:"max_grid_points,omitempty"`
+	// RateRemaining is the token-bucket balance at sampling time.
+	RateRemaining float64 `json:"rate_remaining,omitempty"`
+}
+
+// TenantStatus is the GET /v1/tenant response: who the key authenticated
+// as, and where that tenant stands against its quotas.
+type TenantStatus struct {
+	Tenant TenantInfo  `json:"tenant"`
+	Quota  QuotaStatus `json:"quota"`
+}
+
+// Job event types carried by GET /v1/jobs/{id}/events (SSE).
+const (
+	// EventState announces a lifecycle transition (and the initial snapshot).
+	EventState = "state"
+	// EventProgress carries a live progress update from the runner.
+	EventProgress = "progress"
+	// EventCheckpoint announces a durably saved checkpoint.
+	EventCheckpoint = "checkpoint"
+	// EventDone is the terminal event; the stream ends after it.
+	EventDone = "done"
+)
+
+// JobEvent is one server-sent event on a job's event stream. Seq increases
+// monotonically per job; clients reconnecting after a drop can discard
+// events at or below the last seq they processed.
+type JobEvent struct {
+	Seq  int64     `json:"seq"`
+	Type string    `json:"type"`
+	Job  JobStatus `json:"job"`
+}

@@ -247,6 +247,17 @@ type DSERequest struct {
 	// search and implies search: "surrogate".
 	Search    string         `json:"search,omitempty"`
 	Surrogate *SurrogateSpec `json:"surrogate,omitempty"`
+
+	// Priority, on async submissions (POST /v1/jobs), selects the job's
+	// scheduling class: "interactive" dequeues before "batch" (the default),
+	// and "deferrable" is additionally routed through the launch-window
+	// search over the server's region CI trace and held until its
+	// lowest-carbon start. Ignored by the synchronous endpoint.
+	Priority Priority `json:"priority,omitempty"`
+	// DeferDeadlineS bounds a deferrable job's delay: the job finishes no
+	// later than this many seconds from submission (0 selects the server's
+	// default horizon). Ignored unless priority is "deferrable".
+	DeferDeadlineS float64 `json:"defer_deadline_s,omitempty"`
 }
 
 // DSEPoint is one evaluated design in the response.

@@ -9,9 +9,11 @@
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -26,6 +28,7 @@ import (
 type Client struct {
 	baseURL string
 	hc      *http.Client
+	apiKey  string
 
 	maxRetries int
 	retryBase  time.Duration
@@ -48,6 +51,10 @@ func WithRetry(max int, base, cap time.Duration) Option {
 
 // WithPollInterval sets how often WaitJob samples job status.
 func WithPollInterval(d time.Duration) Option { return func(c *Client) { c.poll = d } }
+
+// WithAPIKey attaches a tenant API key to every request as a bearer token.
+// Daemons running without a key file ignore it.
+func WithAPIKey(key string) Option { return func(c *Client) { c.apiKey = key } }
 
 // New returns a client for the daemon at baseURL (e.g. "http://localhost:8080").
 func New(baseURL string, opts ...Option) *Client {
@@ -130,6 +137,16 @@ func (c *Client) Healthz(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
 }
 
+// Tenant reports who this client's API key authenticates as, and where that
+// tenant stands against its quotas right now (GET /v1/tenant).
+func (c *Client) Tenant(ctx context.Context) (*api.TenantStatus, error) {
+	var out api.TenantStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/tenant", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // ---- async jobs ----
 
 // SubmitJob queues a DSE request for asynchronous execution (POST /v1/jobs).
@@ -208,7 +225,61 @@ func (c *Client) ClusterStatus(ctx context.Context) (*api.ClusterStatus, error) 
 	return &out, nil
 }
 
-// WaitJob polls until the job reaches a terminal state or ctx expires. The
+// StreamJobEvents consumes a job's live event stream
+// (GET /v1/jobs/{id}/events, Server-Sent Events), invoking onEvent for every
+// frame: the initial status snapshot, then state transitions, progress
+// reports, and checkpoint saves, ending with the terminal done event. A
+// positive after suppresses server-side frames at or below that sequence
+// number (resume after a drop). The call blocks until the stream closes —
+// clean close returns nil; a non-200 response returns the decoded *api.Error.
+func (c *Client) StreamJobEvents(ctx context.Context, id string, after int64, onEvent func(api.JobEvent)) error {
+	path := "/v1/jobs/" + id + "/events"
+	if after > 0 {
+		path += "?after=" + strconv.FormatInt(after, 10)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	c.setAuth(req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return decodeError(resp, b)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		return fmt.Errorf("job events: unexpected content type %q", ct)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if len(data) == 0 {
+				continue
+			}
+			var ev api.JobEvent
+			if err := json.Unmarshal(data, &ev); err != nil {
+				return fmt.Errorf("job events: malformed frame %q: %w", data, err)
+			}
+			data = data[:0]
+			onEvent(ev)
+		case strings.HasPrefix(line, "data: "):
+			data = append(data, line[len("data: "):]...)
+		}
+	}
+	return sc.Err()
+}
+
+// WaitJob waits until the job reaches a terminal state or ctx expires. The
 // returned status may be failed or canceled — inspect State; transport and
 // context errors are the only non-nil error cases.
 func (c *Client) WaitJob(ctx context.Context, id string) (api.JobStatus, error) {
@@ -216,26 +287,57 @@ func (c *Client) WaitJob(ctx context.Context, id string) (api.JobStatus, error) 
 }
 
 // WaitJobProgress is WaitJob with a live status feed: onUpdate (when
-// non-nil) observes every polled status before the terminal one is returned,
+// non-nil) observes every status update before the terminal one is returned,
 // including cluster jobs' shards_done / shards_total fan-out progress.
+//
+// The wait prefers the SSE event stream — updates arrive as they happen
+// instead of at a poll cadence. When the stream is unavailable or drops
+// (a proxy without SSE, a daemon restart mid-job), it falls back to status
+// polls under capped exponential backoff and keeps re-trying the stream, so
+// a job that survives a restart via its checkpoint store is picked back up
+// live. Every frame carries the job's full status, so each reconnect takes
+// the fresh snapshot rather than trusting sequence numbers across restarts.
 func (c *Client) WaitJobProgress(ctx context.Context, id string, onUpdate func(api.JobStatus)) (api.JobStatus, error) {
-	t := time.NewTicker(c.poll)
-	defer t.Stop()
-	for {
-		st, err := c.JobStatus(ctx, id)
-		if err != nil {
-			return st, err
+	var last api.JobStatus
+	for drops := 0; ; drops++ {
+		var done bool
+		err := c.StreamJobEvents(ctx, id, 0, func(ev api.JobEvent) {
+			last = ev.Job
+			if onUpdate != nil {
+				onUpdate(ev.Job)
+			}
+			if ev.Type == api.EventDone {
+				done = true
+			}
+		})
+		if done {
+			return last, nil
 		}
-		if onUpdate != nil {
-			onUpdate(st)
+		if ctx.Err() != nil {
+			return last, ctx.Err()
 		}
-		if st.State.Terminal() {
-			return st, nil
+		var apiErr *api.Error
+		if errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound {
+			return last, err // the job is unknown; polling would 404 the same way
 		}
-		select {
-		case <-t.C:
-		case <-ctx.Done():
-			return st, ctx.Err()
+
+		// The stream is down. Poll once — the job may have finished while we
+		// were disconnected, or the daemon may not serve SSE at all — then
+		// back off before re-attempting the stream.
+		st, perr := c.JobStatus(ctx, id)
+		if perr == nil {
+			last = st
+			if onUpdate != nil {
+				onUpdate(st)
+			}
+			if st.State.Terminal() {
+				return st, nil
+			}
+		} else if errors.As(perr, &apiErr) && apiErr.Status == http.StatusNotFound {
+			return st, perr
+		}
+		if serr := sleepContext(ctx, expBackoff(c.poll, c.retryCap, drops)); serr != nil {
+			return last, serr
 		}
 	}
 }
@@ -279,6 +381,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if in != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		c.setAuth(req)
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			return err
@@ -302,6 +405,13 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if err := sleepContext(ctx, c.backoff(attempt, apiErr.RetryAfterS)); err != nil {
 			return err
 		}
+	}
+}
+
+// setAuth attaches the configured API key as a bearer token.
+func (c *Client) setAuth(req *http.Request) {
+	if c.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.apiKey)
 	}
 }
 

@@ -10,8 +10,8 @@
 // Endpoints (see internal/server and the README's "Running as a service"):
 //
 //	POST /v1/accounting   POST /v1/dse   GET /v1/experiments[/{key}]
-//	POST /v1/jobs         GET  /v1/jobs[/{id}[/result|/checkpoint]]   DELETE /v1/jobs/{id}
-//	GET  /v1/cluster
+//	POST /v1/jobs         GET  /v1/jobs[/{id}[/result|/checkpoint|/events]]   DELETE /v1/jobs/{id}
+//	GET  /v1/tenant       GET  /v1/cluster
 //	GET  /v1/traces       POST /v1/schedule
 //	GET  /v1/tasks        GET /v1/configs
 //	GET  /healthz         GET /metrics
@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"cordoba/internal/server"
+	"cordoba/internal/tenant"
 )
 
 func main() {
@@ -61,13 +62,18 @@ func run(ctx context.Context, logw io.Writer, args []string) error {
 		jobWorkers = fs.Int("job-workers", 0, "concurrent async jobs (0 = default)")
 		jobQueue   = fs.Int("job-queue", 0, "async job queue depth before 429s (0 = default)")
 		jobDir     = fs.String("job-dir", "", "job state/checkpoint directory; empty keeps jobs in memory only")
+		jobStore   = fs.String("checkpoint-store", "dir", "checkpoint store layout under -job-dir: dir (one file per job) or cas (content-addressed; any daemon sharing the directory adopts orphaned checkpoints)")
 		ckptEvery  = fs.Int("checkpoint-every", 0, "shapes between job checkpoints (0 = default 8, negative disables)")
+
+		tenants     = fs.String("tenants", "", "tenant API-key file (JSON; see internal/tenant); empty serves a single open tenant")
+		regionTrace = fs.String("region-trace", "", "CI trace deferrable jobs schedule against (empty = decarb-ramp)")
 
 		role          = fs.String("role", "standalone", "cluster role: standalone, worker, or coordinator")
 		workers       = fs.String("workers", "", "comma-separated worker base URLs (coordinator only)")
 		heartbeat     = fs.Duration("heartbeat-every", 0, "worker liveness probe cadence (coordinator only, 0 = default)")
 		shardTimeout  = fs.Duration("shard-timeout", 0, "no-progress bound before a shard is requeued (0 = default)")
 		shardAttempts = fs.Int("shard-attempts", 0, "attempts per shard before a cluster run fails (0 = default)")
+		workerKey     = fs.String("worker-api-key", "", "API key presented to workers running with -tenants (coordinator only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,6 +94,20 @@ func run(ctx context.Context, logw io.Writer, args []string) error {
 	}
 	if *role != "coordinator" && len(workerURLs) > 0 {
 		return fmt.Errorf("-workers only applies to -role coordinator (got role %q)", *role)
+	}
+	if *role != "coordinator" && *workerKey != "" {
+		return fmt.Errorf("-worker-api-key only applies to -role coordinator (got role %q)", *role)
+	}
+	switch *jobStore {
+	case "dir", "cas":
+	default:
+		return fmt.Errorf("unknown -checkpoint-store %q (want dir or cas)", *jobStore)
+	}
+	if *tenants != "" {
+		// Surface a malformed key file as a flag error, not a startup panic.
+		if _, err := tenant.Load(*tenants); err != nil {
+			return err
+		}
 	}
 
 	var handler slog.Handler
@@ -115,10 +135,15 @@ func run(ctx context.Context, logw io.Writer, args []string) error {
 		JobWorkers:      *jobWorkers,
 		JobQueue:        *jobQueue,
 		JobDir:          *jobDir,
+		JobStore:        *jobStore,
 		CheckpointEvery: *ckptEvery,
+
+		TenantFile:  *tenants,
+		RegionTrace: *regionTrace,
 
 		Role:           *role,
 		ClusterWorkers: workerURLs,
+		WorkerAPIKey:   *workerKey,
 		HeartbeatEvery: *heartbeat,
 		ShardTimeout:   *shardTimeout,
 		ShardAttempts:  *shardAttempts,
@@ -130,6 +155,8 @@ func run(ctx context.Context, logw io.Writer, args []string) error {
 	log.Info("cordobad listening",
 		"addr", *addr,
 		"role", *role,
+		"tenants", len(srv.Tenants().Tenants()),
+		"enforced_auth", srv.Tenants().Enforced(),
 		"cluster_workers", len(workerURLs),
 		"pool_size", srv.Pool().Size(),
 		"eval_workers", srv.Pool().Workers(),

@@ -3,6 +3,8 @@ package main
 import (
 	"context"
 	"io"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 )
@@ -55,6 +57,59 @@ func TestRunValidatesClusterFlags(t *testing.T) {
 		if err := run(context.Background(), io.Discard, args); err == nil {
 			t.Errorf("%s: run accepted %v", name, args)
 		}
+	}
+}
+
+// TestRunValidatesTenancyFlags pins the new serving-surface flags: bad
+// checkpoint-store layouts, malformed tenant key files, and a worker API key
+// on a non-coordinator all fail before the daemon binds a port.
+func TestRunValidatesTenancyFlags(t *testing.T) {
+	badTenants := filepath.Join(t.TempDir(), "tenants.json")
+	if err := os.WriteFile(badTenants, []byte(`{"tenants":[{"name":"a"}]}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	for name, args := range map[string][]string{
+		"unknown checkpoint store":  {"-checkpoint-store", "s3"},
+		"missing tenants file":      {"-tenants", filepath.Join(t.TempDir(), "nope.json")},
+		"tenant without key":        {"-tenants", badTenants},
+		"worker key on standalone":  {"-worker-api-key", "k"},
+		"worker key on worker role": {"-role", "worker", "-worker-api-key", "k"},
+	} {
+		if err := run(context.Background(), io.Discard, args); err == nil {
+			t.Errorf("%s: run accepted %v", name, args)
+		}
+	}
+}
+
+// TestRunStartsWithTenants boots a daemon with a valid tenant key file and a
+// CAS checkpoint store, then drains it.
+func TestRunStartsWithTenants(t *testing.T) {
+	dir := t.TempDir()
+	keys := filepath.Join(dir, "tenants.json")
+	if err := os.WriteFile(keys, []byte(`{"tenants":[{"name":"acme","key":"k-acme","weight":4}]}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, io.Discard, []string{
+			"-addr", "127.0.0.1:0",
+			"-tenants", keys,
+			"-job-dir", filepath.Join(dir, "jobs"),
+			"-checkpoint-store", "cas",
+			"-region-trace", "decarb-ramp",
+			"-shutdown-grace", "2s",
+		})
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not return after context cancellation")
 	}
 }
 

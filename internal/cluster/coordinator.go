@@ -35,6 +35,10 @@ type Config struct {
 	// NewClient builds the typed client for one worker; nil selects
 	// client.New with defaults. Tests substitute tuned retry/poll settings.
 	NewClient func(url string) *client.Client
+	// APIKey, when set, authenticates the coordinator to its workers as a
+	// bearer token — required when workers run with a tenant key file that
+	// doesn't admit anonymous callers. Ignored when NewClient is supplied.
+	APIKey string
 	// HeartbeatEvery is the membership probe cadence; <= 0 selects the
 	// default. Heartbeats only feed the GET /v1/cluster listing — dispatch
 	// discovers dead workers directly through transport errors.
@@ -112,7 +116,11 @@ func New(cfg Config) (*Coordinator, error) {
 		return nil, fmt.Errorf("cluster: coordinator needs at least one worker URL")
 	}
 	if cfg.NewClient == nil {
-		cfg.NewClient = func(url string) *client.Client { return client.New(url) }
+		var opts []client.Option
+		if cfg.APIKey != "" {
+			opts = append(opts, client.WithAPIKey(cfg.APIKey))
+		}
+		cfg.NewClient = func(url string) *client.Client { return client.New(url, opts...) }
 	}
 	if cfg.HeartbeatEvery <= 0 {
 		cfg.HeartbeatEvery = DefaultHeartbeatEvery

@@ -1,0 +1,148 @@
+package job
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// CASStore is a content-addressed job store: records are filed under
+// sha256(kind ‖ request), so the same work submitted under any job ID lands
+// in the same slot. That makes orphaned progress discoverable — a manager
+// submitting a request the store already holds a checkpoint for adopts it
+// (CheckpointAdopter) and resumes instead of recomputing, even if the
+// checkpoint was written by another daemon sharing the directory.
+//
+// One slot holds one record: re-submitting identical work while an earlier
+// record exists overwrites it (last writer wins), which is the intended
+// dedup semantics of content addressing.
+type CASStore struct {
+	dir string
+
+	mu   sync.Mutex
+	byID map[string]string // job ID -> content hash, for Delete
+}
+
+// NewCASStore creates the directory if needed and indexes existing records.
+func NewCASStore(dir string) (*CASStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("job: create cas dir: %w", err)
+	}
+	s := &CASStore{dir: dir, byID: make(map[string]string)}
+	if _, err := s.Load(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// contentHash addresses a record by its work, not its identity.
+func contentHash(kind string, request json.RawMessage) string {
+	h := sha256.New()
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write(request)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (s *CASStore) path(hash string) string {
+	return filepath.Join(s.dir, "cas-"+hash+".json")
+}
+
+// Put writes the record into its content slot atomically.
+func (s *CASStore) Put(rec Record) error {
+	hash := contentHash(rec.Kind, rec.Request)
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("job: persist %s: %w", rec.ID, err)
+	}
+	path := s.path(hash)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("job: persist %s: %w", rec.ID, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("job: persist %s: %w", rec.ID, err)
+	}
+	s.mu.Lock()
+	s.byID[rec.ID] = hash
+	s.mu.Unlock()
+	return nil
+}
+
+// Load reads every record, rebuilding the ID index. Corrupt files are
+// skipped.
+func (s *CASStore) Load() ([]Record, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("job: read cas dir: %w", err)
+	}
+	var out []Record
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "cas-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(s.dir, name))
+		if err != nil {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(b, &rec); err != nil || rec.ID == "" {
+			continue
+		}
+		s.byID[rec.ID] = strings.TrimSuffix(strings.TrimPrefix(name, "cas-"), ".json")
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Delete removes the record filed under the ID's content slot — unless a
+// later record (different ID, same content) has taken the slot over, in
+// which case only the index entry is dropped.
+func (s *CASStore) Delete(id string) error {
+	s.mu.Lock()
+	hash, ok := s.byID[id]
+	delete(s.byID, id)
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	path := s.path(hash)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var rec Record
+	if err := json.Unmarshal(b, &rec); err == nil && rec.ID != id {
+		return nil // slot adopted by another job; leave it
+	}
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// AdoptCheckpoint returns the stored job ID and checkpoint for a record with
+// exactly this work, when one exists. The manager decides whether adoption
+// is safe (it skips records belonging to its own live jobs).
+func (s *CASStore) AdoptCheckpoint(kind string, request json.RawMessage) (string, json.RawMessage, bool) {
+	b, err := os.ReadFile(s.path(contentHash(kind, request)))
+	if err != nil {
+		return "", nil, false
+	}
+	var rec Record
+	if err := json.Unmarshal(b, &rec); err != nil || rec.ID == "" || len(rec.Checkpoint) == 0 {
+		return "", nil, false
+	}
+	return rec.ID, rec.Checkpoint, true
+}

@@ -1,19 +1,25 @@
 // Package job runs asynchronous explorations: a bounded queue with admission
-// control, a worker pool executing registered runners under per-job contexts,
-// live progress, and crash-safe persistence — each job is one JSON file
-// written atomically, so a restarted manager re-enqueues interrupted work and
-// runners resume from their last checkpoint.
+// control, a weighted fair-share scheduler dequeuing tenants in proportion to
+// their weights, a worker pool executing registered runners under per-job
+// contexts, live progress and event streaming, and crash-safe persistence
+// behind a pluggable checkpoint store — so a restarted manager (or, with the
+// content-addressed store, any worker sharing the store) re-enqueues
+// interrupted work and runners resume from their last checkpoint.
 //
 // The package is deliberately generic: it never imports the DSE engine.
 // Runners are registered per job kind and receive a RunContext carrying the
 // request payload, the last checkpoint, and the checkpoint/progress sinks;
-// what those bytes mean is the caller's business.
+// what those bytes mean is the caller's business. Tenancy is likewise
+// declarative: submissions carry the tenant's name, weight, and quota limits,
+// and the manager enforces them without knowing where they came from.
 package job
 
 import (
 	"context"
 	"encoding/json"
 	"time"
+
+	"cordoba/api"
 )
 
 // State is a job's lifecycle state.
@@ -30,6 +36,23 @@ const (
 // Terminal reports whether the state is final.
 func (s State) Terminal() bool {
 	return s == StateSucceeded || s == StateFailed || s == StateCanceled
+}
+
+// numPriorities is the number of scheduling classes; the index doubles as
+// the dequeue order within a tenant.
+const numPriorities = 3
+
+// priorityIndex maps a class to its queue index: interactive before batch
+// before deferrable. The empty priority is batch.
+func priorityIndex(p api.Priority) int {
+	switch p {
+	case api.PriorityInteractive:
+		return 0
+	case api.PriorityDeferrable:
+		return 2
+	default:
+		return 1
+	}
 }
 
 // Progress is a live snapshot of a running job, written by its runner.
@@ -56,14 +79,24 @@ type Progress struct {
 
 // Status is a point-in-time copy of a job's public state.
 type Status struct {
-	ID       string    `json:"id"`
-	Kind     string    `json:"kind"`
-	State    State     `json:"state"`
-	Error    string    `json:"error,omitempty"`
-	Progress Progress  `json:"progress"`
-	Created  time.Time `json:"created"`
-	Started  time.Time `json:"started"`
-	Finished time.Time `json:"finished"`
+	ID       string       `json:"id"`
+	Kind     string       `json:"kind"`
+	State    State        `json:"state"`
+	Tenant   string       `json:"tenant,omitempty"`
+	Priority api.Priority `json:"priority,omitempty"`
+	Error    string       `json:"error,omitempty"`
+	Progress Progress     `json:"progress"`
+	Created  time.Time    `json:"created"`
+	Started  time.Time    `json:"started"`
+	Finished time.Time    `json:"finished"`
+	// NotBefore, on deferrable jobs, is the scheduler's hold-until time
+	// (a pointer so non-deferred jobs omit it entirely); CO2AvoidedG is the
+	// operational carbon the deferral avoids (grams).
+	NotBefore   *time.Time `json:"not_before,omitempty"`
+	CO2AvoidedG float64    `json:"co2_avoided_g,omitempty"`
+	// Points is the job's grid-point weight against the tenant's
+	// grid-points-in-flight quota.
+	Points int64 `json:"points,omitempty"`
 	// Resumes counts how many times the job restarted from a checkpoint.
 	Resumes       int  `json:"resumes"`
 	HasResult     bool `json:"has_result"`
@@ -99,6 +132,12 @@ type job struct {
 	id   string
 	kind string
 
+	tenant      string // "" = anonymous
+	priority    api.Priority
+	notBefore   time.Time // deferrable hold-until; zero = eligible now
+	co2AvoidedG float64
+	points      int64
+
 	state      State
 	request    json.RawMessage
 	result     json.RawMessage
@@ -114,18 +153,33 @@ type job struct {
 
 	cancel          context.CancelFunc // non-nil while running
 	cancelRequested bool
+
+	// Event-stream state: a per-job monotonic sequence number and the live
+	// subscribers (see events.go).
+	seq      int64
+	watchers []*watcher
 }
 
 func (j *job) status() Status {
+	var notBefore *time.Time
+	if !j.notBefore.IsZero() {
+		nb := j.notBefore
+		notBefore = &nb
+	}
 	return Status{
 		ID:            j.id,
 		Kind:          j.kind,
 		State:         j.state,
+		Tenant:        j.tenant,
+		Priority:      j.priority,
 		Error:         j.errMsg,
 		Progress:      j.progress,
 		Created:       j.created,
 		Started:       j.started,
 		Finished:      j.finished,
+		NotBefore:     notBefore,
+		CO2AvoidedG:   j.co2AvoidedG,
+		Points:        j.points,
 		Resumes:       j.resumes,
 		HasResult:     len(j.result) > 0,
 		HasCheckpoint: len(j.checkpoint) > 0,

@@ -11,6 +11,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"cordoba/api"
 )
 
 // ErrQueueFull is returned by Submit when the queue is at capacity; callers
@@ -22,6 +24,26 @@ var ErrNotFound = errors.New("job: not found")
 
 // ErrUnknownKind is returned by Submit for kinds without a registered runner.
 var ErrUnknownKind = errors.New("job: no runner registered for kind")
+
+// QuotaError is returned by SubmitJob when a per-tenant limit would be
+// exceeded; callers translate it to 429 quota_exceeded with a Retry-After
+// hint.
+type QuotaError struct {
+	Tenant   string // display name ("anonymous" for the anonymous tenant)
+	Resource string // "queued_jobs" or "grid_points"
+	Used     int64  // current usage
+	Want     int64  // usage the submission would reach
+	Max      int64  // the configured cap
+}
+
+func (e *QuotaError) Error() string {
+	if e.Resource == "grid_points" {
+		return fmt.Sprintf("tenant %q would have %d grid points in flight (max %d); retry after jobs finish",
+			e.Tenant, e.Want, e.Max)
+	}
+	return fmt.Sprintf("tenant %q has %d queued jobs (max %d); retry after the queue drains",
+		e.Tenant, e.Used, e.Max)
+}
 
 // Defaults applied by NewManager.
 const (
@@ -36,15 +58,19 @@ type Config struct {
 	// Workers is the number of concurrent job executors; < 1 selects
 	// DefaultWorkers.
 	Workers int
-	// QueueDepth bounds the number of queued (not yet running) jobs; < 1
-	// selects DefaultQueueDepth. Jobs recovered from Dir are admitted past
-	// the bound — dropping persisted work would be worse than a long queue.
+	// QueueDepth bounds the number of queued (not yet running) jobs across
+	// all tenants; < 1 selects DefaultQueueDepth. Jobs recovered from the
+	// store are admitted past the bound — dropping persisted work would be
+	// worse than a long queue.
 	QueueDepth int
-	// Dir persists one JSON file per job for crash recovery; empty keeps
-	// jobs in memory only.
+	// Store persists one record per job for crash recovery; nil with Dir
+	// set selects a DirStore there, nil with Dir empty keeps jobs in memory
+	// only.
+	Store Store
+	// Dir is the DirStore shorthand used when Store is nil.
 	Dir string
-	// RetryAfter is the hint returned alongside ErrQueueFull; <= 0 selects
-	// DefaultRetryAfter.
+	// RetryAfter is the hint returned alongside ErrQueueFull and
+	// QuotaError; <= 0 selects DefaultRetryAfter.
 	RetryAfter time.Duration
 	// History bounds the number of terminal jobs retained (memory and disk);
 	// < 1 selects DefaultHistory. Oldest-finished are pruned first.
@@ -53,28 +79,99 @@ type Config struct {
 	Logger *slog.Logger
 }
 
+// Limits carries one tenant's scheduling weight and quota caps into a
+// submission; the manager enforces them without owning tenant config.
+type Limits struct {
+	// Weight is the fair-share weight; <= 0 selects 1.
+	Weight float64
+	// MaxQueued caps the tenant's queued jobs; 0 is unlimited.
+	MaxQueued int
+	// MaxPoints caps the tenant's grid points across queued + running jobs;
+	// 0 is unlimited.
+	MaxPoints int64
+}
+
+// Submission is a fully-specified job submission.
+type Submission struct {
+	Kind    string
+	Request json.RawMessage
+	// Tenant is the owning tenant's name; empty is the anonymous tenant.
+	Tenant string
+	Limits Limits
+	// Priority is the scheduling class; empty is batch.
+	Priority api.Priority
+	// NotBefore holds a deferrable job until the given time (the
+	// launch-window start); zero runs as soon as a worker frees up.
+	NotBefore time.Time
+	// CO2AvoidedG is the operational carbon the deferral avoids versus an
+	// immediate start, accounted in Counts.
+	CO2AvoidedG float64
+	// Points is the job's grid-point weight against MaxPoints.
+	Points int64
+}
+
 // Counts is an atomic snapshot of the manager's population and counters,
 // exported to Prometheus by the server.
 type Counts struct {
 	Queued, Running                           int
 	Succeeded, Failed, Canceled               int64
 	Submitted, Resumed, Checkpoints, Rejected int64
+	// QuotaRejected counts submissions rejected by a per-tenant quota
+	// (Rejected counts only global queue-full rejections).
+	QuotaRejected int64
+	// Deferred counts deferrable jobs held for a launch window; CO2AvoidedG
+	// sums the grams of operational carbon those deferrals avoid.
+	Deferred    int64
+	CO2AvoidedG float64
+	// Adopted counts fresh submissions that resumed from another job's
+	// content-addressed checkpoint.
+	Adopted int64
+}
+
+// TenantCount is one tenant's live population (TenantCounts).
+type TenantCount struct {
+	Queued  int
+	Running int
+	Points  int64 // grid points across queued + running jobs
+}
+
+// tenantState is the fair-share scheduler's per-tenant record: one FIFO
+// queue per priority class (the deferrable queue is kept sorted by
+// not-before time) and the stride-scheduling virtual-time pass.
+type tenantState struct {
+	name   string
+	weight float64
+	// pass is the tenant's virtual time: incremented by 1/weight per
+	// dequeue, so heavier tenants accrue it slower and dequeue more often.
+	// The scheduler always picks the eligible tenant with the least pass.
+	pass    float64
+	queues  [numPriorities][]string
+	queued  int
+	running int
+	points  int64
 }
 
 // Manager owns the queue, the workers, and the job table.
 type Manager struct {
 	cfg     Config
 	log     *slog.Logger
+	store   Store
 	runners map[string]Runner
 
-	mu    sync.Mutex
-	cond  *sync.Cond
-	jobs  map[string]*job
-	queue []string // job IDs, FIFO
+	mu      sync.Mutex
+	cond    *sync.Cond
+	jobs    map[string]*job
+	tenants map[string]*tenantState
+	// vclock tracks the largest pass handed out, so a newly active tenant
+	// starts at the current virtual time instead of replaying banked credit.
+	vclock    float64
+	wakeTimer *time.Timer // arms the earliest deferrable not-before
 	// counters (under mu)
 	succeeded, failed, canceled     int64
 	submitted, resumed, checkpoints int64
-	rejected                        int64
+	rejected, quotaRejected         int64
+	deferred, adopted               int64
+	co2AvoidedG                     float64
 	running                         int
 	stopping                        bool
 
@@ -84,10 +181,11 @@ type Manager struct {
 	started bool
 }
 
-// NewManager builds a manager and, when cfg.Dir is set, recovers persisted
-// jobs: terminal ones become history, queued and interrupted-running ones are
-// re-enqueued in creation order (running jobs keep their checkpoint, so their
-// runner resumes instead of starting over). Call Start to begin executing.
+// NewManager builds a manager and, when a store is configured, recovers
+// persisted jobs: terminal ones become history, queued and
+// interrupted-running ones are re-enqueued in creation order (running jobs
+// keep their checkpoint, so their runner resumes instead of starting over).
+// Call Start to begin executing.
 func NewManager(cfg Config) (*Manager, error) {
 	if cfg.Workers < 1 {
 		cfg.Workers = DefaultWorkers
@@ -109,13 +207,23 @@ func NewManager(cfg Config) (*Manager, error) {
 	m := &Manager{
 		cfg:     cfg,
 		log:     log,
+		store:   cfg.Store,
 		runners: make(map[string]Runner),
 		jobs:    make(map[string]*job),
+		tenants: make(map[string]*tenantState),
 		baseCtx: ctx,
 		stop:    cancel,
 	}
 	m.cond = sync.NewCond(&m.mu)
-	if cfg.Dir != "" {
+	if m.store == nil && cfg.Dir != "" {
+		ds, err := NewDirStore(cfg.Dir)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		m.store = ds
+	}
+	if m.store != nil {
 		if err := m.recover(); err != nil {
 			cancel()
 			return nil, err
@@ -151,10 +259,15 @@ func (m *Manager) Start() {
 
 // Stop cancels running jobs and waits for the workers to drain, up to ctx's
 // deadline. Interrupted jobs go back to the queue with their checkpoint
-// intact and are persisted, so a later manager on the same Dir resumes them.
+// intact and are persisted, so a later manager on the same store resumes
+// them.
 func (m *Manager) Stop(ctx context.Context) error {
 	m.mu.Lock()
 	m.stopping = true
+	if m.wakeTimer != nil {
+		m.wakeTimer.Stop()
+		m.wakeTimer = nil
+	}
 	m.cond.Broadcast()
 	m.mu.Unlock()
 	m.stop() // cancels every running job's context
@@ -172,33 +285,221 @@ func (m *Manager) Stop(ctx context.Context) error {
 	}
 }
 
-// Submit enqueues a request under the given kind and returns the queued
-// job's status. A full queue returns ErrQueueFull.
+// Submit enqueues a request under the given kind for the anonymous tenant
+// at batch priority — the single-tenant compatibility form of SubmitJob.
 func (m *Manager) Submit(kind string, req json.RawMessage) (Status, error) {
+	return m.SubmitJob(Submission{Kind: kind, Request: req})
+}
+
+// SubmitJob enqueues a fully-specified submission and returns the queued
+// job's status. A full global queue returns ErrQueueFull; a tenant over one
+// of its limits returns a *QuotaError.
+func (m *Manager) SubmitJob(sub Submission) (Status, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, ok := m.runners[kind]; !ok {
-		return Status{}, fmt.Errorf("%w: %q", ErrUnknownKind, kind)
+	if _, ok := m.runners[sub.Kind]; !ok {
+		return Status{}, fmt.Errorf("%w: %q", ErrUnknownKind, sub.Kind)
 	}
 	if m.queuedLocked() >= m.cfg.QueueDepth {
 		m.rejected++
 		return Status{}, ErrQueueFull
 	}
+	ts := m.tenantStateLocked(sub.Tenant, sub.Limits.Weight)
+	display := sub.Tenant
+	if display == "" {
+		display = "anonymous"
+	}
+	if sub.Limits.MaxQueued > 0 && ts.queued >= sub.Limits.MaxQueued {
+		m.quotaRejected++
+		return Status{}, &QuotaError{
+			Tenant: display, Resource: "queued_jobs",
+			Used: int64(ts.queued), Want: int64(ts.queued + 1), Max: int64(sub.Limits.MaxQueued),
+		}
+	}
+	if sub.Limits.MaxPoints > 0 && ts.points+sub.Points > sub.Limits.MaxPoints {
+		m.quotaRejected++
+		return Status{}, &QuotaError{
+			Tenant: display, Resource: "grid_points",
+			Used: ts.points, Want: ts.points + sub.Points, Max: sub.Limits.MaxPoints,
+		}
+	}
 	j := &job{
-		id:      newID(),
-		kind:    kind,
-		state:   StateQueued,
-		request: append(json.RawMessage(nil), req...),
-		created: time.Now().UTC(),
+		id:     newID(),
+		seq:    1, // state version 1: the queued snapshot
+		kind:   sub.Kind,
+		tenant: sub.Tenant,
+		// Stored raw: the empty priority schedules as batch but stays
+		// omitted on the wire, keeping single-tenant output byte-identical.
+		priority:    sub.Priority,
+		notBefore:   sub.NotBefore,
+		co2AvoidedG: sub.CO2AvoidedG,
+		points:      sub.Points,
+		state:       StateQueued,
+		request:     append(json.RawMessage(nil), sub.Request...),
+		created:     time.Now().UTC(),
+	}
+	if j.priority != api.PriorityDeferrable {
+		// Only deferrable jobs are held for a launch window.
+		j.notBefore = time.Time{}
+		j.co2AvoidedG = 0
+	}
+	// Content-addressed adoption: when the store knows a checkpoint for this
+	// exact request from a job this manager is not actively running (a
+	// worker that died elsewhere, or a failed attempt), seed the new job
+	// with it so the runner resumes instead of starting over.
+	if ad, ok := m.store.(CheckpointAdopter); ok {
+		if prevID, cp, ok := ad.AdoptCheckpoint(sub.Kind, sub.Request); ok && len(cp) > 0 {
+			if prev, live := m.jobs[prevID]; !live || prev.state.Terminal() {
+				j.checkpoint = append(json.RawMessage(nil), cp...)
+				m.adopted++
+				m.log.Info("job adopted checkpoint", "job", j.id, "from", prevID)
+			}
+		}
 	}
 	m.jobs[j.id] = j
-	m.queue = append(m.queue, j.id)
+	m.enqueueLocked(ts, j)
 	m.submitted++
+	if j.priority == api.PriorityDeferrable {
+		m.deferred++
+		m.co2AvoidedG += j.co2AvoidedG
+	}
 	m.persistLocked(j)
+	m.publishLocked(j, EventState)
 	m.pruneHistoryLocked()
 	m.cond.Signal()
-	m.log.Info("job queued", "job", j.id, "kind", kind)
+	m.log.Info("job queued", "job", j.id, "kind", sub.Kind,
+		"tenant", display, "priority", string(j.priority))
 	return j.status(), nil
+}
+
+// tenantStateLocked returns (creating if needed) the tenant's scheduler
+// state, refreshing its weight and aligning a newly active tenant's pass
+// with the virtual clock so idle time does not bank scheduling credit.
+func (m *Manager) tenantStateLocked(name string, weight float64) *tenantState {
+	ts, ok := m.tenants[name]
+	if !ok {
+		ts = &tenantState{name: name, weight: 1}
+		m.tenants[name] = ts
+	}
+	if weight > 0 {
+		ts.weight = weight
+	}
+	if ts.queued == 0 && ts.pass < m.vclock {
+		ts.pass = m.vclock
+	}
+	return ts
+}
+
+// enqueueLocked adds a queued job to its tenant's priority queue. The
+// deferrable queue stays sorted by not-before so eligibility is a
+// head-of-queue check.
+func (m *Manager) enqueueLocked(ts *tenantState, j *job) {
+	pri := priorityIndex(j.priority)
+	q := ts.queues[pri]
+	if pri == priorityIndex(api.PriorityDeferrable) {
+		at := sort.Search(len(q), func(i int) bool {
+			other, ok := m.jobs[q[i]]
+			return ok && other.notBefore.After(j.notBefore)
+		})
+		q = append(q, "")
+		copy(q[at+1:], q[at:])
+		q[at] = j.id
+	} else {
+		q = append(q, j.id)
+	}
+	ts.queues[pri] = q
+	ts.queued++
+	ts.points += j.points
+}
+
+// eligibleHeadLocked returns the tenant's next runnable job — highest
+// priority first, FIFO within a class, deferrable only once its not-before
+// has passed — popping stale entries (canceled while queued) as it scans.
+func (m *Manager) eligibleHeadLocked(ts *tenantState, now time.Time) (*job, int) {
+	for pri := 0; pri < numPriorities; pri++ {
+		q := ts.queues[pri]
+		for len(q) > 0 {
+			j, ok := m.jobs[q[0]]
+			if !ok || j.state != StateQueued {
+				q = q[1:]
+				continue
+			}
+			if !j.notBefore.IsZero() && j.notBefore.After(now) {
+				break // sorted: nothing behind it is eligible either
+			}
+			ts.queues[pri] = q
+			return j, pri
+		}
+		ts.queues[pri] = q
+	}
+	return nil, 0
+}
+
+// nextLocked picks and pops the next job under weighted fair share: among
+// tenants with an eligible job, the one with the least virtual time runs,
+// and its pass advances by 1/weight.
+func (m *Manager) nextLocked(now time.Time) *job {
+	var (
+		best    *tenantState
+		bestJob *job
+		bestPri int
+	)
+	for _, ts := range m.tenants {
+		j, pri := m.eligibleHeadLocked(ts, now)
+		if j == nil {
+			continue
+		}
+		if best == nil || ts.pass < best.pass || (ts.pass == best.pass && ts.name < best.name) {
+			best, bestJob, bestPri = ts, j, pri
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	best.queues[bestPri] = best.queues[bestPri][1:]
+	best.queued--
+	best.running++
+	w := best.weight
+	if w <= 0 {
+		w = 1
+	}
+	best.pass += 1 / w
+	if best.pass > m.vclock {
+		m.vclock = best.pass
+	}
+	return bestJob
+}
+
+// armWakeLocked schedules a broadcast at the earliest ineligible
+// deferrable job's not-before, so a worker wakes exactly when the launch
+// window opens.
+func (m *Manager) armWakeLocked(now time.Time) {
+	var earliest time.Time
+	for _, ts := range m.tenants {
+		q := ts.queues[priorityIndex(api.PriorityDeferrable)]
+		for _, id := range q {
+			j, ok := m.jobs[id]
+			if !ok || j.state != StateQueued {
+				continue
+			}
+			if j.notBefore.After(now) && (earliest.IsZero() || j.notBefore.Before(earliest)) {
+				earliest = j.notBefore
+			}
+			break // sorted: the first live entry is the tenant's earliest
+		}
+	}
+	if m.wakeTimer != nil {
+		m.wakeTimer.Stop()
+		m.wakeTimer = nil
+	}
+	if earliest.IsZero() {
+		return
+	}
+	m.wakeTimer = time.AfterFunc(earliest.Sub(now), func() {
+		m.mu.Lock()
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	})
 }
 
 // Get returns a job's status.
@@ -270,7 +571,12 @@ func (m *Manager) Cancel(id string) (Status, error) {
 		j.state = StateCanceled
 		j.finished = time.Now().UTC()
 		m.canceled++
+		if ts, ok := m.tenants[j.tenant]; ok {
+			ts.queued--
+			ts.points -= j.points
+		}
 		m.persistLocked(j)
+		m.publishLocked(j, EventDone)
 		m.log.Info("job canceled while queued", "job", j.id)
 	case StateRunning:
 		j.cancelRequested = true
@@ -287,26 +593,39 @@ func (m *Manager) Counts() Counts {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return Counts{
-		Queued:      m.queuedLocked(),
-		Running:     m.running,
-		Succeeded:   m.succeeded,
-		Failed:      m.failed,
-		Canceled:    m.canceled,
-		Submitted:   m.submitted,
-		Resumed:     m.resumed,
-		Checkpoints: m.checkpoints,
-		Rejected:    m.rejected,
+		Queued:        m.queuedLocked(),
+		Running:       m.running,
+		Succeeded:     m.succeeded,
+		Failed:        m.failed,
+		Canceled:      m.canceled,
+		Submitted:     m.submitted,
+		Resumed:       m.resumed,
+		Checkpoints:   m.checkpoints,
+		Rejected:      m.rejected,
+		QuotaRejected: m.quotaRejected,
+		Deferred:      m.deferred,
+		CO2AvoidedG:   m.co2AvoidedG,
+		Adopted:       m.adopted,
 	}
 }
 
-// queuedLocked counts jobs currently in StateQueued. The queue slice may
-// hold IDs of jobs canceled while waiting, so count by state.
+// TenantCounts snapshots per-tenant populations, keyed by tenant name
+// ("" for anonymous).
+func (m *Manager) TenantCounts() map[string]TenantCount {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]TenantCount, len(m.tenants))
+	for name, ts := range m.tenants {
+		out[name] = TenantCount{Queued: ts.queued, Running: ts.running, Points: ts.points}
+	}
+	return out
+}
+
+// queuedLocked counts jobs currently in StateQueued across all tenants.
 func (m *Manager) queuedLocked() int {
 	n := 0
-	for _, id := range m.queue {
-		if j, ok := m.jobs[id]; ok && j.state == StateQueued {
-			n++
-		}
+	for _, ts := range m.tenants {
+		n += ts.queued
 	}
 	return n
 }
@@ -324,16 +643,10 @@ func (m *Manager) worker() {
 				m.mu.Unlock()
 				return
 			}
-			for len(m.queue) > 0 && j == nil {
-				id := m.queue[0]
-				m.queue = m.queue[1:]
-				if cand, ok := m.jobs[id]; ok && cand.state == StateQueued {
-					j = cand
-				}
-			}
-			if j != nil {
+			if j = m.nextLocked(time.Now()); j != nil {
 				break
 			}
+			m.armWakeLocked(time.Now())
 			m.cond.Wait()
 		}
 		ctx, cancel := context.WithCancel(m.baseCtx)
@@ -347,6 +660,7 @@ func (m *Manager) worker() {
 		}
 		runner := m.runners[j.kind]
 		m.persistLocked(j)
+		m.publishLocked(j, EventState)
 		m.mu.Unlock()
 
 		m.runOne(ctx, cancel, j, runner)
@@ -369,6 +683,8 @@ func (m *Manager) runOne(ctx context.Context, cancel context.CancelFunc, j *job,
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.running--
+	ts := m.tenants[j.tenant] // exists: the job was enqueued under it
+	ts.running--
 	j.cancel = nil
 	switch {
 	case err == nil:
@@ -377,28 +693,37 @@ func (m *Manager) runOne(ctx context.Context, cancel context.CancelFunc, j *job,
 		j.checkpoint = nil // the result supersedes it
 		j.finished = time.Now().UTC()
 		m.succeeded++
+		ts.points -= j.points
 		m.log.Info("job succeeded", "job", j.id)
 	case j.cancelRequested:
 		j.state = StateCanceled
 		j.errMsg = ""
 		j.finished = time.Now().UTC()
 		m.canceled++
+		ts.points -= j.points
 		m.log.Info("job canceled", "job", j.id)
 	case m.stopping && errors.Is(err, context.Canceled):
 		// Interrupted by shutdown: back to the queue with the checkpoint
-		// intact so the next manager on this Dir picks it up.
+		// intact so the next manager on this store picks it up.
 		j.state = StateQueued
 		j.started = time.Time{}
-		m.queue = append(m.queue, j.id)
+		j.notBefore = time.Time{} // its window has opened; resume promptly
+		ts.points -= j.points     // enqueueLocked re-adds them
+		m.enqueueLocked(ts, j)
+		m.persistLocked(j)
+		m.publishLocked(j, EventState)
 		m.log.Info("job interrupted by shutdown, requeued", "job", j.id)
+		return
 	default:
 		j.state = StateFailed
 		j.errMsg = err.Error()
 		j.finished = time.Now().UTC()
 		m.failed++
+		ts.points -= j.points
 		m.log.Warn("job failed", "job", j.id, "err", err)
 	}
 	m.persistLocked(j)
+	m.publishLocked(j, EventDone)
 	m.pruneHistoryLocked()
 }
 
@@ -437,13 +762,16 @@ func (rc *runContext) SaveCheckpoint(cp json.RawMessage) error {
 	defer rc.m.mu.Unlock()
 	rc.j.checkpoint = append(json.RawMessage(nil), cp...)
 	rc.m.checkpoints++
-	return rc.m.persistLocked(rc.j)
+	err := rc.m.persistLocked(rc.j)
+	rc.m.publishLocked(rc.j, EventCheckpoint)
+	return err
 }
 
 func (rc *runContext) ReportProgress(p Progress) {
 	rc.m.mu.Lock()
 	defer rc.m.mu.Unlock()
 	rc.j.progress = p
+	rc.m.publishLocked(rc.j, EventProgress)
 }
 
 // pruneHistoryLocked evicts the oldest-finished terminal jobs beyond the
@@ -462,7 +790,7 @@ func (m *Manager) pruneHistoryLocked() {
 	sort.Slice(term, func(a, b int) bool { return term[a].finished.Before(term[b].finished) })
 	for _, j := range term[:excess] {
 		delete(m.jobs, j.id)
-		m.removeFile(j.id)
+		m.removeRecord(j.id)
 	}
 }
 

@@ -8,121 +8,204 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"cordoba/api"
 )
 
-// record is the on-disk form of a job: everything needed to resume after a
+// Record is the persisted form of a job: everything needed to resume after a
 // crash — the original request, the last checkpoint, and the outcome.
-type record struct {
-	ID         string          `json:"id"`
-	Kind       string          `json:"kind"`
-	State      State           `json:"state"`
-	Request    json.RawMessage `json:"request,omitempty"`
-	Result     json.RawMessage `json:"result,omitempty"`
-	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
-	Error      string          `json:"error,omitempty"`
-	Created    time.Time       `json:"created"`
-	Started    time.Time       `json:"started"`
-	Finished   time.Time       `json:"finished"`
-	Progress   Progress        `json:"progress"`
-	Resumes    int             `json:"resumes"`
+type Record struct {
+	ID          string          `json:"id"`
+	Kind        string          `json:"kind"`
+	State       State           `json:"state"`
+	Tenant      string          `json:"tenant,omitempty"`
+	Priority    api.Priority    `json:"priority,omitempty"`
+	Request     json.RawMessage `json:"request,omitempty"`
+	Result      json.RawMessage `json:"result,omitempty"`
+	Checkpoint  json.RawMessage `json:"checkpoint,omitempty"`
+	Error       string          `json:"error,omitempty"`
+	Created     time.Time       `json:"created"`
+	Started     time.Time       `json:"started"`
+	Finished    time.Time       `json:"finished"`
+	NotBefore   time.Time       `json:"not_before,omitempty"`
+	CO2AvoidedG float64         `json:"co2_avoided_g,omitempty"`
+	Points      int64           `json:"points,omitempty"`
+	Progress    Progress        `json:"progress"`
+	Resumes     int             `json:"resumes"`
 }
 
-// persistLocked writes the job's file atomically (tmp + rename, same
-// filesystem). A nil error with Dir unset is the in-memory mode.
-func (m *Manager) persistLocked(j *job) error {
-	if m.cfg.Dir == "" {
-		return nil
+// Store persists job records for crash recovery. Put must be atomic per
+// record (a reader never observes a torn write); Load returns every record
+// present; Delete is idempotent. Implementations are called under the
+// manager's lock and should not block on anything slower than local disk.
+type Store interface {
+	Put(rec Record) error
+	Load() ([]Record, error)
+	Delete(id string) error
+}
+
+// CheckpointAdopter is the optional Store extension behind content-addressed
+// adoption: given a kind and request payload it returns the job ID and
+// checkpoint of a persisted record with the exact same work, letting a new
+// submission resume where an orphaned job left off. See CASStore.
+type CheckpointAdopter interface {
+	AdoptCheckpoint(kind string, request json.RawMessage) (id string, cp json.RawMessage, ok bool)
+}
+
+// DirStore is the classic one-file-per-job store: <dir>/<id>.json written
+// via tmp + rename.
+type DirStore struct {
+	dir string
+}
+
+// NewDirStore creates the directory if needed and returns the store.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("job: create dir: %w", err)
 	}
-	rec := record{
-		ID:         j.id,
-		Kind:       j.kind,
-		State:      j.state,
-		Request:    j.request,
-		Result:     j.result,
-		Checkpoint: j.checkpoint,
-		Error:      j.errMsg,
-		Created:    j.created,
-		Started:    j.started,
-		Finished:   j.finished,
-		Progress:   j.progress,
-		Resumes:    j.resumes,
-	}
+	return &DirStore{dir: dir}, nil
+}
+
+func (s *DirStore) path(id string) string {
+	return filepath.Join(s.dir, id+".json")
+}
+
+// Put writes the record's file atomically (tmp + rename, same filesystem).
+func (s *DirStore) Put(rec Record) error {
 	b, err := json.Marshal(rec)
 	if err != nil {
-		m.log.Error("job persist marshal failed", "job", j.id, "err", err)
-		return fmt.Errorf("job: persist %s: %w", j.id, err)
+		return fmt.Errorf("job: persist %s: %w", rec.ID, err)
 	}
-	path := m.jobPath(j.id)
+	path := s.path(rec.ID)
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, b, 0o644); err != nil {
-		m.log.Error("job persist failed", "job", j.id, "err", err)
-		return fmt.Errorf("job: persist %s: %w", j.id, err)
+		return fmt.Errorf("job: persist %s: %w", rec.ID, err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		m.log.Error("job persist rename failed", "job", j.id, "err", err)
-		return fmt.Errorf("job: persist %s: %w", j.id, err)
+		return fmt.Errorf("job: persist %s: %w", rec.ID, err)
 	}
 	return nil
 }
 
-func (m *Manager) jobPath(id string) string {
-	return filepath.Join(m.cfg.Dir, id+".json")
-}
-
-// removeFile deletes a pruned job's file; best-effort.
-func (m *Manager) removeFile(id string) {
-	if m.cfg.Dir == "" {
-		return
-	}
-	if err := os.Remove(m.jobPath(id)); err != nil && !os.IsNotExist(err) {
-		m.log.Warn("job file removal failed", "job", id, "err", err)
-	}
-}
-
-// recover loads every job file under Dir. Terminal jobs become history;
-// queued ones re-enter the queue; jobs that were running when the previous
-// process died are requeued with their checkpoint intact, so their runner
-// resumes rather than restarts. Unreadable files are skipped with a warning —
-// one corrupt record must not take the service down.
-func (m *Manager) recover() error {
-	if err := os.MkdirAll(m.cfg.Dir, 0o755); err != nil {
-		return fmt.Errorf("job: create dir: %w", err)
-	}
-	entries, err := os.ReadDir(m.cfg.Dir)
+// Load reads every record under the directory. Unreadable or corrupt files
+// are skipped — one bad record must not take the service down.
+func (s *DirStore) Load() ([]Record, error) {
+	entries, err := os.ReadDir(s.dir)
 	if err != nil {
-		return fmt.Errorf("job: read dir: %w", err)
+		return nil, fmt.Errorf("job: read dir: %w", err)
 	}
-	var pending []*job
+	var out []Record
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".json") {
 			continue
 		}
-		b, err := os.ReadFile(filepath.Join(m.cfg.Dir, name))
+		b, err := os.ReadFile(filepath.Join(s.dir, name))
 		if err != nil {
-			m.log.Warn("job recovery: unreadable file", "file", name, "err", err)
 			continue
 		}
-		var rec record
+		var rec Record
 		if err := json.Unmarshal(b, &rec); err != nil || rec.ID == "" {
-			m.log.Warn("job recovery: corrupt record", "file", name, "err", err)
 			continue
 		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Delete removes a record's file; missing files are not an error.
+func (s *DirStore) Delete(id string) error {
+	if err := os.Remove(s.path(id)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// recordOf snapshots a job into its persisted form.
+func recordOf(j *job) Record {
+	return Record{
+		ID:          j.id,
+		Kind:        j.kind,
+		State:       j.state,
+		Tenant:      j.tenant,
+		Priority:    j.priority,
+		Request:     j.request,
+		Result:      j.result,
+		Checkpoint:  j.checkpoint,
+		Error:       j.errMsg,
+		Created:     j.created,
+		Started:     j.started,
+		Finished:    j.finished,
+		NotBefore:   j.notBefore,
+		CO2AvoidedG: j.co2AvoidedG,
+		Points:      j.points,
+		Progress:    j.progress,
+		Resumes:     j.resumes,
+	}
+}
+
+// persistLocked writes the job through the store; a nil store is the
+// in-memory mode.
+func (m *Manager) persistLocked(j *job) error {
+	if m.store == nil {
+		return nil
+	}
+	if err := m.store.Put(recordOf(j)); err != nil {
+		m.log.Error("job persist failed", "job", j.id, "err", err)
+		return err
+	}
+	return nil
+}
+
+// removeRecord deletes a pruned job's record; best-effort.
+func (m *Manager) removeRecord(id string) {
+	if m.store == nil {
+		return
+	}
+	if err := m.store.Delete(id); err != nil {
+		m.log.Warn("job record removal failed", "job", id, "err", err)
+	}
+}
+
+// recover loads every record from the store. Terminal jobs become history;
+// queued ones re-enter their tenant's queue; jobs that were running when the
+// previous process died are requeued with their checkpoint intact, so their
+// runner resumes rather than restarts. Tenant weights are unknown at
+// recovery (they travel with submissions) and default to 1 until the tenant
+// next submits.
+func (m *Manager) recover() error {
+	recs, err := m.store.Load()
+	if err != nil {
+		return err
+	}
+	var pending []*job
+	for _, rec := range recs {
 		j := &job{
-			id:         rec.ID,
-			kind:       rec.Kind,
-			state:      rec.State,
-			request:    rec.Request,
-			result:     rec.Result,
-			checkpoint: rec.Checkpoint,
-			errMsg:     rec.Error,
-			created:    rec.Created,
-			started:    rec.Started,
-			finished:   rec.Finished,
-			progress:   rec.Progress,
-			resumes:    rec.Resumes,
+			id:          rec.ID,
+			seq:         1,
+			kind:        rec.Kind,
+			tenant:      rec.Tenant,
+			priority:    rec.Priority,
+			notBefore:   rec.NotBefore,
+			co2AvoidedG: rec.CO2AvoidedG,
+			points:      rec.Points,
+			state:       rec.State,
+			request:     rec.Request,
+			result:      rec.Result,
+			checkpoint:  rec.Checkpoint,
+			errMsg:      rec.Error,
+			created:     rec.Created,
+			started:     rec.Started,
+			finished:    rec.Finished,
+			progress:    rec.Progress,
+			resumes:     rec.Resumes,
 		}
 		if !j.state.Terminal() {
+			if j.state == StateRunning {
+				// Interrupted mid-run: its window (if any) has opened and it
+				// holds a checkpoint — resume promptly.
+				j.notBefore = time.Time{}
+			}
 			j.state = StateQueued
 			j.started = time.Time{}
 			pending = append(pending, j)
@@ -136,7 +219,7 @@ func (m *Manager) recover() error {
 		return pending[a].id < pending[b].id
 	})
 	for _, j := range pending {
-		m.queue = append(m.queue, j.id)
+		m.enqueueLocked(m.tenantStateLocked(j.tenant, 0), j)
 		m.persistLocked(j)
 		m.log.Info("job recovered", "job", j.id, "kind", j.kind, "resumable", len(j.checkpoint) > 0)
 	}

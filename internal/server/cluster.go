@@ -26,6 +26,7 @@ func (s *Server) initCluster() {
 	}
 	c, err := cluster.New(cluster.Config{
 		Workers:        s.cfg.ClusterWorkers,
+		APIKey:         s.cfg.WorkerAPIKey,
 		HeartbeatEvery: s.cfg.HeartbeatEvery,
 		ShardTimeout:   s.cfg.ShardTimeout,
 		MaxAttempts:    s.cfg.ShardAttempts,

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"cordoba/api"
+	"cordoba/internal/job"
+)
+
+// ---- GET /v1/jobs/{id}/events ----
+
+// handleJobEvents streams a job's lifecycle as Server-Sent Events: an
+// initial status snapshot, then one event per state change, progress
+// report, and checkpoint, ending with the terminal `done` event (after
+// which the stream closes). Each event's SSE id is the job's monotonic
+// sequence number; a client reconnecting after a drop passes it back as
+// ?after= (or Last-Event-ID) to suppress frames it already processed.
+//
+// The route is wrapped by instrumentStream, not instrument: a watch
+// legitimately outlives the request timeout and ends on client disconnect
+// or job completion instead.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	after, err := eventsAfter(r)
+	if err != nil {
+		return err
+	}
+	ch, cancel, werr := s.jobs.Watch(id)
+	if werr != nil {
+		return jobLookupError(id, werr)
+	}
+	defer cancel()
+
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		return errf(http.StatusInternalServerError, "response writer cannot stream")
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // tell buffering proxies to pass frames through
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return nil
+			}
+			if ev.Seq <= after {
+				continue
+			}
+			if err := writeSSE(w, ev); err != nil {
+				return nil // client went away mid-write; nothing to report
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return nil
+		}
+	}
+}
+
+// eventsAfter parses the resume position: ?after= wins, the standard
+// Last-Event-ID header (sent automatically by EventSource reconnects) is
+// the fallback. Zero means "from the snapshot".
+func eventsAfter(r *http.Request) (int64, error) {
+	v := r.URL.Query().Get("after")
+	if v == "" {
+		v = r.Header.Get("Last-Event-ID")
+	}
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || n < 0 {
+		return 0, errf(http.StatusBadRequest, "after must be a non-negative integer, got %q", v)
+	}
+	return n, nil
+}
+
+// writeSSE renders one event frame: id, event type, and the api.JobEvent
+// JSON as data. SSE data must be newline-free to stay one frame, so the
+// payload is compact-marshaled, never indented.
+func writeSSE(w http.ResponseWriter, ev job.Event) error {
+	wire := api.JobEvent{Seq: ev.Seq, Type: string(ev.Type), Job: jobStatusWire(ev.Status)}
+	b, err := json.Marshal(wire)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, b)
+	return err
+}

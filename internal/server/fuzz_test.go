@@ -4,9 +4,13 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"sync"
 	"testing"
+	"time"
+
+	"cordoba/internal/job"
 )
 
 // fuzzServer is the process-wide server the fuzz targets drive: response
@@ -109,6 +113,63 @@ func FuzzPartitionSpec(f *testing.F) {
 	f.Add([]byte(`{"task":"All kernels","knobs":{` + knobs + `,"partition":null}}`))
 	f.Fuzz(func(t *testing.T, body []byte) {
 		fuzzPost(t, "/v1/dse", body)
+	})
+}
+
+// FuzzJobListQuery drives fuzzer-supplied query strings through the
+// paginated GET /v1/jobs listing. Malformed states, priorities, limits, and
+// cursors must answer 400 with the uniform envelope — never a 500 or a
+// panic — and any cursor the parser accepts must re-mint to the same
+// position (the pagination walk depends on that round-trip). Seed corpus
+// lives in testdata/fuzz/FuzzJobListQuery.
+func FuzzJobListQuery(f *testing.F) {
+	f.Add("state=queued&priority=interactive&limit=2")
+	f.Add("state=succeeded&priority=batch&limit=500")
+	f.Add("priority=deferrable&limit=1")
+	f.Add("limit=0")
+	f.Add("limit=99999999999999999999")
+	f.Add("cursor=%21%21")
+	f.Add("cursor=Z29vZA==")
+	f.Add("cursor=" + jobListCursor(job.Status{ID: "j0ff00", Created: time.Unix(0, 1700000000000000000).UTC()}))
+	f.Add("state=bogus&priority=&cursor=")
+	f.Add(";=;&&=%zz")
+	f.Fuzz(func(t *testing.T, raw string) {
+		req := httptest.NewRequest("GET", "/v1/jobs", nil)
+		req.URL.RawQuery = raw
+		w := httptest.NewRecorder()
+		fuzzServer().Handler().ServeHTTP(w, req)
+
+		if w.Code >= 500 {
+			t.Fatalf("/v1/jobs?%s returned %d:\n%s", raw, w.Code, w.Body)
+		}
+		if !json.Valid(w.Body.Bytes()) {
+			t.Fatalf("/v1/jobs?%s returned invalid JSON:\n%s", raw, w.Body)
+		}
+		if w.Code != http.StatusOK {
+			var env errEnvelope
+			if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+				t.Fatalf("/v1/jobs?%s error response is not the envelope: %s", raw, w.Body)
+			}
+			if env.Error.Status != w.Code || env.Error.Message == "" {
+				t.Fatalf("/v1/jobs?%s envelope %+v does not match status %d", raw, env, w.Code)
+			}
+		}
+
+		// Cursor round-trip: a position the parser accepts survives re-minting.
+		vals, err := url.ParseQuery(raw)
+		if err != nil {
+			return
+		}
+		q, err := parseJobListQuery(vals)
+		if err != nil || q.cursorID == "" {
+			return
+		}
+		again, err := parseJobListQuery(url.Values{
+			"cursor": {jobListCursor(job.Status{ID: q.cursorID, Created: q.cursorCreated})},
+		})
+		if err != nil || !again.cursorCreated.Equal(q.cursorCreated) || again.cursorID != q.cursorID {
+			t.Fatalf("cursor does not round-trip: %+v vs %+v (%v)", q, again, err)
+		}
 	})
 }
 

@@ -2,9 +2,14 @@ package server
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
 	"time"
 
 	"cordoba"
@@ -32,17 +37,35 @@ const (
 )
 
 // initJobs assembles the async job subsystem: the bounded manager with the
-// DSE runner registered, plus the cordobad_jobs_* metrics reporter.
+// DSE runner registered, plus the cordobad_jobs_* metrics reporter. The
+// checkpoint store behind it is pluggable: "dir" files jobs by ID, "cas"
+// files them by content hash so any daemon sharing the directory can adopt
+// another's orphaned checkpoints.
 func (s *Server) initJobs() {
+	var store job.Store
+	if s.cfg.JobDir != "" {
+		var err error
+		switch s.cfg.JobStore {
+		case "dir":
+			store, err = job.NewDirStore(s.cfg.JobDir)
+		case "cas":
+			store, err = job.NewCASStore(s.cfg.JobDir)
+		default:
+			err = fmt.Errorf("unknown job store %q (want dir or cas)", s.cfg.JobStore)
+		}
+		if err != nil {
+			// An unusable -job-dir or store name should surface at startup,
+			// not on the first submission.
+			panic(err)
+		}
+	}
 	m, err := job.NewManager(job.Config{
 		Workers:    s.cfg.JobWorkers,
 		QueueDepth: s.cfg.JobQueue,
-		Dir:        s.cfg.JobDir,
+		Store:      store,
 		Logger:     s.log,
 	})
 	if err != nil {
-		// The only failure mode is an unusable -job-dir; surface it at
-		// startup rather than on the first submission.
 		panic(err)
 	}
 	m.SetRunner(jobKindDSE, s.runDSEJob)
@@ -51,6 +74,7 @@ func (s *Server) initJobs() {
 	m.SetRunner(jobKindSurrogateDSE, s.runSurrogateDSEJob)
 	s.jobs = m
 	s.metrics.SetJobStats(m.Counts)
+	s.metrics.SetTenantStats(m.TenantCounts)
 	m.Start()
 }
 
@@ -76,6 +100,10 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) error {
 	var req DSERequest
 	if err := s.decodeJSON(w, r, &req); err != nil {
 		return err
+	}
+	if !req.Priority.Valid() {
+		return errc(http.StatusBadRequest, api.CodePriorityInvalid,
+			"unknown priority %q (want interactive, batch, or deferrable)", req.Priority)
 	}
 	// Validate and normalize at submission so a bad body fails with a 400
 	// now, not as a failed job the client has to poll to discover.
@@ -115,31 +143,213 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	st, err := s.jobs.Submit(kind, raw)
-	if errors.Is(err, job.ErrQueueFull) {
+	tn := s.requestTenant(r)
+	sub := job.Submission{
+		Kind:    kind,
+		Request: raw,
+		Tenant:  tn.OwnerName(),
+		Limits: job.Limits{
+			Weight:    tn.Weight,
+			MaxQueued: tn.MaxQueuedJobs,
+			MaxPoints: tn.MaxGridPoints,
+		},
+		Priority: req.Priority,
+		Points:   gridSize,
+	}
+	if req.Priority == api.PriorityDeferrable {
+		notBefore, avoided, err := s.planDeferral(req)
+		if err != nil {
+			return err
+		}
+		sub.NotBefore, sub.CO2AvoidedG = notBefore, avoided
+	}
+	st, err := s.jobs.SubmitJob(sub)
+	var qe *job.QuotaError
+	switch {
+	case errors.Is(err, job.ErrQueueFull):
 		return &apiError{
 			status:     http.StatusTooManyRequests,
 			code:       api.CodeQueueFull,
 			msg:        err.Error(),
 			retryAfter: s.jobs.RetryAfter(),
 		}
-	}
-	if err != nil {
+	case errors.As(err, &qe):
+		return &apiError{
+			status:     http.StatusTooManyRequests,
+			code:       api.CodeQuotaExceeded,
+			msg:        qe.Error(),
+			retryAfter: s.jobs.RetryAfter(),
+		}
+	case err != nil:
 		return err
 	}
 	_, err = writeJSON(w, http.StatusAccepted, jobStatusWire(st))
 	return err
 }
 
+// Deferrable launch-window defaults: the window search needs a nominal job
+// shape, and a quarter-hour at a mid-size accelerator's board power is a
+// representative exploration. The deadline is the only knob a request can
+// move (defer_deadline_s); the others exist to rank start times, where only
+// the CI trace's shape matters.
+const (
+	deferDurationS = 900.0   // 15 min nominal run length
+	deferPowerW    = 350.0   // nominal board power
+	deferDeadlineS = 86400.0 // latest acceptable finish: a day out
+)
+
+// planDeferral routes a deferrable submission through the launch-window
+// search over the daemon's region CI trace (-region-trace): the job is held
+// until the lowest-carbon window inside the deadline, and the operational
+// carbon that avoids versus running immediately is recorded on the job and
+// summed in /metrics.
+func (s *Server) planDeferral(req DSERequest) (time.Time, float64, error) {
+	cum, ok := s.traces[s.cfg.RegionTrace]
+	if !ok {
+		return time.Time{}, 0, errf(http.StatusInternalServerError,
+			"region trace %q not in registry", s.cfg.RegionTrace)
+	}
+	deadline := req.DeferDeadlineS
+	if deadline <= 0 {
+		deadline = deferDeadlineS
+	}
+	s.metrics.ObserveTraceLookup()
+	plan, err := cordoba.FindLaunchWindow(cum, cordoba.WindowRequest{
+		Duration: cordoba.Time(deferDurationS),
+		Power:    cordoba.Power(deferPowerW),
+		Deadline: cordoba.Time(deadline),
+	})
+	if err != nil {
+		return time.Time{}, 0, errf(http.StatusBadRequest, "defer window: %v", err)
+	}
+	s.metrics.ObserveSchedule(plan.Candidates)
+	start := plan.Best.Start.Seconds()
+	if start <= 0 {
+		return time.Time{}, 0, nil // now is already the cleanest start
+	}
+	notBefore := time.Now().UTC().Add(time.Duration(start * float64(time.Second)))
+	avoided := plan.Immediate.Carbon.Grams() - plan.Best.Carbon.Grams()
+	return notBefore, avoided, nil
+}
+
 // ---- GET /v1/jobs and /v1/jobs/{id} ----
 
-func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) error {
-	sts := s.jobs.List()
-	out := api.JobList{Jobs: make([]api.JobStatus, 0, len(sts))}
-	for _, st := range sts {
-		out.Jobs = append(out.Jobs, jobStatusWire(st))
+// jobListQuery is the parsed GET /v1/jobs query string.
+type jobListQuery struct {
+	state    job.State    // "" = all
+	priority api.Priority // "" = all (an explicit "batch" also matches unset)
+	limit    int
+	// cursor resumes after the (created, id) position of the previous
+	// page's last entry; zero created means first page.
+	cursorCreated time.Time
+	cursorID      string
+}
+
+const (
+	defaultJobPageSize = 100
+	maxJobPageSize     = 500
+)
+
+// parseJobListQuery validates ?state=&priority=&limit=&cursor=. Cursors are
+// opaque base64("<created_unixnano>|<id>") minted by jobListCursor; a
+// malformed one is a 400, not a silent restart from page one.
+func parseJobListQuery(q url.Values) (jobListQuery, error) {
+	out := jobListQuery{limit: defaultJobPageSize}
+	if v := q.Get("state"); v != "" {
+		switch job.State(v) {
+		case job.StateQueued, job.StateRunning, job.StateSucceeded, job.StateFailed, job.StateCanceled:
+			out.state = job.State(v)
+		default:
+			return out, errf(http.StatusBadRequest, "unknown state %q", v)
+		}
 	}
-	_, err := writeJSON(w, http.StatusOK, out)
+	if v := q.Get("priority"); v != "" {
+		p := api.Priority(v)
+		if !p.Valid() {
+			return out, errc(http.StatusBadRequest, api.CodePriorityInvalid,
+				"unknown priority %q (want interactive, batch, or deferrable)", v)
+		}
+		out.priority = p
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return out, errf(http.StatusBadRequest, "limit must be a positive integer, got %q", v)
+		}
+		if n > maxJobPageSize {
+			n = maxJobPageSize
+		}
+		out.limit = n
+	}
+	if v := q.Get("cursor"); v != "" {
+		b, err := base64.StdEncoding.DecodeString(v)
+		if err != nil {
+			return out, errf(http.StatusBadRequest, "malformed cursor")
+		}
+		nanos, id, ok := strings.Cut(string(b), "|")
+		n, perr := strconv.ParseInt(nanos, 10, 64)
+		if !ok || perr != nil || id == "" {
+			return out, errf(http.StatusBadRequest, "malformed cursor")
+		}
+		out.cursorCreated = time.Unix(0, n).UTC()
+		out.cursorID = id
+	}
+	return out, nil
+}
+
+// jobListCursor mints the opaque continuation token for a page ending at st.
+func jobListCursor(st job.Status) string {
+	return base64.StdEncoding.EncodeToString(
+		[]byte(strconv.FormatInt(st.Created.UnixNano(), 10) + "|" + st.ID))
+}
+
+// matches applies the state/priority filters.
+func (q jobListQuery) matches(st job.Status) bool {
+	if q.state != "" && st.State != q.state {
+		return false
+	}
+	if q.priority != "" && st.Priority.OrDefault() != q.priority.OrDefault() {
+		return false
+	}
+	return true
+}
+
+// after reports whether st sorts strictly after the cursor position in the
+// listing's (created desc, id desc) order — i.e. belongs to a later page.
+func (q jobListQuery) after(st job.Status) bool {
+	if q.cursorCreated.IsZero() {
+		return true
+	}
+	if !st.Created.Equal(q.cursorCreated) {
+		return st.Created.Before(q.cursorCreated)
+	}
+	return st.ID < q.cursorID
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) error {
+	q, err := parseJobListQuery(r.URL.Query())
+	if err != nil {
+		return err
+	}
+	sts := s.jobs.List() // newest first: (created desc, id desc)
+	out := api.JobList{Jobs: make([]api.JobStatus, 0, min(len(sts), q.limit))}
+	var last job.Status
+	for _, st := range sts {
+		if !q.matches(st) || !q.after(st) {
+			continue
+		}
+		if len(out.Jobs) == q.limit {
+			// One more match exists beyond the page: the cursor resumes
+			// after the page's last entry. Keyed on (created, id) rather
+			// than an offset, the cursor stays stable while new jobs arrive
+			// at the head of the listing.
+			out.NextCursor = jobListCursor(last)
+			break
+		}
+		out.Jobs = append(out.Jobs, jobStatusWire(st))
+		last = st
+	}
+	_, err = writeJSON(w, http.StatusOK, out)
 	return err
 }
 
@@ -198,8 +408,10 @@ func jobLookupError(id string, err error) error {
 // elapsed time and the ETA extrapolation.
 func jobStatusWire(st job.Status) api.JobStatus {
 	out := api.JobStatus{
-		ID:   st.ID,
-		Kind: st.Kind,
+		ID:       st.ID,
+		Kind:     st.Kind,
+		Tenant:   st.Tenant,
+		Priority: st.Priority,
 		State: map[job.State]api.JobState{
 			job.StateQueued:    api.JobQueued,
 			job.StateRunning:   api.JobRunning,
@@ -222,6 +434,8 @@ func jobStatusWire(st job.Status) api.JobStatus {
 			EvalsBudget: st.Progress.EvalsBudget,
 		},
 		CreatedAt:    st.Created,
+		NotBefore:    st.NotBefore,
+		CO2AvoidedG:  st.CO2AvoidedG,
 		Resumes:      st.Resumes,
 		Checkpointed: st.HasCheckpoint,
 		HasResult:    st.HasResult,

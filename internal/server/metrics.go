@@ -87,6 +87,10 @@ type Metrics struct {
 	// exposition time (queue depth, running jobs, lifecycle totals).
 	jobStats func() job.Counts
 
+	// tenantStats, when set, samples per-tenant queue populations at
+	// exposition time (keyed by tenant name, "" = anonymous).
+	tenantStats func() map[string]job.TenantCount
+
 	// clusterStats, when set, samples the shard fan-out coordinator at
 	// exposition time (shard counters, per-worker liveness and latency).
 	clusterStats func() api.ClusterStatus
@@ -200,6 +204,12 @@ func (m *Metrics) SetMemoStats(f func() (hits, misses, evictions int64, entries 
 // SetJobStats installs the job-manager reporter sampled by WriteProm.
 func (m *Metrics) SetJobStats(f func() job.Counts) {
 	m.jobStats = f
+}
+
+// SetTenantStats installs the per-tenant population reporter sampled by
+// WriteProm.
+func (m *Metrics) SetTenantStats(f func() map[string]job.TenantCount) {
+	m.tenantStats = f
 }
 
 // SetClusterStats installs the coordinator reporter sampled by WriteProm.
@@ -351,6 +361,44 @@ func (m *Metrics) WriteProm(w io.Writer) error {
 		p("# HELP cordobad_jobs_checkpoints_total Checkpoints written by running jobs.\n")
 		p("# TYPE cordobad_jobs_checkpoints_total counter\n")
 		p("cordobad_jobs_checkpoints_total %d\n", c.Checkpoints)
+		p("# HELP cordobad_jobs_quota_rejected_total Submissions rejected with 429 quota_exceeded by a per-tenant limit.\n")
+		p("# TYPE cordobad_jobs_quota_rejected_total counter\n")
+		p("cordobad_jobs_quota_rejected_total %d\n", c.QuotaRejected)
+		p("# HELP cordobad_jobs_deferred_total Deferrable jobs held for a lower-carbon launch window.\n")
+		p("# TYPE cordobad_jobs_deferred_total counter\n")
+		p("cordobad_jobs_deferred_total %d\n", c.Deferred)
+		p("# HELP cordobad_jobs_co2_avoided_grams Operational carbon avoided by deferring jobs to cleaner windows, per the region CI trace.\n")
+		p("# TYPE cordobad_jobs_co2_avoided_grams counter\n")
+		p("cordobad_jobs_co2_avoided_grams %g\n", c.CO2AvoidedG)
+		p("# HELP cordobad_jobs_adopted_total Submissions that resumed from another job's content-addressed checkpoint.\n")
+		p("# TYPE cordobad_jobs_adopted_total counter\n")
+		p("cordobad_jobs_adopted_total %d\n", c.Adopted)
+	}
+
+	if m.tenantStats != nil {
+		tc := m.tenantStats()
+		tenants := make([]string, 0, len(tc))
+		for name := range tc {
+			tenants = append(tenants, name)
+		}
+		sort.Strings(tenants)
+		display := func(name string) string {
+			if name == "" {
+				return "anonymous"
+			}
+			return name
+		}
+		p("# HELP cordobad_tenant_jobs Per-tenant job population by state.\n")
+		p("# TYPE cordobad_tenant_jobs gauge\n")
+		for _, name := range tenants {
+			p("cordobad_tenant_jobs{tenant=%q,state=\"queued\"} %d\n", display(name), tc[name].Queued)
+			p("cordobad_tenant_jobs{tenant=%q,state=\"running\"} %d\n", display(name), tc[name].Running)
+		}
+		p("# HELP cordobad_tenant_grid_points_in_flight Per-tenant grid points across queued and running jobs.\n")
+		p("# TYPE cordobad_tenant_grid_points_in_flight gauge\n")
+		for _, name := range tenants {
+			p("cordobad_tenant_grid_points_in_flight{tenant=%q} %d\n", display(name), tc[name].Points)
+		}
 	}
 
 	if m.clusterStats != nil {

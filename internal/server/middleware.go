@@ -49,6 +49,8 @@ func codeForStatus(status int) string {
 		return api.CodeNotFound
 	case http.StatusRequestEntityTooLarge:
 		return api.CodePayloadTooLarge
+	case http.StatusUnauthorized:
+		return api.CodeUnauthorized
 	case http.StatusTooManyRequests:
 		return api.CodeQueueFull
 	case http.StatusConflict:
@@ -86,21 +88,46 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the underlying writer so streaming handlers (SSE) can
+// push events through the recorder.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // handlerFunc is the internal handler signature: returning an error routes
 // it through the shared envelope/status mapping in one place.
 type handlerFunc func(w http.ResponseWriter, r *http.Request) error
 
-// instrument wraps a handler with the full middleware stack: per-request
-// timeout, panic recovery, metrics observation under the route label, and
-// structured request logging.
+// instrument wraps a handler with the full middleware stack: tenant auth
+// and rate limiting, per-request timeout, panic recovery, metrics
+// observation under the route label, and structured request logging.
 func (s *Server) instrument(route string, h handlerFunc) http.Handler {
+	return s.wrap(route, h, false)
+}
+
+// instrumentStream is instrument without the per-request timeout: a
+// streaming route (SSE) legitimately outlives any deadline a request/reply
+// route should tolerate, and is bounded by client disconnect instead.
+func (s *Server) instrumentStream(route string, h handlerFunc) http.Handler {
+	return s.wrap(route, h, true)
+}
+
+// publicRoute reports whether a route bypasses tenant auth: liveness probes
+// and metrics scrapers don't carry API keys.
+func publicRoute(route string) bool {
+	return route == "/healthz" || route == "/metrics"
+}
+
+func (s *Server) wrap(route string, h handlerFunc, stream bool) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.metrics.inflight.Add(1)
 		defer s.metrics.inflight.Add(-1)
 
 		ctx := r.Context()
-		if s.cfg.RequestTimeout > 0 {
+		if s.cfg.RequestTimeout > 0 && !stream {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 			defer cancel()
@@ -115,6 +142,13 @@ func (s *Server) instrument(route string, h handlerFunc) http.Handler {
 					writeError(rec, errf(http.StatusInternalServerError, "internal error"))
 				}
 			}()
+			if !publicRoute(route) {
+				var err error
+				if r, err = s.authorize(r); err != nil {
+					writeError(rec, err)
+					return
+				}
+			}
 			if err := h(rec, r); err != nil {
 				writeError(rec, err)
 			}

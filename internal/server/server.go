@@ -11,6 +11,10 @@
 //     skips the whole evaluation and replays byte-identical JSON;
 //   - per-request timeouts, request-size limits, panic recovery, and a
 //     uniform JSON error envelope;
+//   - optional multi-tenant serving: an API-key registry (-tenants) mapping
+//     keys to fair-share weights, job quotas, and request-rate token
+//     buckets; without a registry every caller is one unlimited anonymous
+//     tenant and behavior is byte-identical to the single-tenant daemon;
 //   - GET /healthz, Prometheus-format GET /metrics (request counts, latency
 //     histograms, cache hit/miss, in-flight and pool gauges, all
 //     sync/atomic), and structured request logging via log/slog.
@@ -20,11 +24,13 @@
 //	POST /v1/accounting          ACT embodied carbon for a die or accelerator
 //	POST /v1/dse                 task + design space → ever-optimal set, sweep
 //	POST /v1/jobs                submit a DSE body for async execution (202)
-//	GET  /v1/jobs                list jobs, newest first
+//	GET  /v1/jobs                list jobs, newest first (paginated, filterable)
 //	GET  /v1/jobs/{id}           job status with live progress and ETA
 //	DELETE /v1/jobs/{id}         cancel a queued or running job
 //	GET  /v1/jobs/{id}/result    fetch a finished job's DSE response
 //	GET  /v1/jobs/{id}/checkpoint  fetch a job's last saved checkpoint
+//	GET  /v1/jobs/{id}/events    live job event stream (SSE)
+//	GET  /v1/tenant              authenticated tenant, limits, quota usage
 //	GET  /v1/cluster             cluster role, worker membership, shard counters
 //	GET  /v1/experiments         experiment discovery
 //	GET  /v1/experiments/{key}   stream one experiment (json, csv, or text)
@@ -48,6 +54,7 @@ import (
 	"cordoba"
 	"cordoba/internal/cluster"
 	"cordoba/internal/job"
+	"cordoba/internal/tenant"
 )
 
 // Config tunes the daemon; zero values select production defaults.
@@ -75,6 +82,19 @@ type Config struct {
 	JobQueue        int    // admission-control queue depth, default job.DefaultQueueDepth
 	JobDir          string // checkpoint/state directory; empty = memory only
 	CheckpointEvery int    // shapes between streaming checkpoints, default 8; <0 disables
+	// JobStore selects the checkpoint store layout under JobDir: "dir"
+	// (default, one file per job ID) or "cas" (content-addressed by
+	// sha256(kind ‖ request), letting any daemon sharing the directory adopt
+	// another's orphaned checkpoint).
+	JobStore string
+
+	// Multi-tenant serving. TenantFile names the API-key registry (see
+	// internal/tenant for the schema); empty runs the daemon in open
+	// single-tenant mode, byte-identical to historical behavior. RegionTrace
+	// names the CI_use(t) trace deferrable jobs schedule their launch window
+	// against, default "decarb-ramp".
+	TenantFile  string
+	RegionTrace string
 
 	// Distributed DSE (internal/cluster). Role selects the daemon's cluster
 	// role: "standalone" (default) serves everything locally and rejects
@@ -84,6 +104,7 @@ type Config struct {
 	// advertisement, not a capability gate.
 	Role           string        // "standalone" (default), "worker", or "coordinator"
 	ClusterWorkers []string      // worker base URLs; required for role coordinator
+	WorkerAPIKey   string        // API key the coordinator presents to keyed workers
 	HeartbeatEvery time.Duration // worker liveness probe cadence, default cluster.DefaultHeartbeatEvery
 	ShardTimeout   time.Duration // no-progress bound before a shard is requeued, default cluster.DefaultShardTimeout
 	ShardAttempts  int           // attempts per shard before the run fails, default cluster.DefaultMaxAttempts
@@ -122,6 +143,12 @@ func (c Config) withDefaults() Config {
 	if c.Role == "" {
 		c.Role = "standalone"
 	}
+	if c.JobStore == "" {
+		c.JobStore = "dir"
+	}
+	if c.RegionTrace == "" {
+		c.RegionTrace = "decarb-ramp"
+	}
 	return c
 }
 
@@ -155,6 +182,10 @@ type Server struct {
 	// is "coordinator". It owns the worker membership heartbeat and the
 	// envelope merge behind shards > 0 job submissions.
 	cluster *cluster.Coordinator
+
+	// tenants resolves API keys to tenants: the open single-tenant registry
+	// without a TenantFile, the enforced key registry with one.
+	tenants *tenant.Registry
 }
 
 // New assembles a Server from the configuration.
@@ -193,6 +224,7 @@ func New(cfg Config) *Server {
 		return hits, misses, s.memo.Evictions(), s.memo.Len()
 	})
 
+	s.initTenants()
 	s.initJobs()
 	s.initCluster()
 
@@ -204,6 +236,8 @@ func New(cfg Config) *Server {
 	s.mux.Handle("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobCancel))
 	s.mux.Handle("GET /v1/jobs/{id}/result", s.instrument("/v1/jobs/{id}/result", s.handleJobResult))
 	s.mux.Handle("GET /v1/jobs/{id}/checkpoint", s.instrument("/v1/jobs/{id}/checkpoint", s.handleJobCheckpoint))
+	s.mux.Handle("GET /v1/jobs/{id}/events", s.instrumentStream("/v1/jobs/{id}/events", s.handleJobEvents))
+	s.mux.Handle("GET /v1/tenant", s.instrument("/v1/tenant", s.handleTenant))
 	s.mux.Handle("GET /v1/cluster", s.instrument("/v1/cluster", s.handleCluster))
 	s.mux.Handle("GET /v1/experiments", s.instrument("/v1/experiments", s.handleExperimentsList))
 	s.mux.Handle("GET /v1/experiments/{key}", s.instrument("/v1/experiments/{key}", s.handleExperiment))

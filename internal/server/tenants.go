@@ -1,0 +1,104 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"time"
+
+	"cordoba/api"
+	"cordoba/internal/tenant"
+)
+
+// initTenants loads the API-key registry. No TenantFile selects the open
+// registry, whose single unlimited anonymous tenant makes every auth and
+// quota check a no-op — the single-tenant daemon's exact behavior.
+func (s *Server) initTenants() {
+	if s.cfg.TenantFile == "" {
+		s.tenants = tenant.Open()
+		return
+	}
+	r, err := tenant.Load(s.cfg.TenantFile)
+	if err != nil {
+		// A malformed key file should fail the daemon at startup, not demote
+		// it to open mode (fail-open auth) or 500 every request.
+		panic(err)
+	}
+	s.tenants = r
+	s.log.Info("tenant registry loaded", "file", s.cfg.TenantFile, "tenants", len(r.Tenants()))
+}
+
+// Tenants exposes the registry (tests and the daemon banner).
+func (s *Server) Tenants() *tenant.Registry { return s.tenants }
+
+// tenantCtxKey carries the authenticated tenant through the request context.
+type tenantCtxKey struct{}
+
+// requestTenant returns the tenant the middleware authenticated, falling
+// back to open-mode anonymous for paths that skip auth (or direct handler
+// tests).
+func (s *Server) requestTenant(r *http.Request) *tenant.Tenant {
+	if t, ok := r.Context().Value(tenantCtxKey{}).(*tenant.Tenant); ok {
+		return t
+	}
+	t, _ := tenant.Open().Authenticate("")
+	return t
+}
+
+// apiKeyFrom extracts the caller's API key: "Authorization: Bearer <key>"
+// wins, "X-API-Key: <key>" is the fallback. Empty means anonymous.
+func apiKeyFrom(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if rest, ok := strings.CutPrefix(h, "Bearer "); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return strings.TrimSpace(r.Header.Get("X-API-Key"))
+}
+
+// authorize authenticates and rate-limits the request, returning the tenant
+// and the request with it attached. /healthz and /metrics bypass it (probes
+// and scrapers don't carry keys).
+func (s *Server) authorize(r *http.Request) (*http.Request, error) {
+	tn, err := s.tenants.Authenticate(apiKeyFrom(r))
+	if err != nil {
+		return r, errc(http.StatusUnauthorized, api.CodeUnauthorized, "%v", err)
+	}
+	if ok, retry := tn.Allow(time.Now()); !ok {
+		return r, &apiError{
+			status:     http.StatusTooManyRequests,
+			code:       api.CodeQuotaExceeded,
+			msg:        "tenant " + tn.Name + " is over its request rate; slow down",
+			retryAfter: retry,
+		}
+	}
+	return r.WithContext(context.WithValue(r.Context(), tenantCtxKey{}, tn)), nil
+}
+
+// ---- GET /v1/tenant ----
+
+// handleTenant answers who the key authenticated as and where the tenant
+// stands against its quotas right now.
+func (s *Server) handleTenant(w http.ResponseWriter, r *http.Request) error {
+	tn := s.requestTenant(r)
+	usage := s.jobs.TenantCounts()[tn.OwnerName()]
+	out := api.TenantStatus{
+		Tenant: api.TenantInfo{
+			Name:          tn.Name,
+			Weight:        tn.Weight,
+			MaxQueuedJobs: tn.MaxQueuedJobs,
+			MaxGridPoints: tn.MaxGridPoints,
+			RatePerSec:    tn.RatePerSec,
+			Burst:         tn.Burst,
+		},
+		Quota: api.QuotaStatus{
+			QueuedJobs:         usage.Queued,
+			MaxQueuedJobs:      tn.MaxQueuedJobs,
+			GridPointsInFlight: usage.Points,
+			MaxGridPoints:      tn.MaxGridPoints,
+			RateRemaining:      tn.RateRemaining(time.Now()),
+		},
+	}
+	_, err := writeJSON(w, http.StatusOK, out)
+	return err
+}

@@ -29,6 +29,11 @@ type (
 	ScheduleWindow   = api.ScheduleWindow
 	ScheduleResponse = api.ScheduleResponse
 
+	TenantInfo   = api.TenantInfo
+	QuotaStatus  = api.QuotaStatus
+	TenantStatus = api.TenantStatus
+	JobEvent     = api.JobEvent
+
 	traceInfo      = api.TraceInfo
 	experimentInfo = api.ExperimentInfo
 	taskInfo       = api.TaskInfo
